@@ -1,0 +1,76 @@
+// Ablation B: the spin-then-block trade-off on a modern kernel, natively.
+//
+// Sweeps BSLS MAX_SPIN on real processes (this host, both cores), for both
+// semaphore flavours — futex (V with no waiter costs no syscall) and SysV
+// (the paper's primitive, a syscall either way). This is the 2025 rerun of
+// the paper's Figure 10 question: how much spinning before sleeping?
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/args.hpp"
+#include "benchsupport/figure.hpp"
+#include "common/table.hpp"
+#include "common/affinity.hpp"
+#include "runtime/harness.hpp"
+
+using namespace ulipc;
+using namespace ulipc::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t messages = args.messages(4'000);
+  const std::vector<std::uint32_t> max_spins = {0, 1, 2, 5, 10, 20, 50};
+  const bool pinned = args.has_flag("pinned");
+
+  std::cout << "Ablation B — native spin-then-block threshold (this host, "
+            << cpu_count() << " CPUs" << (pinned ? ", pinned to 1" : "")
+            << ")\n\n";
+
+  FigureReport report("Ablation B", "BSLS MAX_SPIN sweep, native",
+                      "MAX_SPIN", "msgs/ms");
+  int failed = 0;
+  for (const SemKind sem : {SemKind::kFutex, SemKind::kSysv}) {
+    Series& series = report.add_series(
+        sem == SemKind::kFutex ? "futex semaphore" : "SysV semaphore");
+    std::vector<double> curve;
+    for (const std::uint32_t spin : max_spins) {
+      NativeRunConfig cfg;
+      cfg.protocol = ProtocolKind::kBsls;
+      cfg.sem = sem;
+      cfg.clients = 1;
+      cfg.messages_per_client = messages;
+      cfg.max_spin = spin;
+      cfg.pin_single_cpu = pinned;
+      cfg.multiprocessor_waits = !pinned && cpu_count() > 1;
+      const NativeRunResult r = run_native_experiment(cfg);
+      if (!r.all_children_ok ||
+          r.verified_replies != messages) {
+        std::cout << "[shape MISMATCH] run failed at MAX_SPIN=" << spin
+                  << "\n";
+        ++failed;
+        continue;
+      }
+      series.x.push_back(static_cast<double>(spin));
+      series.y.push_back(r.throughput_msgs_per_ms);
+      curve.push_back(r.throughput_msgs_per_ms);
+    }
+    // Some spinning should never be catastrophically worse than none; on a
+    // multicore host, spinning typically wins outright.
+    if (curve.size() >= 2) {
+      const double best = *std::max_element(curve.begin(), curve.end());
+      const bool ok = best >= curve.front() * 0.9;
+      std::cout << (ok ? "[shape OK]       " : "[shape MISMATCH] ")
+                << (sem == SemKind::kFutex ? "futex" : "SysV")
+                << ": a nonzero spin budget is competitive with MAX_SPIN=0\n";
+      if (!ok) ++failed;
+    }
+  }
+  failed += report.render(std::cout);
+
+  // The futex-vs-SysV comparison the paper could not make in 1998.
+  std::cout << "Note: with futex semaphores an uncontended V costs no "
+               "syscall, so the penalty for\nblocking early is far smaller "
+               "than with SysV semop — the 1998 trade-off has softened.\n";
+  return failed;
+}

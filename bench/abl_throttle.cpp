@@ -1,0 +1,105 @@
+// Ablation C: the paper's §5 future work, implemented.
+//
+//   "We could break the positive feedback in the BSLS algorithm by having
+//    the server recognize the fact that it is overloaded, and limit the
+//    number of clients it wakes up at any given time."
+//
+// Repeats the Figure 11 sweep (8-CPU Challenge model, 25 us/request) with
+// BslsThrottled: replies defer their wake-up onto a FIFO the server drains
+// in bounded batches while busy and completely while idle. Expectation:
+// same pre-cliff performance, and a substantially softer collapse beyond
+// the BSLS cliff.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "benchsupport/args.hpp"
+#include "benchsupport/figure.hpp"
+#include "common/table.hpp"
+#include "protocols/bsls.hpp"
+#include "protocols/bsls_throttled.hpp"
+#include "protocols/channel.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+using namespace ulipc;
+using namespace ulipc::bench;
+using namespace ulipc::sim;
+
+namespace {
+
+template <typename Proto>
+double run_mp(Proto proto, std::uint32_t clients, std::uint64_t messages,
+              double work_us) {
+  SimKernel kernel(Machine::sgi_challenge(8));
+  SimPlatform plat(kernel);
+  auto srv = std::make_unique<SimEndpoint>(256);
+  std::vector<std::unique_ptr<SimEndpoint>> eps;
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    eps.push_back(std::make_unique<SimEndpoint>(256));
+  }
+  ServerResult result;
+  kernel.spawn("server", [&, proto]() mutable {
+    auto reply_ep = [&](std::uint32_t ch) -> SimEndpoint& { return *eps[ch]; };
+    result = run_echo_server(plat, proto, *srv, reply_ep, clients);
+  });
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    kernel.spawn("client", [&, proto, i]() mutable {
+      client_connect(plat, proto, *srv, *eps[i], i);
+      client_echo_loop(plat, proto, *srv, *eps[i], i, messages, work_us);
+      client_disconnect(plat, proto, *srv, *eps[i], i);
+    });
+  }
+  kernel.run();
+  return result.throughput_msgs_per_ms();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t messages = args.messages(600);
+  const double work_us = args.value_or("work", 25.0);
+  const std::uint32_t max_spin = 5;  // the earliest-collapsing Figure 11 curve
+
+  std::cout << "Ablation C — server wake-up throttling (the paper's 5 "
+               "future work)\n"
+            << "8-CPU Challenge model, " << work_us
+            << " us/request, MAX_SPIN=" << max_spin << "\n\n";
+
+  FigureReport report("Ablation C", "BSLS vs BSLS-throttled beyond the cliff",
+                      "clients", "msgs/ms");
+  Series& s_plain = report.add_series("BSLS");
+  Series& s_throttled = report.add_series("BSLS-throttled (period=4)");
+
+  std::vector<double> plain;
+  std::vector<double> throttled;
+  for (int n = 1; n <= 12; ++n) {
+    plain.push_back(run_mp(Bsls<SimPlatform>(max_spin),
+                           static_cast<std::uint32_t>(n), messages, work_us));
+    throttled.push_back(run_mp(BslsThrottled<SimPlatform>(max_spin, 4),
+                               static_cast<std::uint32_t>(n), messages,
+                               work_us));
+    s_plain.x.push_back(n);
+    s_plain.y.push_back(plain.back());
+    s_throttled.x.push_back(n);
+    s_throttled.y.push_back(throttled.back());
+  }
+
+  // Pre-cliff: the two must match (throttling costs nothing when nobody
+  // blocks). Post-cliff: throttling must recover throughput.
+  report.check("equal performance before the cliff (n<=3)",
+               throttled[1] > plain[1] * 0.9 && throttled[2] > plain[2] * 0.9);
+  double plain_tail = 0.0;
+  double throttled_tail = 0.0;
+  for (int i = 7; i < 12; ++i) {
+    plain_tail += plain[static_cast<std::size_t>(i)];
+    throttled_tail += throttled[static_cast<std::size_t>(i)];
+  }
+  report.check("throttling recovers throughput beyond the cliff",
+               throttled_tail > plain_tail * 1.1,
+               "tail mean " + TextTable::num(throttled_tail / 5.0, 1) +
+                   " vs " + TextTable::num(plain_tail / 5.0, 1) + " msgs/ms");
+  return report.render(std::cout);
+}

@@ -1,0 +1,77 @@
+// Figure 8: Both Sides Wait and Yield — hand-off suggestions via
+// busy_wait/yield around the BSW blocking protocol.
+//
+// Paper: "the busy_wait calls are effective for one or two clients, but ...
+// the performance degrades as concurrency is increased further. The reason
+// is that the yield contains no hint about which process should be favored."
+// Under fixed-priority scheduling BSWY "basically matches the performance of
+// the busy-waiting BSS algorithm under the same scheduling policy".
+#include <iostream>
+
+#include "benchsupport/args.hpp"
+#include "sweep_util.hpp"
+
+using namespace ulipc;
+using namespace ulipc::bench;
+using namespace ulipc::sim;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t messages = args.messages(1'500);
+  const std::vector<int> clients = client_range(1, 6);
+
+  print_header("Figure 8", "BSWY under default vs fixed-priority scheduling");
+
+  int failed = 0;
+  for (const auto& [label, machine] :
+       {std::pair<const char*, Machine>{"SGI (IRIX 6.2)", Machine::sgi_indy()},
+        std::pair<const char*, Machine>{"IBM (AIX 4.1)", Machine::ibm_p4()}}) {
+    SimExperimentConfig cfg;
+    cfg.machine = machine;
+    cfg.messages_per_client = messages;
+
+    cfg.policy = PolicyKind::kAging;
+    cfg.protocol = ProtocolKind::kBswy;
+    const std::vector<double> bswy = sim_sweep(cfg, clients);
+    cfg.protocol = ProtocolKind::kBsw;
+    const std::vector<double> bsw = sim_sweep(cfg, clients);
+    cfg.protocol = ProtocolKind::kBss;
+    const std::vector<double> bss = sim_sweep(cfg, clients);
+
+    cfg.policy = PolicyKind::kFixed;
+    cfg.protocol = ProtocolKind::kBswy;
+    const std::vector<double> bswy_fixed = sim_sweep(cfg, clients);
+    cfg.protocol = ProtocolKind::kBss;
+    const std::vector<double> bss_fixed = sim_sweep(cfg, clients);
+
+    FigureReport report("Figure 8", std::string("BSWY throughput, ") + label,
+                        "clients", "msgs/ms");
+    fill_series(report.add_series("BSWY fixed-priority"), clients, bswy_fixed);
+    fill_series(report.add_series("BSWY default"), clients, bswy);
+    fill_series(report.add_series("BSW default"), clients, bsw);
+
+    report.check("hand-off hints help at one client (BSWY > BSW)",
+                 bswy.front() > bsw.front() * 1.1,
+                 "BSWY " + TextTable::num(bswy.front(), 2) + " vs BSW " +
+                     TextTable::num(bsw.front(), 2));
+    report.check("hand-off hints still help at two clients",
+                 bswy[1] >= bsw[1]);
+    report.check(
+        "default-policy BSWY degrades: 6-client gain over BSW vanishes",
+        bswy.back() <= bsw.back() * 1.1,
+        "BSWY " + TextTable::num(bswy.back(), 2) + " vs BSW " +
+            TextTable::num(bsw.back(), 2));
+    report.check("BSWY never reaches default-policy BSS beyond 2 clients",
+                 bswy[3] < bss[3] && bswy[5] < bss[5]);
+    // Figure 8's dotted curve.
+    bool matches_bss_fixed = true;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const double ratio = bswy_fixed[i] / bss_fixed[i];
+      if (ratio < 0.85 || ratio > 1.15) matches_bss_fixed = false;
+    }
+    report.check("fixed-priority BSWY matches fixed-priority BSS (+-15%)",
+                 matches_bss_fixed);
+    failed += report.render(std::cout);
+  }
+  return failed;
+}

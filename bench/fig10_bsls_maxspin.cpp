@@ -1,0 +1,83 @@
+// Figure 10: Both Sides Limited Spin — sensitivity to MAX_SPIN on a
+// uniprocessor.
+//
+// Paper: "performance generally improves as the number of tries is
+// increased. ... At a MAX_SPIN value of 20, a single client only blocks 3%
+// of the time, and gets an answer back within 2 iterations on average. Even
+// with six clients, the numbers rise to: 10% of the loops fall-through; and
+// 4 iterations of the loop are executed on average."
+#include <iostream>
+
+#include "benchsupport/args.hpp"
+#include "sweep_util.hpp"
+
+using namespace ulipc;
+using namespace ulipc::bench;
+using namespace ulipc::sim;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t messages = args.messages(1'500);
+  const std::vector<int> clients = client_range(1, 6);
+  const std::vector<std::uint32_t> max_spins = {1, 5, 10, 20};
+
+  print_header("Figure 10", "BSLS sensitivity to MAX_SPIN (uniprocessor)");
+
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::sgi_indy();
+  cfg.policy = cfg.machine.default_policy;
+  cfg.messages_per_client = messages;
+
+  FigureReport report("Figure 10", "BSLS throughput vs MAX_SPIN, SGI model",
+                      "clients", "msgs/ms");
+  std::vector<std::vector<double>> curves;
+  for (const std::uint32_t spin : max_spins) {
+    cfg.protocol = ProtocolKind::kBsls;
+    cfg.max_spin = spin;
+    curves.push_back(sim_sweep(cfg, clients));
+    fill_series(report.add_series("MAX_SPIN=" + std::to_string(spin)),
+                clients, curves.back());
+  }
+  cfg.protocol = ProtocolKind::kBss;
+  const std::vector<double> bss = sim_sweep(cfg, clients);
+  fill_series(report.add_series("BSS (reference)"), clients, bss);
+
+  // Larger MAX_SPIN must not hurt: every curve >= the MAX_SPIN=1 curve.
+  report.check("throughput improves (weakly) as MAX_SPIN grows",
+               dominates(curves.back(), curves.front(), 0.98));
+  // With enough spinning the protocol approaches BSS.
+  bool near_bss = true;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (curves.back()[i] < bss[i] * 0.75) near_bss = false;
+  }
+  report.check("MAX_SPIN=20 approaches BSS performance", near_bss);
+  int failed = report.render(std::cout);
+
+  // The paper's fall-through statistics at MAX_SPIN=20.
+  std::cout << "bounded-spin statistics at MAX_SPIN=20 (client side):\n";
+  cfg.protocol = ProtocolKind::kBsls;
+  cfg.max_spin = 20;
+  for (const int n : {1, 6}) {
+    cfg.clients = static_cast<std::uint32_t>(n);
+    const auto r = run_sim_experiment(cfg);
+    const auto& c = r.client_counters_total;
+    const double fall = c.spin_entries
+                            ? 100.0 * static_cast<double>(c.spin_fallthroughs) /
+                                  static_cast<double>(c.spin_entries)
+                            : 0.0;
+    const double avg_iters =
+        c.spin_entries ? static_cast<double>(c.spin_iters) /
+                             static_cast<double>(c.spin_entries)
+                       : 0.0;
+    std::cout << "  " << n << " client(s): fall-through "
+              << TextTable::num(fall, 1) << "% (paper: " << (n == 1 ? 3 : 10)
+              << "%), avg iterations " << TextTable::num(avg_iters, 2)
+              << " (paper: " << (n == 1 ? 2 : 4) << ")\n";
+    const bool ok = (n == 1) ? (fall <= 6.0 && avg_iters <= 4.0)
+                             : (fall <= 15.0);
+    std::cout << (ok ? "[shape OK]       " : "[shape MISMATCH] ")
+              << "fall-through rate in the paper's regime\n";
+    if (!ok) ++failed;
+  }
+  return failed;
+}

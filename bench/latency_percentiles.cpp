@@ -1,0 +1,141 @@
+// Round-trip latency distribution per protocol (native, one client,
+// pinned or not) — the tail-latency view the paper's throughput plots
+// cannot show. Blocking protocols trade a little median latency (syscall
+// on the miss path) for not burning the machine; the distribution shows
+// where that cost actually lands.
+#include <algorithm>
+#include <iostream>
+
+#include "benchsupport/args.hpp"
+#include "common/affinity.hpp"
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "protocols/protocol_set.hpp"
+#include "runtime/shm_channel.hpp"
+#include "runtime/sysv_transport.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+using namespace ulipc;
+using namespace ulipc::bench;
+
+namespace {
+
+struct LatencyReport {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  bool ok = false;
+};
+
+LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
+                           bool pin) {
+  ShmChannel::Config cc;
+  cc.max_clients = 1;
+  cc.queue_capacity = 64;
+  cc.create_sysv_queues = (kind == ProtocolKind::kSysv);
+  ShmRegion region =
+      ShmRegion::create_anonymous(ShmChannel::required_bytes(cc));
+  ShmChannel channel = ShmChannel::create(region, cc);
+
+  ShmRegion out_region = ShmRegion::create_anonymous(4096);
+  auto* out = new (out_region.base()) LatencyReport{};
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    if (pin) pin_to_cpu(0);
+    if (kind == ProtocolKind::kSysv) {
+      SysvTransport t(channel);
+      t.run_server(1);
+      return 0;
+    }
+    NativePlatform plat;
+    with_protocol<NativePlatform>(kind, 20, [&](auto proto) {
+      auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
+        return channel.client_endpoint(id);
+      };
+      run_echo_server(plat, proto, channel.server_endpoint(), reply_ep, 1);
+    });
+    return 0;
+  });
+
+  ChildProcess client = ChildProcess::spawn([&] {
+    if (pin) pin_to_cpu(0);
+    SampleSet samples(messages);
+    if (kind == ProtocolKind::kSysv) {
+      SysvTransport t(channel);
+      t.client_connect(0);
+      for (std::uint64_t i = 0; i < messages; ++i) {
+        Stopwatch sw;
+        t.client_echo_loop(0, 1);
+        samples.add(sw.elapsed_us());
+      }
+      t.client_disconnect(0);
+    } else {
+      NativePlatform plat;
+      with_protocol<NativePlatform>(kind, 20, [&](auto proto) {
+        NativeEndpoint& srv = channel.server_endpoint();
+        NativeEndpoint& mine = channel.client_endpoint(0);
+        client_connect(plat, proto, srv, mine, 0);
+        for (std::uint64_t i = 0; i < messages; ++i) {
+          Message ans;
+          Stopwatch sw;
+          proto.send(plat, srv, mine,
+                     Message(Op::kEcho, 0, static_cast<double>(i)), &ans);
+          samples.add(sw.elapsed_us());
+        }
+        client_disconnect(plat, proto, srv, mine, 0);
+      });
+    }
+    out->p50 = samples.percentile(50);
+    out->p95 = samples.percentile(95);
+    out->p99 = samples.percentile(99);
+    out->max = samples.stats().max();
+    out->ok = samples.size() == messages;
+    return 0;
+  });
+
+  const bool children_ok = client.join() == 0 && server.join() == 0;
+  out->ok = out->ok && children_ok;
+  return *out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t messages = args.messages(20'000);
+  const bool pin = args.has_flag("pinned");
+
+  std::cout << "Round-trip latency percentiles per protocol (native, one "
+               "client" << (pin ? ", pinned" : "") << ", us)\n\n";
+
+  TextTable table({"protocol", "p50", "p95", "p99", "max"});
+  int failed = 0;
+  double bss_p50 = 0.0;
+  double bsw_p50 = 0.0;
+  for (const ProtocolKind kind :
+       {ProtocolKind::kBss, ProtocolKind::kBsls, ProtocolKind::kBswy,
+        ProtocolKind::kBsw, ProtocolKind::kSysv}) {
+    const LatencyReport r = run_protocol(kind, messages, pin);
+    if (!r.ok) {
+      std::cout << "[shape MISMATCH] " << protocol_name(kind)
+                << " run failed\n";
+      ++failed;
+      continue;
+    }
+    if (kind == ProtocolKind::kBss) bss_p50 = r.p50;
+    if (kind == ProtocolKind::kBsw) bsw_p50 = r.p50;
+    table.add_row({protocol_name(kind), TextTable::num(r.p50, 2),
+                   TextTable::num(r.p95, 2), TextTable::num(r.p99, 2),
+                   TextTable::num(r.max, 1)});
+  }
+  table.render(std::cout);
+
+  const bool ordering = bss_p50 > 0.0 && bss_p50 <= bsw_p50 * 1.5;
+  std::cout << (ordering ? "[shape OK]       " : "[shape MISMATCH] ")
+            << "spinning median latency <= ~blocking median latency\n";
+  if (!ordering) ++failed;
+  return failed;
+}

@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks for the synchronization substrate: the
+// awake flag, spinlock, futex semaphore, SysV semaphore, SysV message
+// queue, and sched_yield — the per-op costs behind Table 1 and the
+// protocols' syscall accounting.
+#include <benchmark/benchmark.h>
+#include <sched.h>
+
+#include "queue/message.hpp"
+#include "shm/futex_semaphore.hpp"
+#include "shm/spinlock.hpp"
+#include "shm/sysv_msg_queue.hpp"
+#include "shm/sysv_semaphore.hpp"
+#include "shm/tas_flag.hpp"
+
+namespace {
+
+using namespace ulipc;
+
+void BM_AwakeFlagTas(benchmark::State& state) {
+  AwakeFlag flag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flag.tas());
+  }
+}
+BENCHMARK(BM_AwakeFlagTas);
+
+void BM_AwakeFlagClearTas(benchmark::State& state) {
+  // The consumer's C.2 + producer's P.2 pair.
+  AwakeFlag flag;
+  for (auto _ : state) {
+    flag.clear();
+    benchmark::DoNotOptimize(flag.tas());
+  }
+}
+BENCHMARK(BM_AwakeFlagClearTas);
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+  Spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+void BM_FutexSemUncontendedVP(benchmark::State& state) {
+  // No waiter: V is a pure atomic add — the key cost difference vs SysV.
+  FutexSemaphore sem;
+  for (auto _ : state) {
+    sem.post();
+    sem.wait();
+  }
+}
+BENCHMARK(BM_FutexSemUncontendedVP);
+
+void BM_SysvSemVP(benchmark::State& state) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  for (auto _ : state) {
+    SysvSemaphoreSet::post(h);
+    SysvSemaphoreSet::wait(h);
+  }
+}
+BENCHMARK(BM_SysvSemVP);
+
+void BM_SysvMsgqSendRecv(benchmark::State& state) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  const Message msg(Op::kEcho, 0, 1.0);
+  Message out;
+  for (auto _ : state) {
+    q.send(1, &msg, sizeof(msg));
+    q.receive(0, &out, sizeof(out));
+  }
+}
+BENCHMARK(BM_SysvMsgqSendRecv);
+
+void BM_SchedYield(benchmark::State& state) {
+  for (auto _ : state) {
+    sched_yield();
+  }
+}
+BENCHMARK(BM_SchedYield);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the figure benches: client-count sweeps on the
+// simulator, series filling, and uniform run notes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "benchsupport/figure.hpp"
+#include "common/table.hpp"
+#include "sim/sim_experiment.hpp"
+
+namespace ulipc::bench {
+
+/// Runs `cfg` for each client count in `clients`, returning throughputs in
+/// msgs/ms (the paper's y-axis).
+inline std::vector<double> sim_sweep(sim::SimExperimentConfig cfg,
+                                     const std::vector<int>& clients) {
+  std::vector<double> out;
+  out.reserve(clients.size());
+  for (const int n : clients) {
+    cfg.clients = static_cast<std::uint32_t>(n);
+    out.push_back(sim::run_sim_experiment(cfg).throughput_msgs_per_ms);
+  }
+  return out;
+}
+
+inline void fill_series(Series& series, const std::vector<int>& clients,
+                        const std::vector<double>& values) {
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    series.x.push_back(static_cast<double>(clients[i]));
+    series.y.push_back(values[i]);
+  }
+}
+
+inline std::vector<int> client_range(int lo, int hi) {
+  std::vector<int> v;
+  for (int i = lo; i <= hi; ++i) v.push_back(i);
+  return v;
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("%s — %s\n", id, what);
+  std::printf("(simulated machines; shapes, not absolute numbers, are the "
+              "reproduction target — see DESIGN.md 6)\n\n");
+}
+
+}  // namespace ulipc::bench

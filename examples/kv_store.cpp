@@ -1,0 +1,166 @@
+// kv_store: a small shared-memory key/value database server.
+//
+// This is the paper's motivating application shape ("the motivation for
+// this work comes from ... developing a new data base server"): several
+// client processes issue synchronous PUT/GET requests to a single-threaded
+// server over user-level IPC channels with blocking semantics.
+//
+// Keys are *strings*, demonstrating the paper's variable-size message
+// mechanism: "Variable sized messages can be accommodated by using one of
+// the fields of the fixed sized message to point to a variable sized
+// component in shared memory." The key text lives in a PayloadPool slot;
+// the 24-byte message carries its offset in ext_offset. The slot travels
+// with the request like a baton — the server reads it, the reply returns
+// it, the client releases it.
+//
+// Run:  ./kv_store [clients] [ops_per_client]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocols/bsls.hpp"
+#include "protocols/channel.hpp"
+#include "queue/payload_pool.hpp"
+#include "runtime/native_platform.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+using namespace ulipc;
+
+namespace {
+
+/// Server loop: PUT stores value under the key string, GET loads it
+/// (replies with opcode kError if the key is absent).
+int run_kv_server(ShmChannel& channel, PayloadPool* keys,
+                  std::uint32_t clients) {
+  NativePlatform platform;
+  Bsls<NativePlatform> proto(20);
+  NativeEndpoint& srv = channel.server_endpoint();
+
+  std::unordered_map<std::string, double> store;
+  std::uint32_t disconnected = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t misses = 0;
+
+  while (disconnected < clients) {
+    Message msg;
+    proto.receive(platform, srv, &msg);
+    NativeEndpoint& reply_to = channel.client_endpoint(msg.channel);
+    switch (msg.opcode) {
+      case Op::kPut: {
+        store[std::string(keys->read(msg.ext_offset))] = msg.value;
+        ++puts;
+        break;
+      }
+      case Op::kGet: {
+        const auto it = store.find(std::string(keys->read(msg.ext_offset)));
+        ++gets;
+        if (it == store.end()) {
+          ++misses;
+          msg.opcode = Op::kError;
+        } else {
+          msg.value = it->second;
+        }
+        break;
+      }
+      case Op::kDisconnect:
+        ++disconnected;
+        break;
+      case Op::kConnect:
+        break;
+      default:
+        msg.opcode = Op::kError;
+        break;
+    }
+    proto.reply(platform, reply_to, msg);  // the slot batons back
+  }
+  std::printf("[kv-server] %llu puts, %llu gets (%llu misses), "
+              "%zu keys resident\n",
+              static_cast<unsigned long long>(puts),
+              static_cast<unsigned long long>(gets),
+              static_cast<unsigned long long>(misses), store.size());
+  return 0;
+}
+
+/// Client: writes a window of string keys, reads them back, checks values.
+int run_kv_client(ShmChannel& channel, PayloadPool* keys, std::uint32_t id,
+                  std::uint64_t ops) {
+  NativePlatform platform;
+  Bsls<NativePlatform> proto(20);
+  NativeEndpoint& srv = channel.server_endpoint();
+  NativeEndpoint& mine = channel.client_endpoint(id);
+
+  client_connect(platform, proto, srv, mine, id);
+
+  // Key space partitioned per client so the checks are deterministic.
+  Xoshiro256 rng(id + 1);
+  std::uint64_t errors = 0;
+  auto request = [&](Op op, const std::string& key, double value) {
+    const std::uint64_t token = keys->acquire();
+    if (token == PayloadPool::kNoPayload) return Message(Op::kError, id, 0.0);
+    keys->write(token, key);
+    Message ans;
+    proto.send(platform, srv, mine, Message(op, id, value, token),
+               &ans);
+    keys->release(ans.ext_offset);
+    return ans;
+  };
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t n = rng.below(64);
+    const std::string key =
+        "client/" + std::to_string(id) + "/item/" + std::to_string(n);
+    const auto expected = static_cast<double>(n * 10 + id);
+
+    if (request(Op::kPut, key, expected).opcode != Op::kPut) ++errors;
+    const Message got = request(Op::kGet, key, 0.0);
+    if (got.opcode != Op::kGet || got.value != expected) ++errors;
+  }
+
+  client_disconnect(platform, proto, srv, mine, id);
+  std::printf("[kv-client %u] %llu put/get pairs, %llu mismatches\n", id,
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(errors));
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto clients =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 3);
+  const auto ops =
+      static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 5'000);
+
+  ShmChannel::Config cfg;
+  cfg.max_clients = clients;
+  cfg.queue_capacity = 64;
+  ShmRegion region =
+      ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+  ShmChannel channel = ShmChannel::create(region, cfg);
+
+  // A second shared region holds the variable-size key payloads.
+  ShmRegion key_region = ShmRegion::create_anonymous(1 << 20);
+  ShmArena key_arena = ShmArena::format(key_region);
+  PayloadPool* keys =
+      PayloadPool::create(key_arena, /*slot_bytes=*/120,
+                          /*slots=*/clients * 4 + 8);
+
+  std::vector<ChildProcess> procs;
+  procs.push_back(ChildProcess::spawn(
+      [&] { return run_kv_server(channel, keys, clients); }));
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    procs.push_back(ChildProcess::spawn(
+        [&, i] { return run_kv_client(channel, keys, i, ops); }));
+  }
+
+  int rc = 0;
+  for (const int code : join_all(procs)) rc |= code;
+  std::printf("[main] %s\n", rc == 0 ? "all clients verified" : "FAILURES");
+  return rc;
+}

@@ -1,0 +1,129 @@
+// sim_trace: watch the sleep/wake-up protocols schedule themselves.
+//
+// Runs one synchronous exchange loop under the simulator's SGI model for
+// BSW and BSWY with full schedule tracing, prints the annotated event
+// streams side by side, and summarizes the syscall accounting — making the
+// paper's central cost argument visible: BSW pays two V and two P per round
+// trip; BSWY's yield hints (and the proposed handoff syscall) cut into that.
+//
+// Run:  ./sim_trace [messages]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "protocols/channel.hpp"
+#include "protocols/protocol_set.hpp"
+#include "sim/sim_experiment.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+using namespace ulipc;
+using namespace ulipc::sim;
+
+namespace {
+
+struct TraceRun {
+  std::vector<TraceEvent> events;
+  SimProcStats client;
+  SimProcStats server;
+  double round_trip_us = 0.0;
+};
+
+TraceRun run_traced(ProtocolKind kind, std::uint64_t messages,
+                    bool use_handoff) {
+  SimKernel kernel(Machine::sgi_indy());
+  kernel.enable_trace(true);
+  SimPlatform plat(kernel);
+  plat.use_handoff(use_handoff);
+
+  auto srv = std::make_unique<SimEndpoint>(64);
+  auto clnt = std::make_unique<SimEndpoint>(64);
+
+  TraceRun run;
+  ServerResult server_result;
+  with_protocol<SimPlatform>(kind, 20, [&](auto proto) {
+    const int server_pid = kernel.spawn("server", [&, proto]() mutable {
+      auto reply_ep = [&](std::uint32_t) -> SimEndpoint& { return *clnt; };
+      server_result = run_echo_server(plat, proto, *srv, reply_ep, 1);
+    });
+    const int client_pid = kernel.spawn("client", [&, proto]() mutable {
+      client_connect(plat, proto, *srv, *clnt, 0);
+      client_echo_loop(plat, proto, *srv, *clnt, 0, messages);
+      client_disconnect(plat, proto, *srv, *clnt, 0);
+    });
+    clnt->partner_pid = server_pid;
+    srv->partner_pid = kPidAny;
+    kernel.run();
+    run.client = kernel.process(client_pid).stats;
+    run.server = kernel.process(server_pid).stats;
+  });
+  run.events = kernel.trace();
+  run.round_trip_us = 1'000.0 / server_result.throughput_msgs_per_ms();
+  return run;
+}
+
+void print_excerpt(const char* title, const TraceRun& run, std::size_t from,
+                   std::size_t count) {
+  std::printf("--- %s (events %zu..%zu of %zu) ---\n", title, from,
+              from + count, run.events.size());
+  const char* names[] = {"server", "client"};
+  for (std::size_t i = from; i < from + count && i < run.events.size(); ++i) {
+    const TraceEvent& e = run.events[i];
+    std::printf("  %9lld ns  %-7s %-13s aux=%lld\n",
+                static_cast<long long>(e.time_ns),
+                e.pid >= 0 && e.pid < 2 ? names[e.pid] : "?",
+                trace_kind_name(e.kind), static_cast<long long>(e.aux));
+  }
+  std::printf("\n");
+}
+
+void print_summary(const char* title, const TraceRun& run,
+                   std::uint64_t messages) {
+  const double m = static_cast<double>(messages);
+  std::printf("%-18s rt=%6.1f us | syscalls/msg: client %.2f server %.2f | "
+              "blocks/msg: %.2f | yields/msg: %.2f | handoffs/msg: %.2f\n",
+              title, run.round_trip_us,
+              static_cast<double>(run.client.syscalls) / m,
+              static_cast<double>(run.server.syscalls) / m,
+              static_cast<double>(run.client.blocks + run.server.blocks) / m,
+              static_cast<double>(run.client.yields + run.server.yields) / m,
+              static_cast<double>(run.client.handoffs + run.server.handoffs) /
+                  m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto messages =
+      static_cast<std::uint64_t>(argc > 1 ? std::atoll(argv[1]) : 200);
+
+  std::printf("Simulated SGI Indy / IRIX 6.2 (aging scheduler), one client, "
+              "%llu synchronous messages\n\n",
+              static_cast<unsigned long long>(messages));
+
+  const TraceRun bsw = run_traced(ProtocolKind::kBsw, messages, false);
+  const TraceRun bswy = run_traced(ProtocolKind::kBswy, messages, false);
+  const TraceRun handoff = run_traced(ProtocolKind::kBswy, messages, true);
+  const TraceRun bss = run_traced(ProtocolKind::kBss, messages, false);
+
+  // Skip the connect phase; show steady-state scheduling.
+  const std::size_t skip = bsw.events.size() / 2;
+  print_excerpt("BSW steady state (block -> wake -> block ...)", bsw,
+                skip, 14);
+  print_excerpt("BSWY steady state (yield hints visible)", bswy,
+                bswy.events.size() / 2, 14);
+
+  std::printf("--- summary ---\n");
+  print_summary("BSS (spin)", bss, messages);
+  print_summary("BSW", bsw, messages);
+  print_summary("BSWY", bswy, messages);
+  print_summary("BSWY + handoff", handoff, messages);
+
+  std::printf("\nReading guide: BSW shows the paper's 4-syscall round trip "
+              "(two V, two P);\nBSS never blocks but burns ~2 yields per "
+              "process per round trip under priority aging;\nBSWY trades "
+              "some of the blocking for yield hints; handoff() makes the "
+              "hint explicit.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Minimal --key=value argument parsing for the bench binaries.
+//
+// Every figure bench accepts at least:
+//   --messages=N   per-client message count (default per bench)
+//   --quick        reduce message counts ~10x for smoke runs
+//   --csv          emit raw CSV after the report
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ulipc::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has_flag(std::string_view name) const {
+    const std::string flag = "--" + std::string(name);
+    for (const auto& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<std::string> value(std::string_view name) const {
+    const std::string prefix = "--" + std::string(name) + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::int64_t value_or(std::string_view name,
+                                      std::int64_t fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    return std::stoll(*v);
+  }
+
+  [[nodiscard]] double value_or(std::string_view name, double fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    return std::stod(*v);
+  }
+
+  /// Per-client message count with a uniform --quick scale-down.
+  [[nodiscard]] std::uint64_t messages(std::uint64_t dflt) const {
+    auto n = static_cast<std::uint64_t>(
+        value_or("messages", static_cast<std::int64_t>(dflt)));
+    if (has_flag("quick")) n = n / 10 + 1;
+    return n;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace ulipc::bench

@@ -1,0 +1,154 @@
+#include "benchsupport/figure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace ulipc::bench {
+
+FigureReport::FigureReport(std::string figure_id, std::string title,
+                           std::string x_label, std::string y_label)
+    : id_(std::move(figure_id)),
+      title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+Series& FigureReport::add_series(std::string label) {
+  series_.push_back(Series{std::move(label), {}, {}});
+  return series_.back();
+}
+
+void FigureReport::check(std::string claim, bool pass, std::string detail) {
+  checks_.push_back(ShapeCheck{std::move(claim), pass, std::move(detail)});
+}
+
+int FigureReport::failed_checks() const noexcept {
+  int failed = 0;
+  for (const auto& c : checks_) {
+    if (!c.pass) ++failed;
+  }
+  return failed;
+}
+
+void FigureReport::render_table(std::ostream& os) const {
+  if (series_.empty()) return;
+  std::vector<std::string> header{x_label_};
+  for (const auto& s : series_) header.push_back(s.label);
+  TextTable table(header);
+
+  // Union of x values across series (they usually share the sweep).
+  std::vector<double> xs;
+  for (const auto& s : series_) xs.insert(xs.end(), s.x.begin(), s.x.end());
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  for (const double x : xs) {
+    std::vector<std::string> row{TextTable::num(x, 0)};
+    for (const auto& s : series_) {
+      auto it = std::find(s.x.begin(), s.x.end(), x);
+      if (it == s.x.end()) {
+        row.emplace_back("-");
+      } else {
+        const auto idx = static_cast<std::size_t>(it - s.x.begin());
+        row.push_back(TextTable::num(s.y[idx], 2));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(os);
+}
+
+void FigureReport::render_chart(std::ostream& os) const {
+  // Compact ASCII chart: y normalized into `kRows` bands, one glyph per
+  // series ('a', 'b', ...), x mapped onto `kCols` columns.
+  constexpr int kRows = 16;
+  constexpr int kCols = 60;
+  double ymax = 0.0;
+  double xmin = 0.0;
+  double xmax = 1.0;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      ymax = std::max(ymax, s.y[i]);
+      if (!any) {
+        xmin = xmax = s.x[i];
+        any = true;
+      } else {
+        xmin = std::min(xmin, s.x[i]);
+        xmax = std::max(xmax, s.x[i]);
+      }
+    }
+  }
+  if (!any || ymax <= 0.0) return;
+  if (xmax <= xmin) xmax = xmin + 1.0;
+
+  std::vector<std::string> grid(kRows, std::string(kCols, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = static_cast<char>('a' + (si % 26));
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const int col = static_cast<int>((s.x[i] - xmin) / (xmax - xmin) *
+                                       (kCols - 1));
+      const int row = static_cast<int>(s.y[i] / ymax * (kRows - 1));
+      grid[static_cast<std::size_t>(kRows - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  os << "  " << y_label_ << " (max " << TextTable::num(ymax, 1) << ")\n";
+  for (const auto& line : grid) {
+    os << "  |" << line << "\n";
+  }
+  os << "  +" << std::string(kCols, '-') << "> " << x_label_ << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "    " << static_cast<char>('a' + (si % 26)) << " = "
+       << series_[si].label << "\n";
+  }
+}
+
+int FigureReport::render(std::ostream& os) const {
+  os << "== " << id_ << ": " << title_ << " ==\n";
+  render_table(os);
+  render_chart(os);
+  for (const auto& c : checks_) {
+    os << (c.pass ? "[shape OK]       " : "[shape MISMATCH] ") << c.claim;
+    if (!c.detail.empty()) os << "  (" << c.detail << ")";
+    os << "\n";
+  }
+  os << "\n";
+  return failed_checks();
+}
+
+bool mostly_increasing(const std::vector<double>& v, double tolerance) {
+  if (v.size() < 2) return true;
+  // Overall rise required; single-step dips within tolerance allowed.
+  if (v.back() <= v.front()) return false;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[i - 1] * (1.0 - tolerance)) return false;
+  }
+  return true;
+}
+
+bool mostly_decreasing(const std::vector<double>& v, double tolerance) {
+  if (v.size() < 2) return true;
+  if (v.back() >= v.front()) return false;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[i - 1] * (1.0 + tolerance)) return false;
+  }
+  return true;
+}
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               double factor) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i] * factor) return false;
+  }
+  return n > 0;
+}
+
+}  // namespace ulipc::bench

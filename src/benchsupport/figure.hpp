@@ -1,0 +1,70 @@
+// Figure/table reporting for the benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper. A FigureReport
+// collects the measured series, renders them as an aligned table plus an
+// ASCII chart, and evaluates "shape checks" — the qualitative claims the
+// paper makes about that figure (who wins, which way a curve bends). Shape
+// checks print as [shape OK] / [shape MISMATCH] lines and the bench's exit
+// code reflects them, so EXPERIMENTS.md can be regenerated mechanically.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ulipc::bench {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ShapeCheck {
+  std::string claim;
+  bool pass = false;
+  std::string detail;
+};
+
+class FigureReport {
+ public:
+  FigureReport(std::string figure_id, std::string title,
+               std::string x_label, std::string y_label);
+
+  /// Returned reference remains valid across further add_series calls.
+  Series& add_series(std::string label);
+
+  /// Records a qualitative claim and whether the measurement satisfied it.
+  void check(std::string claim, bool pass, std::string detail = "");
+
+  /// Renders table + chart + checks. Returns the number of failed checks.
+  int render(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<ShapeCheck>& checks() const noexcept {
+    return checks_;
+  }
+  [[nodiscard]] int failed_checks() const noexcept;
+
+ private:
+  void render_table(std::ostream& os) const;
+  void render_chart(std::ostream& os) const;
+
+  std::string id_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  // deque: add_series returns references that must survive later adds
+  std::deque<Series> series_;
+  std::vector<ShapeCheck> checks_;
+};
+
+/// Monotonicity helpers for shape checks.
+bool mostly_increasing(const std::vector<double>& v, double tolerance = 0.05);
+bool mostly_decreasing(const std::vector<double>& v, double tolerance = 0.05);
+
+/// True if every element of `a` is at least `factor` times `b`'s element.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               double factor = 1.0);
+
+}  // namespace ulipc::bench

@@ -1,0 +1,43 @@
+// CPU affinity helpers.
+//
+// The paper's uniprocessor experiments are reproduced natively by pinning
+// every process of the benchmark (server + all clients) to a single core,
+// which serializes them exactly as a uniprocessor does.
+#pragma once
+
+#include <sched.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace ulipc {
+
+/// Number of CPUs currently available to this process.
+inline int cpu_count() noexcept {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+/// Pins the calling process/thread to a single CPU. Throws on failure.
+inline void pin_to_cpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  ULIPC_CHECK_ERRNO(sched_setaffinity(0, sizeof(set), &set) == 0,
+                    "sched_setaffinity");
+}
+
+/// Pins to CPU (cpu mod cpu_count()) — callers can hand out logical ids
+/// freely and still work on small machines.
+inline void pin_to_cpu_wrapped(int cpu) { pin_to_cpu(cpu % cpu_count()); }
+
+/// Removes any affinity restriction (all online CPUs allowed).
+inline void unpin() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int i = 0; i < cpu_count(); ++i) CPU_SET(i, &set);
+  ULIPC_CHECK_ERRNO(sched_setaffinity(0, sizeof(set), &set) == 0,
+                    "sched_setaffinity(unpin)");
+}
+
+}  // namespace ulipc

@@ -1,0 +1,52 @@
+// Cache-line geometry and padding helpers.
+//
+// Shared-memory data structures in this library keep producer-written and
+// consumer-written fields on distinct cache lines to avoid false sharing,
+// which on the paper's target machines (and on modern x86) costs a coherence
+// round-trip per access.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace ulipc {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size: these
+// types live in shared memory mapped by independently compiled binaries, so
+// the layout must not vary with compiler flags (-Winterference-size).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a T so that it occupies (at least) one full cache line.
+/// Use for per-role fields of cross-process structures (head vs. tail lock,
+/// awake flag vs. queue pointers) so writers on different cores do not
+/// invalidate each other's lines.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(std::is_trivially_destructible_v<T> || true, "usable for any T");
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to a full line even if T is smaller.
+  char pad_[(sizeof(T) % kCacheLineSize) ? kCacheLineSize - (sizeof(T) % kCacheLineSize) : 0]{};
+};
+
+/// Rounds n up to the next multiple of `align` (power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+static_assert(align_up(1, 64) == 64);
+static_assert(align_up(64, 64) == 64);
+static_assert(align_up(65, 64) == 128);
+static_assert(align_up(0, 8) == 0);
+
+}  // namespace ulipc

@@ -1,0 +1,83 @@
+// Wall-clock and delay-loop utilities.
+//
+// Throughput numbers in the paper are computed from "real elapsed time from
+// the first message request until the last client disconnects"; we use
+// CLOCK_MONOTONIC for that. The multiprocessor experiments additionally need
+// a calibrated busy-wait delay loop ("25 usec" poll slices, paper §5), which
+// must burn CPU without making system calls.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace ulipc {
+
+/// Nanoseconds since an arbitrary monotonic epoch.
+inline std::int64_t now_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000LL + ts.tv_nsec;
+}
+
+/// CPU time (user+system) consumed by the calling thread, in nanoseconds.
+inline std::int64_t thread_cpu_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000LL + ts.tv_nsec;
+}
+
+/// Calibrated busy-wait: spins (no syscalls) for approximately `ns`
+/// nanoseconds. First use in a process runs a one-time calibration.
+class DelayLoop {
+ public:
+  /// Spins for approximately ns nanoseconds.
+  static void spin_ns(std::int64_t ns) noexcept {
+    const double ipn = iters_per_ns();
+    spin_iters(static_cast<std::uint64_t>(static_cast<double>(ns) * ipn) + 1);
+  }
+
+  /// Raw iteration spinner (each iteration is one forced memory update).
+  static void spin_iters(std::uint64_t iters) noexcept {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sink = sink + 1;
+    }
+  }
+
+  /// Iterations of spin_iters() per nanosecond on this machine (cached).
+  static double iters_per_ns() noexcept {
+    static const double cached = calibrate();
+    return cached;
+  }
+
+ private:
+  static double calibrate() noexcept {
+    // Warm up, then time a block big enough to dwarf clock_gettime overhead.
+    spin_iters(100'000);
+    constexpr std::uint64_t kProbe = 2'000'000;
+    const std::int64_t t0 = now_ns();
+    spin_iters(kProbe);
+    const std::int64_t t1 = now_ns();
+    const std::int64_t elapsed = (t1 - t0) > 0 ? (t1 - t0) : 1;
+    return static_cast<double>(kProbe) / static_cast<double>(elapsed);
+  }
+};
+
+/// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() noexcept { start_ = now_ns(); }
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e3;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace ulipc

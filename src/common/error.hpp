@@ -1,0 +1,58 @@
+// Error handling: errno-carrying exceptions and check macros.
+//
+// The library is exception-based at setup/teardown boundaries (region
+// creation, process spawning) and error-code based on hot paths (queue
+// operations return bool, as in the paper's pseudo-code).
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace ulipc {
+
+/// Exception carrying an errno value plus context, thrown by setup-path
+/// wrappers around system calls (shm_open, semget, fork, ...).
+class SysError : public std::runtime_error {
+ public:
+  SysError(const std::string& what, int err)
+      : std::runtime_error(what + ": " + std::strerror(err) + " (errno " +
+                           std::to_string(err) + ")"),
+        errno_value_(err) {}
+
+  [[nodiscard]] int errno_value() const noexcept { return errno_value_; }
+
+ private:
+  int errno_value_;
+};
+
+/// Throws SysError{msg, errno} — call immediately after a failing syscall.
+[[noreturn]] inline void throw_errno(const std::string& msg) {
+  throw SysError(msg, errno);
+}
+
+/// Logic-error check for internal invariants (not user input).
+class InvariantError : public std::logic_error {
+  using std::logic_error::logic_error;
+};
+
+}  // namespace ulipc
+
+/// Checks a setup-path condition; throws SysError with errno context on failure.
+#define ULIPC_CHECK_ERRNO(cond, msg) \
+  do {                               \
+    if (!(cond)) {                   \
+      ::ulipc::throw_errno(msg);     \
+    }                                \
+  } while (0)
+
+/// Checks an internal invariant; throws InvariantError on failure.
+#define ULIPC_INVARIANT(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::ulipc::InvariantError(std::string("invariant violated: ") +   \
+                                    (msg) + " at " + __FILE__ + ":" +       \
+                                    std::to_string(__LINE__));              \
+    }                                                                       \
+  } while (0)

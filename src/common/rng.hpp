@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64. Used for property
+// tests, randomized schedule fuzzing in the simulator, and workload jitter.
+// We avoid std::mt19937 in hot simulator paths: xoshiro is 4x faster and its
+// state is trivially copyable, which matters for snapshotting sim state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ulipc {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ulipc

@@ -1,0 +1,138 @@
+// Online statistics: Welford mean/variance, fixed-bucket histograms, and
+// exact-percentile sample sets for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ulipc {
+
+/// Numerically stable single-pass mean/variance (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const OnlineStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; gives exact percentiles. Fine for benchmark-sized
+/// sample counts (we cap benchmark samples well below memory limits).
+class SampleSet {
+ public:
+  explicit SampleSet(std::size_t reserve = 0) { samples_.reserve(reserve); }
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const OnlineStats& stats() const noexcept { return stats_; }
+
+  /// Exact percentile by linear interpolation; p in [0, 100].
+  [[nodiscard]] double percentile(double p) {
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  OnlineStats stats_;
+  bool sorted_ = true;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+/// the end buckets. Used for latency distributions in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) noexcept {
+    std::size_t idx = 0;
+    if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else if (x > lo_) {
+      idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                     static_cast<double>(counts_.size()));
+      idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept {
+    return bucket_lo(i + 1);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ulipc

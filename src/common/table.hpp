@@ -1,0 +1,99 @@
+// Text-table and CSV emitters used by every benchmark binary to print the
+// paper's tables/figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ulipc {
+
+/// Column-aligned ASCII table. Build rows, then render to a stream.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void render(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : empty_;
+        os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+    auto rule = [&] {
+      os << "+";
+      for (const auto w : widths) os << std::string(w + 2, '-') << "+";
+      os << '\n';
+    };
+
+    rule();
+    line(header_);
+    rule();
+    for (const auto& r : rows_) line(r);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// Minimal CSV emitter (quotes cells containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os_ << ',';
+      write_cell(cells[i]);
+    }
+    os_ << '\n';
+  }
+
+ private:
+  void write_cell(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os_ << cell;
+      return;
+    }
+    os_ << '"';
+    for (const char c : cell) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+};
+
+}  // namespace ulipc

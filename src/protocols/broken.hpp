@@ -1,0 +1,148 @@
+// Deliberately broken protocol variants.
+//
+// The paper devotes Figure 4 to the race conditions of naive sleep/wake-up
+// and the fixes each protocol carries. These variants remove one fix each,
+// so the simulator's race tests (and ablation bench A) can demonstrate the
+// exact failure the paper predicts:
+//
+//  * BswNoRecheck  — omits step C.3, the "seemingly redundant" recheck
+//    dequeue. Interleaving 4: a producer that reads the awake flag after the
+//    consumer's failed dequeue but before the flag is cleared will not wake
+//    it, and the consumer sleeps forever (deadlock).
+//  * BswNoTasWake  — producer uses a plain read of the awake flag instead of
+//    test-and-set. Interleaving 2: multiple producers all observe awake==0
+//    and all V(); the semaphore count accumulates without bound if the
+//    consumer stays busy ("this happened in our first version of the
+//    algorithm!").
+//  * BswAlwaysWake — producer V()s unconditionally on every enqueue, the
+//    "no awake flag at all" strawman. Correct but pays a wake-up syscall per
+//    message and accumulates counts the consumer must iterate down.
+//
+// These are test/bench instruments; they are not part of the public API.
+#pragma once
+
+#include "protocols/detail.hpp"
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+/// Consumer skips step C.3: block immediately after clearing the flag.
+template <Platform P>
+class BswNoRecheck {
+ public:
+  static constexpr const char* kName = "BSW-noC3";
+  using Endpoint = typename P::Endpoint;
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    detail::enqueue_and_wake(p, srv, msg);
+    ++p.counters().sends;
+    broken_dequeue(p, clnt, ans);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    broken_dequeue(p, srv, msg);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    detail::enqueue_and_wake(p, clnt, msg);
+    ++p.counters().replies;
+  }
+
+ private:
+  static void broken_dequeue(P& p, Endpoint& q, Message* out) {
+    while (!p.dequeue(q, out)) {  // C.1
+      p.clear_awake(q);           // C.2
+      p.fence();
+      ++p.counters().blocks;      // C.4 without C.3: the bug
+      p.sem_p(q);
+      p.set_awake(q);             // C.5
+    }
+  }
+};
+
+/// Producer reads the flag non-atomically (no test-and-set).
+template <Platform P>
+class BswNoTasWake {
+ public:
+  static constexpr const char* kName = "BSW-noTAS";
+  using Endpoint = typename P::Endpoint;
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    racy_enqueue_and_wake(p, srv, msg);
+    ++p.counters().sends;
+    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/false);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    racy_enqueue_and_wake(p, clnt, msg);
+    ++p.counters().replies;
+  }
+
+ private:
+  static void racy_enqueue_and_wake(P& p, Endpoint& q, const Message& msg) {
+    while (!p.enqueue(q, msg)) {
+      ++p.counters().full_sleeps;
+      p.sleep_seconds(1);
+    }
+    p.fence();
+    // BUG: non-atomic check-then-act. Every producer that reads 0 wakes.
+    if (!p.awake_is_set(q)) {
+      p.set_awake(q);
+      ++p.counters().wakeups;
+      p.sem_v(q);
+    }
+  }
+};
+
+/// Producer wakes on every enqueue; no awake flag involved.
+template <Platform P>
+class BswAlwaysWake {
+ public:
+  static constexpr const char* kName = "BSW-alwaysV";
+  using Endpoint = typename P::Endpoint;
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    always_wake_enqueue(p, srv, msg);
+    ++p.counters().sends;
+    absorbing_dequeue(p, clnt, ans);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    absorbing_dequeue(p, srv, msg);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    always_wake_enqueue(p, clnt, msg);
+    ++p.counters().replies;
+  }
+
+ private:
+  static void always_wake_enqueue(P& p, Endpoint& q, const Message& msg) {
+    while (!p.enqueue(q, msg)) {
+      ++p.counters().full_sleeps;
+      p.sleep_seconds(1);
+    }
+    ++p.counters().wakeups;
+    p.sem_v(q);  // one V per message: count == queued messages
+  }
+
+  static void absorbing_dequeue(P& p, Endpoint& q, Message* out) {
+    // With one V per message, P before each dequeue is exactly balanced.
+    ++p.counters().blocks;
+    p.sem_p(q);
+    const bool ok = p.dequeue(q, out);
+    (void)ok;  // semaphore guarantees a message is present
+  }
+};
+
+}  // namespace ulipc

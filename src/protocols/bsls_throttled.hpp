@@ -1,0 +1,148 @@
+// Both Sides Limited Spin with server-side wake-up throttling — the
+// paper's stated future work (§5):
+//
+//   "We could break the positive feedback in the BSLS algorithm by having
+//    the server recognize the fact that it is overloaded, and limit the
+//    number of clients it wakes up at any given time. The challenge is
+//    constraining the concurrency in this fashion while guaranteeing that
+//    starvation doesn't occur. We leave this for future work."
+//
+// The feedback loop: once one client spins past MAX_SPIN and blocks, the
+// server pays a wake-up (V + ready) per reply, which slows it down, which
+// pushes *more* clients past MAX_SPIN — until every reply carries a wake-up
+// and throughput collapses to the 4-syscall regime (Figure 11).
+//
+// This variant turns wake-ups into admission control:
+//
+//  * reply() enqueues the reply but, if the client has committed to
+//    sleeping, records it on a FIFO pending-wake list instead of V-ing;
+//  * receive() issues at most ONE pending wake per `wake_period` processed
+//    messages (and one whenever the receive queue runs empty, which also
+//    guarantees liveness before the server itself blocks).
+//
+// Effect: blocked clients re-enter service one at a time, so the set of
+// *active* clients self-regulates to what the server can answer within
+// their spin budgets — active clients spin-hit (no block, no wake-up,
+// exactly the cheap regime), while parked clients rejoin in FIFO order at a
+// bounded rate (no starvation: with p clients pending, the last rejoins
+// within ~p * wake_period messages).
+//
+// Client-side behaviour is identical to BSLS. Only the server may call
+// receive()/reply() on one instance: the pending list is instance state —
+// precisely the "server knows it is overloaded" information.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "protocols/detail.hpp"
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+template <Platform P>
+class BslsThrottled {
+ public:
+  static constexpr const char* kName = "BSLS-throttled";
+  using Endpoint = typename P::Endpoint;
+
+  explicit BslsThrottled(std::uint32_t max_spin = 20,
+                         std::uint32_t wake_period = 4)
+      : max_spin_(max_spin),
+        wake_period_(wake_period == 0 ? 1 : wake_period) {}
+
+  [[nodiscard]] std::uint32_t max_spin() const noexcept { return max_spin_; }
+  [[nodiscard]] std::uint32_t wake_period() const noexcept {
+    return wake_period_;
+  }
+  [[nodiscard]] std::size_t pending_wakes() const noexcept {
+    return pending_.size();
+  }
+
+  // ---- client side (identical to Bsls) ----
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    detail::enqueue_and_wake(p, srv, msg);
+    ++p.counters().sends;
+    bounded_spin(p, clnt);
+    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/true);
+  }
+
+  // ---- server side ----
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    if (p.queue_empty(srv)) {
+      // Idle or everyone is parked: readmit one client and give it a spin's
+      // worth of time to produce work.
+      drain_one(p);
+      bounded_spin(p, srv);
+      if (p.queue_empty(srv)) {
+        // Still nothing — the readmitted client may have been leaving (its
+        // deferred wake acknowledged a disconnect). Before actually
+        // sleeping, every parked client must be released, or a sleeping
+        // server and sleeping clients deadlock.
+        flush(p);
+      }
+    } else if (++since_wake_ >= wake_period_) {
+      // Busy: bounded, FIFO readmission keeps parked clients from starving
+      // without letting wake-up costs swamp request processing.
+      drain_one(p);
+    }
+    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    while (!p.enqueue(clnt, msg)) {
+      ++p.counters().full_sleeps;
+      // Cannot sleep holding every deferred wake-up: the backlog consumer
+      // may be one of them.
+      drain_one(p);
+      p.sleep_seconds(1);
+    }
+    ++p.counters().replies;
+    p.fence();
+    if (!p.tas_awake(clnt)) {
+      // Client committed to sleeping; owe it a V, but defer the syscall —
+      // this parks the client.
+      pending_.push_back(&clnt);
+    }
+  }
+
+  /// Issues every deferred wake-up. run_echo_server calls this on exit; any
+  /// hand-rolled server loop must do the same before leaving.
+  void flush(P& p) {
+    while (!pending_.empty()) drain_one(p);
+  }
+
+ private:
+  void drain_one(P& p) {
+    since_wake_ = 0;
+    if (pending_.empty()) return;
+    Endpoint* ep = pending_.front();
+    pending_.pop_front();
+    ++p.counters().wakeups;
+    p.sem_v(*ep);
+  }
+
+  void bounded_spin(P& p, Endpoint& q) {
+    auto& c = p.counters();
+    ++c.spin_entries;
+    std::uint32_t spincnt = 0;
+    while (p.queue_empty(q) && spincnt < max_spin_) {
+      p.poll_queue(q);
+      ++spincnt;
+      ++c.polls;
+    }
+    c.spin_iters += spincnt;
+    if (p.queue_empty(q)) ++c.spin_fallthroughs;
+  }
+
+  std::uint32_t max_spin_;
+  std::uint32_t wake_period_;
+  std::uint32_t since_wake_ = 0;
+  std::deque<Endpoint*> pending_;
+};
+
+}  // namespace ulipc

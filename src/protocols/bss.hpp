@@ -1,0 +1,53 @@
+// Both Sides Spin (paper Figure 1): the busy-waiting baseline.
+//
+// No process ever sleeps; waiting is busy_wait(), which the platform maps to
+// yield() on a uniprocessor and a delay loop on a multiprocessor. BSS is the
+// upper bound the blocking protocols are measured against — and the paper's
+// starting observation is that even BSS is at the mercy of the scheduler's
+// priority-aging policy.
+#pragma once
+
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+template <Platform P>
+class Bss {
+ public:
+  static constexpr const char* kName = "BSS";
+  using Endpoint = typename P::Endpoint;
+
+  /// Synchronous Send: enqueue the request, then busy-wait for the reply.
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    while (!p.enqueue(srv, msg)) {
+      ++p.counters().busy_waits;
+      p.busy_wait(srv);  // queue full: spin until the server drains it
+    }
+    ++p.counters().sends;
+    while (!p.dequeue(clnt, ans)) {
+      ++p.counters().busy_waits;
+      p.busy_wait(clnt);
+    }
+  }
+
+  /// Server-side Receive: busy-wait for the next request.
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    while (!p.dequeue(srv, msg)) {
+      ++p.counters().busy_waits;
+      p.busy_wait(srv);
+    }
+    ++p.counters().receives;
+  }
+
+  /// Server-side Reply: enqueue the response on the client's queue.
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    while (!p.enqueue(clnt, msg)) {
+      ++p.counters().busy_waits;
+      p.busy_wait(clnt);
+    }
+    ++p.counters().replies;
+  }
+};
+
+}  // namespace ulipc

@@ -1,0 +1,39 @@
+// Both Sides Wait (paper Figure 5): counting semaphores incorporate
+// sleep/wake-up around every enqueue/dequeue.
+//
+// Functionally correct blocking, but — as the paper shows in Figure 6 — the
+// V() that wakes the consumer does not force a rescheduling decision, so a
+// synchronous round trip on a uniprocessor costs four heavyweight system
+// calls (two V, two P), erasing the advantage over SysV message queues.
+#pragma once
+
+#include "protocols/detail.hpp"
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+template <Platform P>
+class Bsw {
+ public:
+  static constexpr const char* kName = "BSW";
+  using Endpoint = typename P::Endpoint;
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    detail::enqueue_and_wake(p, srv, msg);
+    ++p.counters().sends;
+    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/false);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    detail::enqueue_and_wake(p, clnt, msg);
+    ++p.counters().replies;
+  }
+};
+
+}  // namespace ulipc

@@ -1,0 +1,59 @@
+// Both Sides Wait and Yield (paper Figure 7): BSW plus busy_wait/yield
+// calls that *suggest* hand-off scheduling to the operating system.
+//
+// Client side: after waking the server, busy_wait() gives it a chance to run
+// (on a uniprocessor the underlying yield forces the scheduler to at least
+// re-evaluate); a second busy_wait at the top of the reply-wait loop gives
+// the server one last chance before the client sleeps. Server side: a
+// yield() after finding the receive queue empty lets clients consume their
+// replies and enqueue new requests before the server commits to sleeping.
+#pragma once
+
+#include "protocols/detail.hpp"
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+template <Platform P>
+class Bswy {
+ public:
+  static constexpr const char* kName = "BSWY";
+  using Endpoint = typename P::Endpoint;
+
+  void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+            Message* ans) {
+    while (!p.enqueue(srv, msg)) {
+      ++p.counters().full_sleeps;
+      p.sleep_seconds(1);
+    }
+    ++p.counters().sends;
+    p.fence();
+    if (!p.tas_awake(srv)) {
+      ++p.counters().wakeups;
+      p.sem_v(srv);        // wake-up server
+      ++p.counters().busy_waits;
+      p.busy_wait(srv);    // ... and let it run (hand-off suggestion)
+    }
+    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/true);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    // With multiple clients the receive queue often has entries already; it
+    // is more productive to keep processing than to yield after every reply.
+    if (p.dequeue(srv, msg)) {
+      ++p.counters().receives;
+      return;
+    }
+    ++p.counters().yields;
+    p.yield();  // let clients run
+    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
+    ++p.counters().receives;
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    detail::enqueue_and_wake(p, clnt, msg);
+    ++p.counters().replies;
+  }
+};
+
+}  // namespace ulipc

@@ -1,0 +1,142 @@
+// Client/server session loops over the Send/Receive/Reply interface.
+//
+// This is the service architecture of the paper's evaluation: up to n
+// clients connect to a single-threaded server through one shared receive
+// queue; each client owns a reply queue, and every request carries the
+// reply-channel id ("each client request should include the number of the
+// reply queue to be used for the response").
+//
+// The loops are generic over Platform and protocol, so the identical code
+// runs on real processes and inside the scheduler simulator — mirroring the
+// paper's "only the implementation of the protocols themselves changes".
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "protocols/detail.hpp"
+#include "protocols/platform.hpp"
+
+namespace ulipc {
+
+/// What the server observed during one run (the paper's measurement basis).
+struct ServerResult {
+  std::uint64_t echo_messages = 0;     // kEcho + kCompute requests served
+  std::uint64_t control_messages = 0;  // connects + disconnects
+  std::int64_t first_request_ns = 0;   // time of first kEcho/kCompute
+  std::int64_t last_disconnect_ns = 0; // time the final client left
+
+  /// Server throughput in messages per millisecond over the measurement
+  /// window, computed exactly as the paper does: real elapsed time from the
+  /// first message request until the last client disconnects.
+  [[nodiscard]] double throughput_msgs_per_ms() const noexcept {
+    const std::int64_t window = last_disconnect_ns - first_request_ns;
+    if (window <= 0) return 0.0;
+    return static_cast<double>(echo_messages) /
+           (static_cast<double>(window) / 1e6);
+  }
+};
+
+/// Runs the single-threaded echo server until `expected_clients` clients
+/// have connected and disconnected. `reply_ep(id)` maps a reply-channel id
+/// to the client's endpoint.
+template <typename P, typename Proto, typename ReplyEp>
+ServerResult run_echo_server(P& p, Proto& proto, typename P::Endpoint& srv,
+                             ReplyEp&& reply_ep,
+                             std::uint32_t expected_clients) {
+  ServerResult result;
+  std::uint32_t disconnected = 0;
+  while (disconnected < expected_clients) {
+    Message msg;
+    proto.receive(p, srv, &msg);
+    switch (msg.opcode) {
+      case Op::kConnect:
+        ++result.control_messages;
+        proto.reply(p, reply_ep(msg.channel), msg);
+        break;
+      case Op::kDisconnect:
+        ++result.control_messages;
+        ++disconnected;
+        result.last_disconnect_ns = p.time_ns();
+        proto.reply(p, reply_ep(msg.channel), msg);
+        break;
+      case Op::kCompute:
+        p.work_us(msg.value);
+        [[fallthrough]];
+      case Op::kEcho:
+        if (result.echo_messages == 0) result.first_request_ns = p.time_ns();
+        ++result.echo_messages;
+        proto.reply(p, reply_ep(msg.channel), msg);
+        break;
+      default: {
+        Message err(Op::kError, msg.channel, msg.value);
+        proto.reply(p, reply_ep(msg.channel), err);
+        break;
+      }
+    }
+  }
+  // Protocols that defer work (e.g. BslsThrottled's pending wake-ups) must
+  // complete it before the server leaves.
+  if constexpr (requires { proto.flush(p); }) {
+    proto.flush(p);
+  }
+  return result;
+}
+
+/// Client connect handshake (synchronous; server echoes the connect).
+template <typename P, typename Proto>
+void client_connect(P& p, Proto& proto, typename P::Endpoint& srv,
+                    typename P::Endpoint& mine, std::uint32_t id) {
+  Message ans;
+  proto.send(p, srv, mine, Message(Op::kConnect, id, 0.0), &ans);
+  ULIPC_INVARIANT(ans.opcode == Op::kConnect, "connect not acknowledged");
+}
+
+/// The paper's benchmark inner loop: barrage the server with `n` synchronous
+/// echo requests. Returns the number of correctly echoed replies.
+/// `work_us` > 0 switches to kCompute requests with that much server work.
+template <typename P, typename Proto>
+std::uint64_t client_echo_loop(P& p, Proto& proto, typename P::Endpoint& srv,
+                               typename P::Endpoint& mine, std::uint32_t id,
+                               std::uint64_t n, double work_us = 0.0) {
+  std::uint64_t verified = 0;
+  const Op op = work_us > 0.0 ? Op::kCompute : Op::kEcho;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double arg = work_us > 0.0 ? work_us : static_cast<double>(i);
+    Message ans;
+    proto.send(p, srv, mine, Message(op, id, arg), &ans);
+    if (ans.opcode == op && ans.value == arg && ans.channel == id) {
+      ++verified;
+    }
+  }
+  return verified;
+}
+
+/// Client disconnect handshake.
+template <typename P, typename Proto>
+void client_disconnect(P& p, Proto& proto, typename P::Endpoint& srv,
+                       typename P::Endpoint& mine, std::uint32_t id) {
+  Message ans;
+  proto.send(p, srv, mine, Message(Op::kDisconnect, id, 0.0), &ans);
+  ULIPC_INVARIANT(ans.opcode == Op::kDisconnect, "disconnect not acknowledged");
+}
+
+/// Asynchronous send: enqueue a request and wake the server without waiting
+/// for the reply (the paper's asynchronous IPC case: "a client process can
+/// enqueue multiple asynchronous messages on to a shared queue without
+/// blocking waiting for a response"). Pair with collect_reply().
+template <typename P>
+void async_send(P& p, typename P::Endpoint& srv, const Message& msg) {
+  detail::enqueue_and_wake(p, srv, msg);
+  ++p.counters().sends;
+}
+
+/// Collects one outstanding reply, sleeping if none has arrived yet.
+template <typename P>
+Message collect_reply(P& p, typename P::Endpoint& mine) {
+  Message ans;
+  detail::dequeue_or_sleep(p, mine, &ans, /*pre_busy_wait=*/false);
+  return ans;
+}
+
+}  // namespace ulipc

@@ -1,0 +1,69 @@
+// Shared building blocks of the blocking protocols: the consumer-side
+// sleep-with-recheck loop and the producer-side guarded wake-up.
+//
+// These encode the race-condition fixes of the paper's Figure 4:
+//  * step C.3 (the "seemingly redundant" recheck dequeue) prevents
+//    Interleaving 4 (producer checks the flag between the consumer's failed
+//    dequeue and its clearing of the flag -> consumer sleeps forever);
+//  * the producer's test-and-set ensures only the first producer to observe
+//    awake==0 pays the V() (Interleaving 2, multiple wake-ups);
+//  * the consumer's test-and-set on the recheck-success path absorbs a
+//    wake-up sent by a producer that raced with the recheck
+//    (Interleaving 3, wake-up without sleep), keeping the semaphore count
+//    from accumulating.
+#pragma once
+
+#include "protocols/platform.hpp"
+
+namespace ulipc::detail {
+
+/// Producer side: enqueue with queue-full flow control (paper: sleep(1)),
+/// then wake the consumer iff it may be asleep.
+template <Platform P>
+void enqueue_and_wake(P& p, typename P::Endpoint& q, const Message& msg) {
+  while (!p.enqueue(q, msg)) {
+    ++p.counters().full_sleeps;
+    p.sleep_seconds(1);  // "waiting a full second should allow the consumer
+                         //  to reduce the backlog" (paper §3)
+  }
+  p.fence();  // order the enqueue before the awake-flag read (SB pattern)
+  if (!p.tas_awake(q)) {
+    ++p.counters().wakeups;
+    p.sem_v(q);
+  }
+}
+
+/// Consumer side: dequeue, sleeping on the endpoint's semaphore while the
+/// queue is empty. `pre_busy_wait` inserts the BSWY hand-off hint at the top
+/// of each retry (paper Figure 7: "busy_wait(); /* Try to handoff */").
+template <Platform P>
+void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
+                      bool pre_busy_wait) {
+  while (!p.dequeue(q, out)) {          // C.1
+    if (pre_busy_wait) {
+      ++p.counters().busy_waits;
+      p.busy_wait(q);
+      // The hand-off hint may have let the producer run; fall through into
+      // the sleep protocol only if the queue is still empty.
+    }
+    p.clear_awake(q);                   // C.2
+    p.fence();  // order the flag clear before the recheck (SB pattern)
+    if (!p.dequeue(q, out)) {           // C.3 -- still empty
+      ++p.counters().blocks;
+      p.sem_p(q);                       // C.4 -- sleep
+      p.set_awake(q);                   // C.5
+      // Loop: the wake-up means a producer enqueued, but with multiple
+      // producers the message may already be gone; iterate.
+    } else {
+      // Recheck succeeded. If a producer raced us (saw our cleared flag and
+      // V'd), absorb the extra count so it cannot accumulate.
+      if (p.tas_awake(q)) {
+        ++p.counters().sem_absorbs;
+        p.sem_p(q);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace ulipc::detail

@@ -1,0 +1,98 @@
+// The Platform concept: everything a sleep/wake-up protocol needs from its
+// execution environment.
+//
+// The protocol algorithms (Figures 1, 5, 7, 9 of the paper) are written once
+// against this concept and instantiated twice:
+//   * NativePlatform (src/runtime/native_platform.hpp) — real shared memory,
+//     real semaphores, real sched_yield, real processes;
+//   * SimPlatform (src/sim/sim_platform.hpp) — the deterministic scheduler
+//     simulator, which charges virtual time for each operation and lets the
+//     scheduling policy (degrading priorities, fixed priorities, modified
+//     yield, hand-off) decide who runs.
+//
+// An Endpoint bundles what the paper calls Q[x]: a FIFO queue, its `awake`
+// flag, and the counting semaphore its consumer sleeps on.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "queue/message.hpp"
+
+namespace ulipc {
+
+/// Event counts a protocol accumulates while running. One instance per
+/// process (client or server); the harness aggregates them.
+struct ProtocolCounters {
+  std::uint64_t sends = 0;         // Send() calls completed
+  std::uint64_t receives = 0;      // Receive() calls completed
+  std::uint64_t replies = 0;       // Reply() calls completed
+  std::uint64_t blocks = 0;        // P() calls expected to sleep (step C.4)
+  std::uint64_t wakeups = 0;       // V() calls issued (producer saw awake==0)
+  std::uint64_t yields = 0;        // explicit yield() calls
+  std::uint64_t busy_waits = 0;    // busy_wait() calls
+  std::uint64_t polls = 0;         // poll_queue() iterations (BSLS)
+  std::uint64_t spin_entries = 0;  // BSLS bounded-spin loop entries
+  std::uint64_t spin_iters = 0;    // total iterations across entries
+  std::uint64_t spin_fallthroughs = 0;  // spin loop exhausted, queue empty
+  std::uint64_t sem_absorbs = 0;   // race-fix P() after successful recheck
+  std::uint64_t full_sleeps = 0;   // sleep(1) on queue-full flow control
+
+  ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
+    sends += o.sends;
+    receives += o.receives;
+    replies += o.replies;
+    blocks += o.blocks;
+    wakeups += o.wakeups;
+    yields += o.yields;
+    busy_waits += o.busy_waits;
+    polls += o.polls;
+    spin_entries += o.spin_entries;
+    spin_iters += o.spin_iters;
+    spin_fallthroughs += o.spin_fallthroughs;
+    sem_absorbs += o.sem_absorbs;
+    full_sleeps += o.full_sleeps;
+    return *this;
+  }
+};
+
+// clang-format off
+template <typename P>
+concept Platform = requires(P p, typename P::Endpoint& ep, const Message& cm,
+                            Message* out, int secs, double us) {
+  // Queue operations on an endpoint.
+  { p.enqueue(ep, cm) }    -> std::same_as<bool>;   // false == queue full
+  { p.dequeue(ep, out) }   -> std::same_as<bool>;   // false == queue empty
+  { p.queue_empty(ep) }    -> std::same_as<bool>;
+
+  // The awake flag (paper: Q[x]->awake).
+  { p.tas_awake(ep) }      -> std::same_as<bool>;   // returns previous value
+  { p.clear_awake(ep) };                            // awake = 0
+  { p.set_awake(ep) };                              // awake = 1
+  { p.awake_is_set(ep) }   -> std::same_as<bool>;   // plain read (tests only)
+
+  // Sleep/wake-up primitive (paper: counting semaphores).
+  { p.sem_p(ep) };                                  // down; may block
+  { p.sem_v(ep) };                                  // up; may wake
+
+  // Scheduling hints.
+  { p.yield() };                                    // sched_yield et al.
+  { p.busy_wait(ep) };      // yield on uniprocessor, delay loop on MP
+  { p.poll_queue(ep) };     // BSLS poll slice (25us on MP, yield on UP)
+  { p.sleep_seconds(secs) };                        // queue-full flow control
+
+  // seq_cst fence for the store->load protocol races (no-op in the sim).
+  { p.fence() };
+
+  // Burns `us` microseconds of CPU (server work model for kCompute).
+  { p.work_us(us) };
+
+  // Monotonic time in ns (CLOCK_MONOTONIC natively, virtual time in the sim)
+  // for the harness's first-request-to-last-disconnect throughput window.
+  { p.time_ns() }          -> std::same_as<std::int64_t>;
+
+  { p.counters() }         -> std::same_as<ProtocolCounters&>;
+};
+// clang-format on
+
+}  // namespace ulipc

@@ -1,0 +1,78 @@
+// Protocol enumeration and runtime dispatch.
+//
+// Benchmarks and the harness select protocols at runtime; the protocol
+// implementations are templates, so dispatch instantiates the right one and
+// passes it to a generic callable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "common/error.hpp"
+#include "protocols/bsls.hpp"
+#include "protocols/bss.hpp"
+#include "protocols/bsw.hpp"
+#include "protocols/bswy.hpp"
+
+namespace ulipc {
+
+enum class ProtocolKind : std::uint8_t {
+  kBss,   // Both Sides Spin
+  kBsw,   // Both Sides Wait
+  kBswy,  // Both Sides Wait and Yield
+  kBsls,  // Both Sides Limited Spin
+  kSysv,  // kernel-mediated baseline (not a shared-memory protocol;
+          // handled by the SysV transports, never by with_protocol)
+};
+
+constexpr const char* protocol_name(ProtocolKind k) noexcept {
+  switch (k) {
+    case ProtocolKind::kBss: return "BSS";
+    case ProtocolKind::kBsw: return "BSW";
+    case ProtocolKind::kBswy: return "BSWY";
+    case ProtocolKind::kBsls: return "BSLS";
+    case ProtocolKind::kSysv: return "SYSV";
+  }
+  return "?";
+}
+
+inline std::optional<ProtocolKind> parse_protocol(std::string_view s) noexcept {
+  if (s == "BSS" || s == "bss") return ProtocolKind::kBss;
+  if (s == "BSW" || s == "bsw") return ProtocolKind::kBsw;
+  if (s == "BSWY" || s == "bswy") return ProtocolKind::kBswy;
+  if (s == "BSLS" || s == "bsls") return ProtocolKind::kBsls;
+  if (s == "SYSV" || s == "sysv") return ProtocolKind::kSysv;
+  return std::nullopt;
+}
+
+/// Instantiates the protocol named by `kind` for platform P and invokes
+/// f(proto). `max_spin` configures BSLS only. kSysv is rejected: it has no
+/// shared-memory protocol object.
+template <typename P, typename F>
+decltype(auto) with_protocol(ProtocolKind kind, std::uint32_t max_spin, F&& f) {
+  switch (kind) {
+    case ProtocolKind::kBss: {
+      Bss<P> proto;
+      return std::forward<F>(f)(proto);
+    }
+    case ProtocolKind::kBsw: {
+      Bsw<P> proto;
+      return std::forward<F>(f)(proto);
+    }
+    case ProtocolKind::kBswy: {
+      Bswy<P> proto;
+      return std::forward<F>(f)(proto);
+    }
+    case ProtocolKind::kBsls: {
+      Bsls<P> proto(max_spin);
+      return std::forward<F>(f)(proto);
+    }
+    case ProtocolKind::kSysv:
+      break;
+  }
+  throw InvariantError("with_protocol: kSysv has no shared-memory protocol");
+}
+
+}  // namespace ulipc

@@ -1,0 +1,42 @@
+// Fixed-size message format.
+//
+// The paper: "Each message contains 24 bytes which include: an opcode to
+// identify the request type; the channel on which to return the result; and
+// a double precision floating point value that serves as an argument."
+// Fixed-size messages permit efficient free-pool management; variable-sized
+// payloads ride in shared memory and are referenced by `ext_offset`.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace ulipc {
+
+/// Request/response opcodes understood by the benchmark & example servers.
+enum class Op : std::uint32_t {
+  kConnect = 1,     // client announces itself; value carries client id
+  kDisconnect = 2,  // client leaves; server replies then forgets the client
+  kEcho = 3,        // echo `value` back (the paper's benchmark op)
+  kCompute = 4,     // server burns `value` microseconds, then echoes
+  kPut = 5,         // examples/kv_store: store value at key ext_offset
+  kGet = 6,         // examples/kv_store: load value at key ext_offset
+  kTask = 7,        // examples/task_farm: execute task, reply with result
+  kError = 255,     // server-side failure indicator in replies
+};
+
+struct Message {
+  Op opcode = Op::kEcho;
+  std::uint32_t channel = 0;  // reply-queue (client) id
+  double value = 0.0;         // the f64 argument
+  std::uint64_t ext_offset = 0;  // optional: shm offset of a variable payload
+
+  Message() = default;
+  Message(Op op, std::uint32_t ch, double v, std::uint64_t ext = 0)
+      : opcode(op), channel(ch), value(v), ext_offset(ext) {}
+};
+
+static_assert(sizeof(Message) == 24, "paper specifies 24-byte messages");
+static_assert(std::is_trivially_copyable_v<Message>,
+              "messages are memcpy'd through queues");
+
+}  // namespace ulipc

@@ -1,0 +1,129 @@
+// Michael & Scott two-lock concurrent FIFO queue, shared-memory resident.
+//
+// The paper: "The evaluation software uses a common implementation of the
+// Michael and Scott two-lock queue [9]". The algorithm (PODC'96) keeps a
+// dummy node so that enqueuers (tail lock) and dequeuers (head lock) never
+// touch the same node except at the empty<->nonempty transition, which is
+// safe because an enqueuer writes node.next only after fully initializing
+// the node, and the dequeuer reads head->next under the head lock.
+//
+// Differences from the textbook version, required by our setting:
+//  * nodes come from a bounded NodePool in the same shared region and are
+//    linked by 32-bit indices (position independent);
+//  * the queue is bounded: enqueue() returns false on a full queue (node
+//    pool exhausted or per-queue capacity reached) — the paper's protocols
+//    handle that with sleep(1) flow control;
+//  * a size counter supports the capacity bound and the empty()/size()
+//    probes the BSLS protocol polls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "common/cacheline.hpp"
+#include "queue/message.hpp"
+#include "queue/msg_pool.hpp"
+#include "shm/offset_ptr.hpp"
+#include "shm/shm_allocator.hpp"
+#include "shm/spinlock.hpp"
+
+namespace ulipc {
+
+class TwoLockQueue {
+ public:
+  /// Builds a queue in `arena`, drawing nodes from `pool` (which must live
+  /// in the same region). `capacity` bounds the number of queued messages;
+  /// 0 means "bounded only by pool exhaustion".
+  static TwoLockQueue* create(ShmArena& arena, NodePool* pool,
+                              std::uint32_t capacity = 0) {
+    auto* q = arena.construct<TwoLockQueue>();
+    q->pool_.set(pool);
+    q->capacity_ = capacity == 0 ? std::numeric_limits<std::uint32_t>::max()
+                                 : capacity;
+    const ShmIndex dummy = pool->allocate();
+    ULIPC_INVARIANT(dummy != kNullIndex, "pool exhausted creating queue");
+    pool->node(dummy).next = kNullIndex;
+    q->head_ = dummy;
+    q->tail_ = dummy;
+    return q;
+  }
+
+  TwoLockQueue() = default;
+  TwoLockQueue(const TwoLockQueue&) = delete;
+  TwoLockQueue& operator=(const TwoLockQueue&) = delete;
+
+  /// Appends a message. Returns false (queue full) if the capacity bound is
+  /// reached or the node pool is exhausted.
+  bool enqueue(const Message& msg) noexcept {
+    // Reserve capacity first so we never strand an allocated node.
+    std::uint32_t sz = size_.load(std::memory_order_relaxed);
+    do {
+      if (sz >= capacity_) return false;
+    } while (!size_.compare_exchange_weak(sz, sz + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed));
+
+    NodePool& pool = *pool_;
+    const ShmIndex node_idx = pool.allocate();
+    if (node_idx == kNullIndex) {
+      size_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    MsgNode& node = pool.node(node_idx);
+    node.msg = msg;
+    node.next = kNullIndex;
+    {
+      SpinGuard g(tail_lock_.value);
+      pool.node(tail_).next = node_idx;
+      tail_ = node_idx;
+    }
+    return true;
+  }
+
+  /// Removes the oldest message into *out. Returns false if empty.
+  bool dequeue(Message* out) noexcept {
+    NodePool& pool = *pool_;
+    ShmIndex old_head;
+    {
+      SpinGuard g(head_lock_.value);
+      old_head = head_;
+      const ShmIndex next = pool.node(old_head).next;
+      if (next == kNullIndex) return false;  // only the dummy remains
+      *out = pool.node(next).msg;  // new dummy keeps its (copied-out) msg
+      head_ = next;
+    }
+    size_.fetch_sub(1, std::memory_order_release);
+    pool.release(old_head);
+    return true;
+  }
+
+  /// Cheap emptiness probe (no locks) — what BSLS's poll loop reads.
+  [[nodiscard]] bool empty() const noexcept {
+    return size_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Racy size snapshot.
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  // Head (consumer) and tail (producer) state live on separate cache lines
+  // so a busy producer does not stall the consumer's probe loop.
+  CacheAligned<Spinlock> head_lock_;
+  ShmIndex head_ = kNullIndex;
+  char pad0_[kCacheLineSize - sizeof(ShmIndex)]{};
+
+  CacheAligned<Spinlock> tail_lock_;
+  ShmIndex tail_ = kNullIndex;
+  char pad1_[kCacheLineSize - sizeof(ShmIndex)]{};
+
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> size_{0};
+  std::uint32_t capacity_ = 0;
+  OffsetPtr<NodePool> pool_;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,91 @@
+// Free pool of queue nodes in shared memory.
+//
+// "The interface uses fixed sized messages to permit efficient free-pool
+// management." Nodes are identified by 32-bit indices into a contiguous
+// array (see ShmIndex in shm/offset_ptr.hpp); links are indices, never
+// pointers, so the structure is valid at any mapping address.
+//
+// The free list is a spinlock-protected LIFO. Producers allocate, consumers
+// release; both may live in different processes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "queue/message.hpp"
+#include "shm/offset_ptr.hpp"
+#include "shm/shm_allocator.hpp"
+#include "shm/spinlock.hpp"
+
+namespace ulipc {
+
+/// One queue node: an intrusive link plus the message payload.
+struct MsgNode {
+  ShmIndex next = kNullIndex;
+  Message msg;
+};
+
+class NodePool {
+ public:
+  /// Carves a pool of `capacity` nodes out of `arena`; returns the pool,
+  /// which lives (header + node array) inside the arena.
+  static NodePool* create(ShmArena& arena, std::uint32_t capacity) {
+    auto* pool = arena.construct<NodePool>();
+    auto* nodes = arena.construct_array<MsgNode>(capacity);
+    pool->nodes_.set(nodes);
+    pool->capacity_ = capacity;
+    // Thread every node onto the free list.
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      nodes[i].next = (i + 1 < capacity) ? i + 1 : kNullIndex;
+    }
+    pool->free_head_ = 0;
+    pool->free_count_ = capacity;
+    return pool;
+  }
+
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  /// Pops a node; returns kNullIndex when the pool is exhausted.
+  ShmIndex allocate() noexcept {
+    SpinGuard g(lock_.value);
+    const ShmIndex idx = free_head_;
+    if (idx == kNullIndex) return kNullIndex;
+    free_head_ = node(idx).next;
+    node(idx).next = kNullIndex;
+    --free_count_;
+    return idx;
+  }
+
+  /// Returns a node to the pool.
+  void release(ShmIndex idx) noexcept {
+    SpinGuard g(lock_.value);
+    node(idx).next = free_head_;
+    free_head_ = idx;
+    ++free_count_;
+  }
+
+  [[nodiscard]] MsgNode& node(ShmIndex idx) noexcept {
+    return nodes_.get()[idx];
+  }
+  [[nodiscard]] const MsgNode& node(ShmIndex idx) const noexcept {
+    return nodes_.get()[idx];
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Racy snapshot of free node count (diagnostics).
+  [[nodiscard]] std::uint32_t free_count() const noexcept {
+    return free_count_;
+  }
+
+ private:
+  CacheAligned<Spinlock> lock_;
+  ShmIndex free_head_ = kNullIndex;
+  std::uint32_t free_count_ = 0;
+  std::uint32_t capacity_ = 0;
+  OffsetPtr<MsgNode> nodes_;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,153 @@
+// Variable-size message payloads in shared memory.
+//
+// The paper (§2.1): "The interface uses fixed sized messages to permit
+// efficient free-pool management. Variable sized messages can be
+// accommodated by using one of the fields of the fixed sized message to
+// point to a variable sized component in shared memory."
+//
+// PayloadPool manages fixed-capacity payload slots in a shared arena; a
+// Message's ext_offset field carries the slot's arena offset across the
+// queue. Ownership is a simple baton: the sender acquires and fills a slot,
+// the receiver reads it and either releases it or reuses it for the reply
+// (the kv_store example replies in place).
+//
+// Slots are cache-line aligned and the free list is spinlock-protected and
+// index-linked (same discipline as NodePool), so the pool works across
+// address spaces.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+#include "shm/offset_ptr.hpp"
+#include "shm/shm_allocator.hpp"
+#include "shm/spinlock.hpp"
+
+namespace ulipc {
+
+class PayloadPool {
+ public:
+  /// Offset value that never names a valid slot (0 = "no payload", matching
+  /// a default-constructed Message).
+  static constexpr std::uint64_t kNoPayload = 0;
+
+  /// Carves a pool of `slots` payload buffers of `slot_bytes` each out of
+  /// `arena`. slot_bytes is rounded up to a cache line.
+  static PayloadPool* create(ShmArena& arena, std::uint32_t slot_bytes,
+                             std::uint32_t slots) {
+    ULIPC_INVARIANT(slots > 0, "payload pool needs at least one slot");
+    auto* pool = arena.construct<PayloadPool>();
+    pool->slot_bytes_ = static_cast<std::uint32_t>(
+        align_up(slot_bytes + sizeof(SlotHeader), kCacheLineSize) -
+        sizeof(SlotHeader));
+    pool->slot_count_ = slots;
+    const std::uint64_t stride = sizeof(SlotHeader) + pool->slot_bytes_;
+    char* base = static_cast<char*>(
+        arena.allocate(stride * slots, kCacheLineSize));
+    pool->slots_.set(base);
+    pool->arena_base_offset_ = arena.to_offset(base);
+    for (std::uint32_t i = 0; i < slots; ++i) {
+      auto* hdr = reinterpret_cast<SlotHeader*>(base + i * stride);
+      hdr->next_free = (i + 1 < slots) ? i + 1 : kNullIndex;
+      hdr->used_bytes = 0;
+    }
+    pool->free_head_ = 0;
+    pool->free_count_ = slots;
+    return pool;
+  }
+
+  PayloadPool() = default;
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Claims a slot; returns its ext_offset token, or kNoPayload if the pool
+  /// is exhausted (callers back off exactly like on a full queue).
+  std::uint64_t acquire() noexcept {
+    SpinGuard g(lock_.value);
+    if (free_head_ == kNullIndex) return kNoPayload;
+    const ShmIndex idx = free_head_;
+    SlotHeader* hdr = header(idx);
+    free_head_ = hdr->next_free;
+    hdr->next_free = kNullIndex;
+    hdr->used_bytes = 0;
+    --free_count_;
+    return token_of(idx);
+  }
+
+  /// Returns a slot to the pool.
+  void release(std::uint64_t token) noexcept {
+    const ShmIndex idx = index_of(token);
+    SpinGuard g(lock_.value);
+    header(idx)->next_free = free_head_;
+    free_head_ = idx;
+    ++free_count_;
+  }
+
+  /// Raw data pointer and capacity of a slot.
+  [[nodiscard]] char* data(std::uint64_t token) noexcept {
+    return reinterpret_cast<char*>(header(index_of(token)) + 1);
+  }
+  [[nodiscard]] std::uint32_t slot_bytes() const noexcept {
+    return slot_bytes_;
+  }
+
+  /// Copies `bytes` into the slot; records the length. Returns false if the
+  /// payload does not fit.
+  bool write(std::uint64_t token, const void* src, std::uint32_t bytes) noexcept {
+    if (bytes > slot_bytes_) return false;
+    SlotHeader* hdr = header(index_of(token));
+    std::memcpy(hdr + 1, src, bytes);
+    hdr->used_bytes = bytes;
+    return true;
+  }
+
+  bool write(std::uint64_t token, std::string_view text) noexcept {
+    return write(token, text.data(), static_cast<std::uint32_t>(text.size()));
+  }
+
+  /// View of the bytes previously written to the slot.
+  [[nodiscard]] std::string_view read(std::uint64_t token) noexcept {
+    SlotHeader* hdr = header(index_of(token));
+    return std::string_view(reinterpret_cast<const char*>(hdr + 1),
+                            hdr->used_bytes);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return slot_count_; }
+  [[nodiscard]] std::uint32_t free_count() const noexcept {
+    return free_count_;
+  }
+
+ private:
+  struct SlotHeader {
+    ShmIndex next_free;
+    std::uint32_t used_bytes;
+  };
+
+  [[nodiscard]] std::uint64_t stride() const noexcept {
+    return sizeof(SlotHeader) + slot_bytes_;
+  }
+  [[nodiscard]] SlotHeader* header(ShmIndex idx) noexcept {
+    return reinterpret_cast<SlotHeader*>(slots_.get() + idx * stride());
+  }
+  // Tokens are arena offsets of the slot header, so they are meaningful in
+  // every process and 0 stays free for kNoPayload.
+  [[nodiscard]] std::uint64_t token_of(ShmIndex idx) const noexcept {
+    return arena_base_offset_ + idx * stride();
+  }
+  [[nodiscard]] ShmIndex index_of(std::uint64_t token) const noexcept {
+    return static_cast<ShmIndex>((token - arena_base_offset_) / stride());
+  }
+
+  CacheAligned<Spinlock> lock_;
+  ShmIndex free_head_ = kNullIndex;
+  std::uint32_t free_count_ = 0;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t slot_bytes_ = 0;
+  std::uint64_t arena_base_offset_ = 0;
+  OffsetPtr<char> slots_;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,93 @@
+// Single-producer / single-consumer ring buffer (Lamport queue).
+//
+// An alternative transport for the common channel topology where exactly one
+// client writes a request queue... no — the request queue is MPSC in the
+// multi-client setup, but every *reply* queue is strictly SPSC (server
+// produces, one client consumes). The ring needs no locks at all: one
+// atomic index per side, each written by exactly one process.
+//
+// Used by ablation benches to quantify what the two-lock queue costs
+// relative to the cheapest possible correct queue, and by the task_farm
+// example for its result channels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+#include "queue/message.hpp"
+#include "shm/offset_ptr.hpp"
+#include "shm/shm_allocator.hpp"
+
+namespace ulipc {
+
+class SpscRing {
+ public:
+  /// Builds a ring with `capacity` slots (rounded up to a power of two) in
+  /// `arena`.
+  static SpscRing* create(ShmArena& arena, std::uint32_t capacity) {
+    std::uint32_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    auto* ring = arena.construct<SpscRing>();
+    auto* slots = arena.construct_array<Message>(cap);
+    ring->slots_.set(slots);
+    ring->mask_ = cap - 1;
+    return ring;
+  }
+
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool enqueue(const Message& msg) noexcept {
+    const std::uint32_t head = head_.load(std::memory_order_relaxed);
+    const std::uint32_t tail = tail_cache_;
+    if (head - tail > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_.get()[head & mask_] = msg;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool dequeue(Message* out) noexcept {
+    const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    *out = slots_.get()[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  // Producer line: head index + consumer-index cache.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> head_{0};
+  std::uint32_t tail_cache_ = 0;
+
+  // Consumer line: tail index + producer-index cache.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> tail_{0};
+  std::uint32_t head_cache_ = 0;
+
+  alignas(kCacheLineSize) std::uint32_t mask_ = 0;
+  OffsetPtr<Message> slots_;
+};
+
+}  // namespace ulipc

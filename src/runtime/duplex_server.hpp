@@ -1,0 +1,94 @@
+// Thread-per-client server — the paper's alternative architecture:
+//
+//   "an alternative architecture might be to have a server thread per
+//    client, but that would require two queues per client to implement the
+//    full-duplex virtual connection." (paper §2.1)
+//
+// One kernel thread per connected client, each owning a private full-duplex
+// pair (the channel's duplex request endpoint + the client's reply
+// endpoint). Requests never contend on a shared queue, and each thread can
+// block independently — at the cost of one thread (and two queues) per
+// client.
+//
+// Clients use the ordinary protocol API, just aimed at their private
+// request endpoint instead of the shared server endpoint:
+//
+//   client_connect(plat, proto, channel.client_request_endpoint(id),
+//                  channel.client_endpoint(id), id);
+//
+// The bench `abl_duplex` compares this against the paper's shared-queue
+// single-threaded server.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "protocols/channel.hpp"
+#include "runtime/native_platform.hpp"
+#include "runtime/shm_channel.hpp"
+
+namespace ulipc {
+
+/// Aggregate outcome of a duplex-server run.
+struct DuplexServerResult {
+  std::uint64_t echo_messages = 0;
+  std::int64_t first_request_ns = 0;
+  std::int64_t last_disconnect_ns = 0;
+  ProtocolCounters counters;  // summed over all threads
+
+  [[nodiscard]] double throughput_msgs_per_ms() const noexcept {
+    const std::int64_t window = last_disconnect_ns - first_request_ns;
+    if (window <= 0) return 0.0;
+    return static_cast<double>(echo_messages) /
+           (static_cast<double>(window) / 1e6);
+  }
+};
+
+/// Runs one server thread per client until each client disconnects.
+/// `platform_config` is instantiated per thread (counters are thread-local).
+/// Proto must be copyable; each thread gets its own instance.
+template <typename Proto>
+DuplexServerResult run_duplex_server(ShmChannel& channel, Proto proto,
+                                     std::uint32_t clients,
+                                     const NativePlatform::Config& pc = {}) {
+  struct PerThread {
+    ServerResult result;
+    ProtocolCounters counters;
+  };
+  std::vector<PerThread> slots(clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::uint32_t i = 0; i < clients; ++i) {
+      threads.emplace_back([&channel, &slots, proto, pc, i]() mutable {
+        NativePlatform plat(pc);
+        NativeEndpoint& request = channel.client_request_endpoint(i);
+        auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
+          return channel.client_endpoint(id);
+        };
+        // The generic server loop, scoped to exactly one client.
+        slots[i].result =
+            run_echo_server(plat, proto, request, reply_ep, /*clients=*/1);
+        slots[i].counters = plat.counters();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  DuplexServerResult total;
+  for (const PerThread& s : slots) {
+    total.echo_messages += s.result.echo_messages;
+    total.counters += s.counters;
+    if (s.result.first_request_ns != 0 &&
+        (total.first_request_ns == 0 ||
+         s.result.first_request_ns < total.first_request_ns)) {
+      total.first_request_ns = s.result.first_request_ns;
+    }
+    total.last_disconnect_ns =
+        std::max(total.last_disconnect_ns, s.result.last_disconnect_ns);
+  }
+  return total;
+}
+
+}  // namespace ulipc

@@ -1,0 +1,48 @@
+// Fork-based benchmark harness: the paper's measurement rig on real
+// processes.
+//
+// The parent builds the shared channel, forks one server and n client
+// processes (optionally pinning every process to one core to reproduce the
+// uniprocessor setting), the clients connect / barrier / barrage / and
+// disconnect, and every process writes its report (throughput window,
+// protocol counters, getrusage context switches) into shared memory for the
+// parent to aggregate.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/protocol_set.hpp"
+#include "runtime/native_platform.hpp"
+#include "runtime/shm_channel.hpp"
+
+namespace ulipc {
+
+struct NativeRunConfig {
+  ProtocolKind protocol = ProtocolKind::kBsls;
+  SemKind sem = SemKind::kFutex;
+  std::uint32_t clients = 1;
+  std::uint64_t messages_per_client = 20'000;
+  std::uint32_t max_spin = 20;           // BSLS only
+  std::uint32_t queue_capacity = 64;
+  bool pin_single_cpu = false;           // uniprocessor emulation
+  bool multiprocessor_waits = false;     // busy_wait: delay loop vs yield
+  double server_work_us = 0.0;
+  std::int64_t full_sleep_ns = 1'000'000'000;
+};
+
+struct NativeRunResult {
+  ServerResult server;
+  double throughput_msgs_per_ms = 0.0;
+  std::uint64_t verified_replies = 0;    // must equal clients * messages
+  ProtocolCounters server_counters;
+  ProtocolCounters client_counters_total;
+  CtxSwitches server_ctx;
+  CtxSwitches client_ctx_total;
+  double wall_ms = 0.0;                  // parent-observed wall time
+  bool all_children_ok = false;
+};
+
+/// Runs one full experiment; blocks until every child exits.
+NativeRunResult run_native_experiment(const NativeRunConfig& cfg);
+
+}  // namespace ulipc

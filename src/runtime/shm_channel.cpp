@@ -1,0 +1,89 @@
+#include "runtime/shm_channel.hpp"
+
+#include "common/cacheline.hpp"
+
+namespace ulipc {
+
+std::size_t ShmChannel::required_bytes(const Config& cfg) {
+  // Header + pool header + nodes + (1 + clients) * (endpoint + queue),
+  // each rounded up for alignment, plus generous slack.
+  const std::size_t queues =
+      cfg.max_clients + 1 + (cfg.duplex ? cfg.max_clients : 0);
+  const std::size_t pool_nodes = queues * (cfg.queue_capacity + 2);
+  std::size_t bytes = sizeof(ArenaHeader) + sizeof(ShmChannelHeader);
+  bytes += sizeof(NodePool) + pool_nodes * sizeof(MsgNode);
+  bytes += queues * (sizeof(NativeEndpoint) + sizeof(TwoLockQueue));
+  bytes += (queues + 8) * 2 * kCacheLineSize;  // alignment slack
+  return align_up(bytes * 2, 4096);            // 2x safety margin
+}
+
+ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
+  ULIPC_INVARIANT(cfg.max_clients >= 1 && cfg.max_clients <= kMaxClients,
+                  "bad max_clients");
+  ShmChannel ch;
+  ch.arena_ = ShmArena::format(region);
+  ch.header_ = ch.arena_.construct<ShmChannelHeader>();
+  ch.header_->magic = ShmChannelHeader::kMagic;
+  ch.header_->max_clients = cfg.max_clients;
+  ch.header_->queue_capacity = cfg.queue_capacity;
+  ch.header_->barrier.init(cfg.max_clients);
+
+  // One semaphore per endpoint: index 0 for the server, 1..n for client
+  // reply endpoints, n+1..2n for duplex request endpoints.
+  const int sem_count = static_cast<int>(cfg.max_clients) * (cfg.duplex ? 2 : 1) + 1;
+  ch.sem_set_ = SysvSemaphoreSet::create(sem_count);
+  ch.header_->sysv_sem_id = ch.sem_set_.id();
+  ch.owns_sysv_ = true;
+
+  const std::uint32_t pool_nodes =
+      (cfg.max_clients * (cfg.duplex ? 2u : 1u) + 1) * (cfg.queue_capacity + 2);
+  NodePool* pool = NodePool::create(ch.arena_, pool_nodes);
+
+  auto build_endpoint = [&](std::uint32_t id, int sem_index) {
+    auto* ep = ch.arena_.construct<NativeEndpoint>();
+    ep->queue.set(TwoLockQueue::create(ch.arena_, pool, cfg.queue_capacity));
+    ep->id = id;
+    ep->vsem = ch.sem_set_.handle(sem_index);
+    return ch.arena_.to_offset(ep);
+  };
+
+  ch.header_->srv_ep_offset = build_endpoint(0, 0);
+  for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
+    ch.header_->client_ep_offset[i] =
+        build_endpoint(i, static_cast<int>(i) + 1);
+  }
+  if (cfg.duplex) {
+    for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
+      ch.header_->client_req_ep_offset[i] = build_endpoint(
+          i, static_cast<int>(cfg.max_clients + i) + 1);
+    }
+  }
+
+  if (cfg.create_sysv_queues) {
+    ch.owned_queues_.push_back(SysvMsgQueue::create());
+    ch.header_->sysv_request_qid = ch.owned_queues_.back().id();
+    for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
+      ch.owned_queues_.push_back(SysvMsgQueue::create());
+      ch.header_->sysv_reply_qid[i] = ch.owned_queues_.back().id();
+    }
+  }
+  return ch;
+}
+
+ShmChannel ShmChannel::attach(const ShmRegion& region) {
+  ShmChannel ch;
+  ch.arena_ = ShmArena::attach(region);
+  // The header is the arena's first allocation: directly after ArenaHeader,
+  // cache-line aligned.
+  auto* hdr = ch.arena_.from_offset<ShmChannelHeader>(
+      align_up(sizeof(ArenaHeader), kCacheLineSize));
+  ULIPC_INVARIANT(hdr->magic == ShmChannelHeader::kMagic,
+                  "not a ulipc channel region");
+  ch.header_ = hdr;
+  ch.owns_sysv_ = false;
+  return ch;
+}
+
+ShmChannel::~ShmChannel() = default;
+
+}  // namespace ulipc

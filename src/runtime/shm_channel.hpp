@@ -1,0 +1,137 @@
+// Shared-memory channel layout: everything a server and up to kMaxClients
+// clients need, carved out of one region.
+//
+// Layout (all inside one ShmArena, discoverable from the header at the
+// arena's first allocation):
+//   header { magic, config, endpoint offsets, SysV ids, barrier, reports }
+//   node pool (shared by all queues)
+//   server endpoint + queue
+//   per-client endpoint + queue
+//
+// The same region works for fork()-children (anonymous mapping) and for
+// unrelated processes (named POSIX shm + attach()), because all internal
+// references are offset-based.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "protocols/channel.hpp"
+#include "protocols/platform.hpp"
+#include "queue/msg_pool.hpp"
+#include "queue/ms_two_lock_queue.hpp"
+#include "runtime/native_platform.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_allocator.hpp"
+#include "shm/shm_barrier.hpp"
+#include "shm/shm_region.hpp"
+#include "shm/sysv_msg_queue.hpp"
+#include "shm/sysv_semaphore.hpp"
+
+namespace ulipc {
+
+inline constexpr std::uint32_t kMaxClients = 16;
+
+/// Per-process measurement report written into shared memory at the end of
+/// a run (children cannot return rich values through exit codes).
+struct ShmReport {
+  ServerResult server;          // server process only
+  std::uint64_t verified = 0;   // clients: correctly echoed replies
+  ProtocolCounters counters;
+  CtxSwitches ctx_start;
+  CtxSwitches ctx_end;
+  std::int64_t wall_start_ns = 0;
+  std::int64_t wall_end_ns = 0;
+
+  [[nodiscard]] CtxSwitches ctx_delta() const noexcept {
+    return ctx_end - ctx_start;
+  }
+};
+
+struct ShmChannelHeader {
+  static constexpr std::uint64_t kMagic = 0x756c6970'63636831ULL;
+  std::uint64_t magic = 0;
+  std::uint32_t max_clients = 0;
+  std::uint32_t queue_capacity = 0;
+  ShmBarrier barrier;
+
+  std::uint64_t srv_ep_offset = 0;
+  std::uint64_t client_ep_offset[kMaxClients] = {};      // reply direction
+  std::uint64_t client_req_ep_offset[kMaxClients] = {};  // duplex only
+
+  // SysV object ids (semaphores for endpoints; message queues for the
+  // kernel-mediated baseline transport). Valid process-wide on this host.
+  int sysv_sem_id = -1;
+  int sysv_request_qid = -1;
+  int sysv_reply_qid[kMaxClients] = {};
+
+  ShmReport server_report;
+  ShmReport client_report[kMaxClients];
+};
+
+/// Creates/attaches the channel structures. The creator owns the SysV
+/// objects (they are removed when the creator's ShmChannel is destroyed).
+class ShmChannel {
+ public:
+  struct Config {
+    std::uint32_t max_clients = 4;
+    std::uint32_t queue_capacity = 64;
+    bool create_sysv_queues = false;  // allocate the SysV baseline transport
+    bool duplex = false;  // also build per-client *request* endpoints for
+                          // the thread-per-client server architecture
+                          // ("two queues per client to implement the
+                          //  full-duplex virtual connection", paper 2.1)
+  };
+
+  /// Formats `region` and builds all channel structures inside it.
+  static ShmChannel create(ShmRegion& region, const Config& cfg);
+
+  /// Attaches to a channel previously built in `region` (e.g. from a
+  /// process that mapped the same named shm object).
+  static ShmChannel attach(const ShmRegion& region);
+
+  ShmChannel(ShmChannel&&) = default;
+  ShmChannel& operator=(ShmChannel&&) = default;
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+  ~ShmChannel();
+
+  [[nodiscard]] ShmChannelHeader& header() noexcept { return *header_; }
+  [[nodiscard]] NativeEndpoint& server_endpoint() noexcept {
+    return *arena_.from_offset<NativeEndpoint>(header_->srv_ep_offset);
+  }
+  [[nodiscard]] NativeEndpoint& client_endpoint(std::uint32_t i) noexcept {
+    return *arena_.from_offset<NativeEndpoint>(header_->client_ep_offset[i]);
+  }
+
+  /// Duplex channels only: the request queue into client i's server thread.
+  /// Throws InvariantError on a channel built without duplex = true.
+  [[nodiscard]] NativeEndpoint& client_request_endpoint(std::uint32_t i) {
+    ULIPC_INVARIANT(header_->client_req_ep_offset[i] != 0,
+                    "channel was not created with duplex = true");
+    return *arena_.from_offset<NativeEndpoint>(
+        header_->client_req_ep_offset[i]);
+  }
+  [[nodiscard]] ShmBarrier& barrier() noexcept { return header_->barrier; }
+
+  [[nodiscard]] SysvMsgQueue request_queue() const {
+    return SysvMsgQueue::attach(header_->sysv_request_qid);
+  }
+  [[nodiscard]] SysvMsgQueue reply_queue(std::uint32_t i) const {
+    return SysvMsgQueue::attach(header_->sysv_reply_qid[i]);
+  }
+
+  /// Estimates the arena bytes needed for a given configuration.
+  static std::size_t required_bytes(const Config& cfg);
+
+ private:
+  ShmChannel() = default;
+
+  ShmArena arena_;
+  ShmChannelHeader* header_ = nullptr;
+  bool owns_sysv_ = false;
+  SysvSemaphoreSet sem_set_;                 // owner only
+  std::vector<SysvMsgQueue> owned_queues_;   // owner only
+};
+
+}  // namespace ulipc

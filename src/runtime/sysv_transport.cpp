@@ -1,0 +1,82 @@
+#include "runtime/sysv_transport.hpp"
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace ulipc {
+
+namespace {
+constexpr long kRequestType = 1;
+constexpr long kReplyType = 1;
+}  // namespace
+
+ServerResult SysvTransport::run_server(std::uint32_t expected_clients,
+                                       double work_us) {
+  SysvMsgQueue request = channel_->request_queue();
+  ServerResult result;
+  std::uint32_t disconnected = 0;
+  while (disconnected < expected_clients) {
+    Message msg;
+    request.receive(0, &msg, sizeof(msg));
+    switch (msg.opcode) {
+      case Op::kConnect:
+        ++result.control_messages;
+        break;
+      case Op::kDisconnect:
+        ++result.control_messages;
+        ++disconnected;
+        result.last_disconnect_ns = now_ns();
+        break;
+      default:
+        if (result.echo_messages == 0) result.first_request_ns = now_ns();
+        ++result.echo_messages;
+        if (work_us > 0.0) {
+          DelayLoop::spin_ns(static_cast<std::int64_t>(work_us * 1'000.0));
+        }
+        break;
+    }
+    channel_->reply_queue(msg.channel).send(kReplyType, &msg, sizeof(msg));
+  }
+  return result;
+}
+
+void SysvTransport::client_connect(std::uint32_t id) {
+  SysvMsgQueue request = channel_->request_queue();
+  SysvMsgQueue reply = channel_->reply_queue(id);
+  const Message msg(Op::kConnect, id, 0.0);
+  request.send(kRequestType, &msg, sizeof(msg));
+  Message ans;
+  reply.receive(0, &ans, sizeof(ans));
+  ULIPC_INVARIANT(ans.opcode == Op::kConnect, "sysv connect not acknowledged");
+}
+
+std::uint64_t SysvTransport::client_echo_loop(std::uint32_t id,
+                                              std::uint64_t n) {
+  SysvMsgQueue request = channel_->request_queue();
+  SysvMsgQueue reply = channel_->reply_queue(id);
+  std::uint64_t verified = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto arg = static_cast<double>(i);
+    const Message msg(Op::kEcho, id, arg);
+    request.send(kRequestType, &msg, sizeof(msg));
+    Message ans;
+    reply.receive(0, &ans, sizeof(ans));
+    if (ans.opcode == Op::kEcho && ans.value == arg && ans.channel == id) {
+      ++verified;
+    }
+  }
+  return verified;
+}
+
+void SysvTransport::client_disconnect(std::uint32_t id) {
+  SysvMsgQueue request = channel_->request_queue();
+  SysvMsgQueue reply = channel_->reply_queue(id);
+  const Message msg(Op::kDisconnect, id, 0.0);
+  request.send(kRequestType, &msg, sizeof(msg));
+  Message ans;
+  reply.receive(0, &ans, sizeof(ans));
+  ULIPC_INVARIANT(ans.opcode == Op::kDisconnect,
+                  "sysv disconnect not acknowledged");
+}
+
+}  // namespace ulipc

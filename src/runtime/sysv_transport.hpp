@@ -1,0 +1,36 @@
+// Kernel-mediated baseline transport: the same echo service over SysV
+// message queues (paper §2.2's comparison curve).
+//
+// Architecture mirrors the shared-memory channels: one request queue into
+// the server, one reply queue per client; requests carry the reply-channel
+// id. Blocking comes for free from msgrcv — exactly the 4-syscalls-per-
+// round-trip regime the user-level protocols try to beat.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/channel.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/sysv_msg_queue.hpp"
+
+namespace ulipc {
+
+class SysvTransport {
+ public:
+  /// The channel must have been created with create_sysv_queues = true.
+  explicit SysvTransport(ShmChannel& channel) : channel_(&channel) {}
+
+  /// Server loop: runs until `expected_clients` clients have connected and
+  /// disconnected; returns the measurement window and message count.
+  ServerResult run_server(std::uint32_t expected_clients, double work_us = 0.0);
+
+  // Client side.
+  void client_connect(std::uint32_t id);
+  std::uint64_t client_echo_loop(std::uint32_t id, std::uint64_t n);
+  void client_disconnect(std::uint32_t id);
+
+ private:
+  ShmChannel* channel_;
+};
+
+}  // namespace ulipc

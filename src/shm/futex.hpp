@@ -1,0 +1,47 @@
+// Thin wrappers over the futex(2) syscall.
+//
+// The futex word must live in memory shared by all participating processes
+// (our arenas are MAP_SHARED, so plain FUTEX_WAIT/WAKE — not the _PRIVATE
+// variants — are used throughout).
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <ctime>
+
+namespace ulipc {
+
+/// Blocks until *addr != expected (or a wake / spurious wakeup occurs).
+/// Returns 0 on wake, -1 with errno EAGAIN if *addr != expected at call time.
+inline long futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
+                 expected, nullptr, nullptr, 0);
+}
+
+/// Same with a relative timeout; returns -1/ETIMEDOUT on expiry.
+inline long futex_wait_for(std::atomic<std::uint32_t>* addr,
+                           std::uint32_t expected, std::int64_t timeout_ns) {
+  timespec ts{};
+  ts.tv_sec = timeout_ns / 1'000'000'000LL;
+  ts.tv_nsec = timeout_ns % 1'000'000'000LL;
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
+                 expected, &ts, nullptr, 0);
+}
+
+/// Wakes up to `count` waiters; returns the number woken.
+inline long futex_wake(std::atomic<std::uint32_t>* addr, int count) {
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAKE,
+                 count, nullptr, nullptr, 0);
+}
+
+/// Wakes every waiter.
+inline long futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  return futex_wake(addr, INT32_MAX);
+}
+
+}  // namespace ulipc

@@ -1,0 +1,79 @@
+// Process-shared counting semaphore built on futex.
+//
+// This is the modern replacement for the SysV semaphores the paper used as
+// its sleep/wake-up primitive: identical P/V counting semantics, but V on an
+// uncontended semaphore costs one atomic add and *no* syscall. The protocols
+// layer treats both interchangeably through the Platform concept; the
+// benchmark harness can select either to compare 1998-style and futex-style
+// costs (ablation B in DESIGN.md).
+//
+// Layout-stable and trivially constructible in shared memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "shm/futex.hpp"
+
+namespace ulipc {
+
+class alignas(kCacheLineSize) FutexSemaphore {
+ public:
+  FutexSemaphore() = default;
+  explicit FutexSemaphore(std::uint32_t initial) : count_(initial) {}
+
+  FutexSemaphore(const FutexSemaphore&) = delete;
+  FutexSemaphore& operator=(const FutexSemaphore&) = delete;
+
+  /// V / up: increments the count and wakes one waiter if any are blocked.
+  void post() noexcept {
+    count_.fetch_add(1, std::memory_order_release);
+    // Only pay the wake syscall when someone may be sleeping. The waiter
+    // count is incremented *before* the waiter re-checks count_, so a waiter
+    // that races past this check will observe the new count and not block.
+    if (waiters_.load(std::memory_order_seq_cst) > 0) {
+      futex_wake(&count_, 1);
+    }
+  }
+
+  /// P / down: decrements the count, blocking while it is zero.
+  void wait() noexcept {
+    // Fast path: grab an available unit without any bookkeeping.
+    if (try_wait()) return;
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      if (try_wait()) break;
+      futex_wait(&count_, 0);
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Non-blocking P. Returns true if a unit was acquired.
+  bool try_wait() noexcept {
+    std::uint32_t c = count_.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Current count (racy; for tests and diagnostics).
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Number of threads currently blocked (racy; diagnostics only).
+  [[nodiscard]] std::uint32_t waiter_count() const noexcept {
+    return waiters_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+};
+
+}  // namespace ulipc

@@ -1,0 +1,78 @@
+// Self-relative offset pointer for shared-memory data structures.
+//
+// A region may be mapped at different virtual addresses in different
+// processes, so raw pointers stored inside it are meaningless across the
+// boundary. OffsetPtr stores the distance from its *own* address to the
+// target; the encoding is position-independent as long as pointer and target
+// live in the same mapping.
+//
+// Offset 0 is reserved as the null encoding (a pointer can never validly
+// point at itself), matching boost::interprocess::offset_ptr.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ulipc {
+
+template <typename T>
+class OffsetPtr {
+ public:
+  OffsetPtr() noexcept = default;
+  OffsetPtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  OffsetPtr(const OffsetPtr& other) noexcept { set(other.get()); }
+  OffsetPtr& operator=(const OffsetPtr& other) noexcept {
+    set(other.get());
+    return *this;
+  }
+  OffsetPtr& operator=(T* p) noexcept {
+    set(p);
+    return *this;
+  }
+  OffsetPtr& operator=(std::nullptr_t) noexcept {
+    offset_ = 0;
+    return *this;
+  }
+
+  [[nodiscard]] T* get() const noexcept {
+    if (offset_ == 0) return nullptr;
+    return reinterpret_cast<T*>(
+        const_cast<char*>(reinterpret_cast<const char*>(this)) + offset_);
+  }
+
+  void set(T* p) noexcept {
+    if (p == nullptr) {
+      offset_ = 0;
+    } else {
+      offset_ = reinterpret_cast<const char*>(p) -
+                reinterpret_cast<const char*>(this);
+    }
+  }
+
+  T& operator*() const noexcept { return *get(); }
+  T* operator->() const noexcept { return get(); }
+  explicit operator bool() const noexcept { return offset_ != 0; }
+
+  friend bool operator==(const OffsetPtr& a, const OffsetPtr& b) noexcept {
+    return a.get() == b.get();
+  }
+  friend bool operator==(const OffsetPtr& a, const T* b) noexcept {
+    return a.get() == b;
+  }
+  friend bool operator==(const OffsetPtr& a, std::nullptr_t) noexcept {
+    return a.offset_ == 0;
+  }
+
+ private:
+  std::ptrdiff_t offset_ = 0;
+};
+
+/// Region-relative index encoding: many shm structures (node pools, queues)
+/// prefer 32-bit indices over 64-bit offsets — halves the footprint and
+/// enables ABA-tagged CAS on a single word if ever needed. kNullIndex marks
+/// "no node".
+using ShmIndex = std::uint32_t;
+inline constexpr ShmIndex kNullIndex = 0xFFFFFFFFu;
+
+}  // namespace ulipc

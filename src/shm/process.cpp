@@ -1,0 +1,93 @@
+#include "shm/process.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace ulipc {
+
+CtxSwitches ctx_switches_self() noexcept {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return CtxSwitches{ru.ru_nvcsw, ru.ru_nivcsw};
+}
+
+ChildProcess ChildProcess::spawn(const std::function<int()>& fn) {
+  // Flush before forking: otherwise the child inherits buffered output and
+  // re-emits it when it flushes at _exit.
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  ULIPC_CHECK_ERRNO(pid >= 0, "fork");
+  if (pid == 0) {
+    int code = 42;
+    try {
+      code = fn();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[child %d] uncaught exception: %s\n", getpid(),
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr, "[child %d] uncaught non-std exception\n", getpid());
+    }
+    // _exit skips stdio teardown; flush so the child's output (fully
+    // buffered when redirected) is not lost.
+    std::fflush(nullptr);
+    _exit(code);
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    this->~ChildProcess();
+    pid_ = other.pid_;
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0) {
+    kill();
+    join();
+  }
+}
+
+int ChildProcess::join() {
+  if (pid_ <= 0) return -1;
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid_, &status, 0);
+    if (r == pid_) break;
+    if (r < 0 && errno == EINTR) continue;
+    pid_ = -1;
+    throw_errno("waitpid");
+  }
+  pid_ = -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+void ChildProcess::kill() noexcept {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+  }
+}
+
+std::vector<int> join_all(std::vector<ChildProcess>& children) {
+  std::vector<int> codes;
+  codes.reserve(children.size());
+  for (auto& child : children) {
+    codes.push_back(child.join());
+  }
+  return codes;
+}
+
+}  // namespace ulipc

@@ -1,0 +1,69 @@
+// fork()-based child processes for the multi-process tests and benchmarks.
+//
+// The benchmark harness spawns a server and n clients as real kernel
+// processes (the paper's setting: separate address spaces, kernel
+// scheduling). Shared state travels through anonymous MAP_SHARED regions
+// created before the fork.
+#pragma once
+
+#include <sys/resource.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ulipc {
+
+/// Voluntary/involuntary context-switch counts, as the paper gathered with
+/// getrusage to explain the BSS client-scaling effect.
+struct CtxSwitches {
+  long voluntary = 0;
+  long involuntary = 0;
+
+  CtxSwitches operator-(const CtxSwitches& rhs) const noexcept {
+    return CtxSwitches{voluntary - rhs.voluntary,
+                       involuntary - rhs.involuntary};
+  }
+};
+
+/// Context switches accumulated by the calling process so far.
+CtxSwitches ctx_switches_self() noexcept;
+
+/// A forked child running a callable. The child calls _exit(fn()), so no
+/// destructors/atexit handlers run in the child beyond fn's own scope.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+
+  /// Forks; the child runs `fn` and exits with its return value (0-255).
+  /// Throws SysError if fork fails. Exceptions escaping fn exit(42).
+  static ChildProcess spawn(const std::function<int()>& fn);
+
+  ChildProcess(ChildProcess&& other) noexcept { *this = std::move(other); }
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// Joins on destruction (kills first if still running and join() was
+  /// never called — tests must not leak children).
+  ~ChildProcess();
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] bool joinable() const noexcept { return pid_ > 0; }
+
+  /// Waits for exit; returns the exit status (or -signal if killed).
+  int join();
+
+  /// Sends SIGKILL (no-op if already joined).
+  void kill() noexcept;
+
+ private:
+  pid_t pid_ = -1;
+};
+
+/// Joins a batch of children; returns their exit codes in order.
+std::vector<int> join_all(std::vector<ChildProcess>& children);
+
+}  // namespace ulipc

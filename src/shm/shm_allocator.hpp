@@ -1,0 +1,118 @@
+// Bump ("arena") allocator over a shared memory region.
+//
+// Channel setup carves queues, node pools, semaphores and flags out of one
+// region at connect time; nothing is freed individually (message recycling
+// goes through the node free pool, src/queue/msg_pool.hpp). The bump cursor
+// is atomic so several processes can allocate during setup without extra
+// locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+
+/// Header placed at offset 0 of an arena-managed region.
+struct ArenaHeader {
+  static constexpr std::uint64_t kMagic = 0x756c6970'63617231ULL;  // "ulipcar1"
+  std::uint64_t magic;
+  std::uint64_t capacity;              // region size in bytes
+  std::atomic<std::uint64_t> cursor;   // next free byte offset
+};
+static_assert(std::is_standard_layout_v<ArenaHeader>);
+
+/// View over an arena region. Cheap to copy; does not own the mapping.
+class ShmArena {
+ public:
+  ShmArena() = default;
+
+  /// Formats `region` as a fresh arena (writes the header).
+  static ShmArena format(ShmRegion& region) {
+    ULIPC_INVARIANT(region.size() >= sizeof(ArenaHeader), "region too small");
+    auto* hdr = new (region.base()) ArenaHeader{};
+    hdr->magic = ArenaHeader::kMagic;
+    hdr->capacity = region.size();
+    hdr->cursor.store(align_up(sizeof(ArenaHeader), kCacheLineSize),
+                      std::memory_order_release);
+    return ShmArena(region.base());
+  }
+
+  /// Attaches to an already formatted arena (e.g. in a child process or a
+  /// second mapping of the same named object).
+  static ShmArena attach(const ShmRegion& region) {
+    auto* hdr = static_cast<ArenaHeader*>(region.base());
+    ULIPC_INVARIANT(hdr->magic == ArenaHeader::kMagic, "bad arena magic");
+    return ShmArena(region.base());
+  }
+
+  /// Allocates `bytes` with `align` alignment; returns the byte offset from
+  /// the region base. Throws std::bad_alloc on exhaustion.
+  std::uint64_t allocate_offset(std::uint64_t bytes,
+                                std::uint64_t align = kCacheLineSize) {
+    auto* hdr = header();
+    std::uint64_t cur = hdr->cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t start = align_up(cur, align);
+      const std::uint64_t end = start + bytes;
+      if (end > hdr->capacity) throw std::bad_alloc();
+      if (hdr->cursor.compare_exchange_weak(cur, end,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        return start;
+      }
+    }
+  }
+
+  /// Allocates raw bytes; returns a pointer valid in this process.
+  void* allocate(std::uint64_t bytes, std::uint64_t align = kCacheLineSize) {
+    return base_ + allocate_offset(bytes, align);
+  }
+
+  /// Allocates and placement-constructs a T.
+  template <typename T, typename... Args>
+  T* construct(Args&&... args) {
+    void* p = allocate(sizeof(T), std::max<std::uint64_t>(alignof(T), 8));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Allocates and value-initializes an array of T; returns the first element.
+  template <typename T>
+  T* construct_array(std::size_t count) {
+    void* p = allocate(sizeof(T) * count, std::max<std::uint64_t>(alignof(T), 8));
+    return new (p) T[count]();
+  }
+
+  [[nodiscard]] char* base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t used() const noexcept {
+    return header()->cursor.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return header()->capacity;
+  }
+
+  /// Converts a process-local pointer into an offset (and back).
+  template <typename T>
+  [[nodiscard]] std::uint64_t to_offset(const T* p) const noexcept {
+    return static_cast<std::uint64_t>(reinterpret_cast<const char*>(p) - base_);
+  }
+  template <typename T>
+  [[nodiscard]] T* from_offset(std::uint64_t off) const noexcept {
+    return reinterpret_cast<T*>(base_ + off);
+  }
+
+ private:
+  explicit ShmArena(void* base) : base_(static_cast<char*>(base)) {}
+
+  [[nodiscard]] ArenaHeader* header() const noexcept {
+    return reinterpret_cast<ArenaHeader*>(base_);
+  }
+
+  char* base_ = nullptr;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,54 @@
+// Sense-reversing barrier in shared memory (futex-backed).
+//
+// The paper's benchmark rig: "The clients connect to the server, barrier,
+// and then enter a tight loop...". This barrier synchronizes the start of
+// the measurement window across the server and all client processes.
+// Reusable across rounds via sense reversal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "shm/futex.hpp"
+
+namespace ulipc {
+
+class alignas(kCacheLineSize) ShmBarrier {
+ public:
+  ShmBarrier() = default;
+  explicit ShmBarrier(std::uint32_t parties) : parties_(parties) {}
+
+  ShmBarrier(const ShmBarrier&) = delete;
+  ShmBarrier& operator=(const ShmBarrier&) = delete;
+
+  /// Must be called before any process arrives (single-writer setup).
+  void init(std::uint32_t parties) noexcept {
+    parties_ = parties;
+    arrived_.store(0, std::memory_order_relaxed);
+    sense_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Blocks until all `parties` processes have arrived.
+  void arrive_and_wait() noexcept {
+    const std::uint32_t my_sense = sense_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense + 1, std::memory_order_release);
+      futex_wake_all(&sense_);
+      return;
+    }
+    while (sense_.load(std::memory_order_acquire) == my_sense) {
+      futex_wait(&sense_, my_sense);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t parties() const noexcept { return parties_; }
+
+ private:
+  std::uint32_t parties_ = 0;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint32_t> sense_{0};
+};
+
+}  // namespace ulipc

@@ -1,0 +1,95 @@
+#include "shm/shm_region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace ulipc {
+
+ShmRegion ShmRegion::create_anonymous(std::size_t bytes) {
+  ShmRegion r;
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ULIPC_CHECK_ERRNO(p != MAP_FAILED, "mmap(anonymous shared)");
+  r.base_ = p;
+  r.size_ = bytes;
+  return r;
+}
+
+ShmRegion ShmRegion::create_named(const std::string& name, std::size_t bytes) {
+  ShmRegion r;
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ULIPC_CHECK_ERRNO(fd >= 0, "shm_open(create " + name + ")");
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    close(fd);
+    shm_unlink(name.c_str());
+    throw SysError("ftruncate(" + name + ")", err);
+  }
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  close(fd);
+  if (p == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    throw SysError("mmap(" + name + ")", map_err);
+  }
+  r.base_ = p;
+  r.size_ = bytes;
+  r.name_ = name;
+  r.owns_name_ = true;
+  return r;
+}
+
+ShmRegion ShmRegion::open_named(const std::string& name) {
+  ShmRegion r;
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  ULIPC_CHECK_ERRNO(fd >= 0, "shm_open(open " + name + ")");
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    close(fd);
+    throw SysError("fstat(" + name + ")", err);
+  }
+  void* p = mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                 PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  close(fd);
+  ULIPC_CHECK_ERRNO(p != MAP_FAILED || (errno = map_err, false),
+                    "mmap(" + name + ")");
+  r.base_ = p;
+  r.size_ = static_cast<std::size_t>(st.st_size);
+  r.name_ = name;
+  r.owns_name_ = false;
+  return r;
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    this->~ShmRegion();
+    base_ = other.base_;
+    size_ = other.size_;
+    name_ = std::move(other.name_);
+    owns_name_ = other.owns_name_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+    other.owns_name_ = false;
+    other.name_.clear();
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (owns_name_ && !name_.empty()) {
+    shm_unlink(name_.c_str());
+    owns_name_ = false;
+  }
+}
+
+}  // namespace ulipc

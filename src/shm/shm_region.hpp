@@ -1,0 +1,60 @@
+// Shared memory regions.
+//
+// Two flavours cover the two process topologies used in this library:
+//  * anonymous shared mappings (MAP_SHARED | MAP_ANONYMOUS) — visible to
+//    children created by fork(); this is what the test/benchmark harness
+//    uses, mirroring the paper's "clients connect to the server" rig where
+//    one launcher spawns everything;
+//  * named POSIX shm objects (shm_open) — for unrelated processes, which is
+//    the deployment story of a real user-level IPC server.
+//
+// A region is raw bytes; structure is imposed by ShmArena (see
+// shm_allocator.hpp) and by the channel layout in src/protocols/channel.hpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace ulipc {
+
+/// RAII shared memory mapping. Movable, non-copyable.
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+
+  /// Anonymous MAP_SHARED region, inherited across fork().
+  static ShmRegion create_anonymous(std::size_t bytes);
+
+  /// Creates (O_CREAT | O_EXCL) and maps a named POSIX shm object. The
+  /// returned region owns the name and unlinks it on destruction.
+  static ShmRegion create_named(const std::string& name, std::size_t bytes);
+
+  /// Maps an existing named POSIX shm object (does not own the name).
+  static ShmRegion open_named(const std::string& name);
+
+  ShmRegion(ShmRegion&& other) noexcept { *this = std::move(other); }
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ~ShmRegion();
+
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Pointer at a byte offset into the region (bounds-checked in debug).
+  template <typename T = void>
+  [[nodiscard]] T* at(std::size_t offset) const noexcept {
+    return reinterpret_cast<T*>(static_cast<char*>(base_) + offset);
+  }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;     // non-empty iff named
+  bool owns_name_ = false;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,73 @@
+// Test-and-test-and-set spinlock with proportional backoff.
+//
+// Used as the head/tail locks of the Michael & Scott two-lock queue. Safe
+// across processes (lives in shared memory, no ownership bookkeeping).
+// Critical sections in this library are a handful of instructions, so a
+// spinlock beats any blocking lock; contention is already bounded because
+// producers and consumers take different locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ulipc {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class alignas(kCacheLineSize) Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    std::uint32_t backoff = 1;
+    for (;;) {
+      if (!locked_.exchange(1, std::memory_order_acquire)) return;
+      // Test (read-only) until the lock looks free, with growing pauses to
+      // keep the line in shared state instead of bouncing it.
+      while (locked_.load(std::memory_order_relaxed)) {
+        for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < 64) backoff <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(1, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> locked_{0};
+};
+
+/// RAII guard (std::lock_guard works too; this avoids the <mutex> include).
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace ulipc

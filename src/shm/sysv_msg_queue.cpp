@@ -1,0 +1,104 @@
+#include "shm/sysv_msg_queue.hpp"
+
+#include <sys/ipc.h>
+#include <sys/msg.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace ulipc {
+
+namespace {
+// Large enough for any payload this library sends through a SysV queue.
+constexpr std::size_t kMaxPayload = 256;
+
+struct WireMsg {
+  long mtype;
+  char data[kMaxPayload];
+};
+}  // namespace
+
+SysvMsgQueue SysvMsgQueue::create() {
+  SysvMsgQueue q;
+  q.id_ = msgget(IPC_PRIVATE, IPC_CREAT | 0600);
+  ULIPC_CHECK_ERRNO(q.id_ >= 0, "msgget");
+  q.owner_ = true;
+  return q;
+}
+
+SysvMsgQueue SysvMsgQueue::attach(int id) {
+  SysvMsgQueue q;
+  q.id_ = id;
+  q.owner_ = false;
+  return q;
+}
+
+SysvMsgQueue& SysvMsgQueue::operator=(SysvMsgQueue&& other) noexcept {
+  if (this != &other) {
+    this->~SysvMsgQueue();
+    id_ = other.id_;
+    owner_ = other.owner_;
+    other.id_ = -1;
+    other.owner_ = false;
+  }
+  return *this;
+}
+
+SysvMsgQueue::~SysvMsgQueue() {
+  if (owner_ && id_ >= 0) {
+    msgctl(id_, IPC_RMID, nullptr);
+  }
+  id_ = -1;
+  owner_ = false;
+}
+
+void SysvMsgQueue::send(long mtype, const void* payload, std::size_t bytes) const {
+  ULIPC_INVARIANT(bytes <= kMaxPayload, "SysV payload too large");
+  ULIPC_INVARIANT(mtype >= kMinType, "mtype below kMinType");
+  WireMsg msg{};
+  msg.mtype = mtype;
+  std::memcpy(msg.data, payload, bytes);
+  for (;;) {
+    if (msgsnd(id_, &msg, bytes, 0) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("msgsnd");
+  }
+}
+
+std::size_t SysvMsgQueue::receive(long mtype, void* payload,
+                                  std::size_t capacity) const {
+  WireMsg msg{};
+  for (;;) {
+    const ssize_t n = msgrcv(id_, &msg, kMaxPayload, mtype, 0);
+    if (n >= 0) {
+      const auto bytes = static_cast<std::size_t>(n);
+      ULIPC_INVARIANT(bytes <= capacity, "receive buffer too small");
+      std::memcpy(payload, msg.data, bytes);
+      return bytes;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("msgrcv");
+  }
+}
+
+bool SysvMsgQueue::try_receive(long mtype, void* payload, std::size_t capacity,
+                               std::size_t* bytes_out) const {
+  WireMsg msg{};
+  for (;;) {
+    const ssize_t n = msgrcv(id_, &msg, kMaxPayload, mtype, IPC_NOWAIT);
+    if (n >= 0) {
+      const auto bytes = static_cast<std::size_t>(n);
+      ULIPC_INVARIANT(bytes <= capacity, "receive buffer too small");
+      std::memcpy(payload, msg.data, bytes);
+      if (bytes_out != nullptr) *bytes_out = bytes;
+      return true;
+    }
+    if (errno == ENOMSG || errno == EAGAIN) return false;
+    if (errno == EINTR) continue;
+    throw_errno("msgrcv(IPC_NOWAIT)");
+  }
+}
+
+}  // namespace ulipc

@@ -1,0 +1,55 @@
+// SysV message queue wrapper — the paper's kernel-mediated IPC baseline.
+//
+// "As a kernel mediated IPC mechanism, SYSV message queues represent a
+// lower-bound on acceptable user-level IPC performance." (paper §2.2)
+//
+// The wrapper sends/receives fixed-size payloads with an mtype selector,
+// which the SysV transport (src/runtime/sysv_transport.hpp) uses to build a
+// Send/Receive/Reply service equivalent to the shared-memory channels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace ulipc {
+
+class SysvMsgQueue {
+ public:
+  /// Messages with mtype below this are reserved for queue control.
+  static constexpr long kMinType = 1;
+
+  SysvMsgQueue() = default;
+
+  /// Creates a private queue. Owner removes it on destruction.
+  static SysvMsgQueue create();
+
+  /// Non-owning handle to an existing queue id (e.g. read from shm).
+  static SysvMsgQueue attach(int id);
+
+  SysvMsgQueue(SysvMsgQueue&& other) noexcept { *this = std::move(other); }
+  SysvMsgQueue& operator=(SysvMsgQueue&& other) noexcept;
+  SysvMsgQueue(const SysvMsgQueue&) = delete;
+  SysvMsgQueue& operator=(const SysvMsgQueue&) = delete;
+  ~SysvMsgQueue();
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] bool valid() const noexcept { return id_ >= 0; }
+
+  /// Blocking send of `bytes` bytes tagged with `mtype` (>= kMinType).
+  void send(long mtype, const void* payload, std::size_t bytes) const;
+
+  /// Blocking receive of a message with the given mtype (0 = any).
+  /// Returns the payload size. `capacity` is the buffer size.
+  std::size_t receive(long mtype, void* payload, std::size_t capacity) const;
+
+  /// Non-blocking receive; returns 0 payload bytes read and false if empty.
+  bool try_receive(long mtype, void* payload, std::size_t capacity,
+                   std::size_t* bytes_out) const;
+
+ private:
+  int id_ = -1;
+  bool owner_ = false;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,100 @@
+#include "shm/sysv_semaphore.hpp"
+
+#include <sys/ipc.h>
+#include <sys/sem.h>
+#include <sys/types.h>
+
+#include <cerrno>
+
+#include "common/error.hpp"
+
+namespace ulipc {
+
+namespace {
+// Required by semctl on Linux (not declared by <sys/sem.h>).
+union semun {
+  int val;
+  struct semid_ds* buf;
+  unsigned short* array;
+};
+}  // namespace
+
+SysvSemaphoreSet SysvSemaphoreSet::create(int count, unsigned initial) {
+  SysvSemaphoreSet set;
+  set.sem_id_ = semget(IPC_PRIVATE, count, IPC_CREAT | 0600);
+  ULIPC_CHECK_ERRNO(set.sem_id_ >= 0, "semget");
+  set.count_ = count;
+  for (int i = 0; i < count; ++i) {
+    semun arg{};
+    arg.val = static_cast<int>(initial);
+    if (semctl(set.sem_id_, i, SETVAL, arg) != 0) {
+      const int err = errno;
+      semctl(set.sem_id_, 0, IPC_RMID);
+      throw SysError("semctl(SETVAL)", err);
+    }
+  }
+  return set;
+}
+
+SysvSemaphoreSet& SysvSemaphoreSet::operator=(SysvSemaphoreSet&& other) noexcept {
+  if (this != &other) {
+    this->~SysvSemaphoreSet();
+    sem_id_ = other.sem_id_;
+    count_ = other.count_;
+    other.sem_id_ = -1;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+SysvSemaphoreSet::~SysvSemaphoreSet() {
+  if (sem_id_ >= 0) {
+    semctl(sem_id_, 0, IPC_RMID);
+    sem_id_ = -1;
+  }
+}
+
+void SysvSemaphoreSet::wait(SysvSemHandle h) {
+  sembuf op{};
+  op.sem_num = h.index;
+  op.sem_op = -1;
+  op.sem_flg = 0;  // no SEM_UNDO: counting must survive process exit
+  for (;;) {
+    if (semop(h.sem_id, &op, 1) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("semop(P)");
+  }
+}
+
+bool SysvSemaphoreSet::try_wait(SysvSemHandle h) {
+  sembuf op{};
+  op.sem_num = h.index;
+  op.sem_op = -1;
+  op.sem_flg = IPC_NOWAIT;
+  for (;;) {
+    if (semop(h.sem_id, &op, 1) == 0) return true;
+    if (errno == EAGAIN) return false;
+    if (errno == EINTR) continue;
+    throw_errno("semop(tryP)");
+  }
+}
+
+void SysvSemaphoreSet::post(SysvSemHandle h) {
+  sembuf op{};
+  op.sem_num = h.index;
+  op.sem_op = 1;
+  op.sem_flg = 0;
+  for (;;) {
+    if (semop(h.sem_id, &op, 1) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("semop(V)");
+  }
+}
+
+int SysvSemaphoreSet::value(SysvSemHandle h) {
+  const int v = semctl(h.sem_id, h.index, GETVAL);
+  ULIPC_CHECK_ERRNO(v >= 0, "semctl(GETVAL)");
+  return v;
+}
+
+}  // namespace ulipc

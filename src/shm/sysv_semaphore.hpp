@@ -1,0 +1,63 @@
+// SysV semaphore set wrapper — the paper's actual sleep/wake-up primitive.
+//
+// "Since we used System V semaphores, which are of similar weight to the
+// four System V message queue calls, there is no advantage to the shared
+// memory solution at all." (paper §3.1). We keep them available so the
+// native benches can reproduce that cost regime next to futex semaphores.
+//
+// One SysvSemaphoreSet owns `count` semaphores; handles (set id + index) are
+// passed to other processes through shared memory. SEM_UNDO is deliberately
+// NOT used: the protocols rely on true counting semantics surviving process
+// boundaries; undo bookkeeping would also distort the measured costs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace ulipc {
+
+/// Identifies one semaphore within a set; trivially shareable via shm.
+struct SysvSemHandle {
+  int sem_id = -1;
+  unsigned short index = 0;
+};
+
+class SysvSemaphoreSet {
+ public:
+  SysvSemaphoreSet() = default;
+
+  /// Creates a private set of `count` semaphores, each with value `initial`.
+  static SysvSemaphoreSet create(int count, unsigned initial = 0);
+
+  SysvSemaphoreSet(SysvSemaphoreSet&& other) noexcept { *this = std::move(other); }
+  SysvSemaphoreSet& operator=(SysvSemaphoreSet&& other) noexcept;
+  SysvSemaphoreSet(const SysvSemaphoreSet&) = delete;
+  SysvSemaphoreSet& operator=(const SysvSemaphoreSet&) = delete;
+  ~SysvSemaphoreSet();
+
+  [[nodiscard]] SysvSemHandle handle(int index) const noexcept {
+    return SysvSemHandle{sem_id_, static_cast<unsigned short>(index)};
+  }
+  [[nodiscard]] int id() const noexcept { return sem_id_; }
+  [[nodiscard]] int count() const noexcept { return count_; }
+
+  // Static operations usable from any process holding a handle.
+
+  /// P / down: blocks while the value is zero, then decrements.
+  static void wait(SysvSemHandle h);
+
+  /// Non-blocking P; returns true if a unit was acquired.
+  static bool try_wait(SysvSemHandle h);
+
+  /// V / up: increments, waking a blocked waiter if present.
+  static void post(SysvSemHandle h);
+
+  /// Current value (for tests/diagnostics).
+  static int value(SysvSemHandle h);
+
+ private:
+  int sem_id_ = -1;
+  int count_ = 0;
+};
+
+}  // namespace ulipc

@@ -1,0 +1,54 @@
+// The "awake" flag: a test-and-set word in shared memory.
+//
+// This is the central coordination device of the paper's sleep/wake-up
+// protocols. The producer executes `if (!tas(&awake)) V(sem)` — only the
+// first producer to observe the flag cleared pays the wake-up syscall
+// (fixing Execution Interleaving 2, multiple wake-ups). The consumer clears
+// the flag before its re-check dequeue and uses tas() on the recheck-success
+// path to detect a racing producer's wake-up (Execution Interleaving 3).
+//
+// Memory ordering: the protocols depend on the classic store→load pattern
+//   consumer: clear(awake); re-check queue
+//   producer: enqueue;      read awake
+// Both sides must not have their two operations reordered, so clear() and
+// tas() are seq_cst, and the queue operations themselves use locks (the
+// Michael & Scott two-lock queue), whose unlock provides release ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace ulipc {
+
+class alignas(kCacheLineSize) AwakeFlag {
+ public:
+  AwakeFlag() = default;
+  explicit AwakeFlag(bool initially_awake)
+      : word_(initially_awake ? 1u : 0u) {}
+
+  AwakeFlag(const AwakeFlag&) = delete;
+  AwakeFlag& operator=(const AwakeFlag&) = delete;
+
+  /// Atomically sets the flag to 1; returns the *previous* value (the
+  /// paper's tas(&awake) convention: returns 0 exactly once per clearing).
+  bool tas() noexcept {
+    return word_.exchange(1, std::memory_order_seq_cst) != 0;
+  }
+
+  /// Clears the flag ("I may be about to sleep", step C.2).
+  void clear() noexcept { word_.store(0, std::memory_order_seq_cst); }
+
+  /// Plain set ("I am awake again", step C.5).
+  void set() noexcept { word_.store(1, std::memory_order_seq_cst); }
+
+  [[nodiscard]] bool is_set() const noexcept {
+    return word_.load(std::memory_order_seq_cst) != 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> word_{1};  // everyone starts awake
+};
+
+}  // namespace ulipc

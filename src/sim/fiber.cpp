@@ -1,0 +1,40 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace ulipc::sim {
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stack_(new char[stack_bytes]) {
+  ULIPC_CHECK_ERRNO(getcontext(&context_) == 0, "getcontext");
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = nullptr;
+  // makecontext only passes ints; smuggle the this-pointer as two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<Fiber*>(bits);
+  self->entry_();
+  // Falling off the end resumes uc_link (the kernel's context) if set;
+  // otherwise the thread exits, which would abort the simulation — the
+  // kernel always routes process bodies through an explicit exit op.
+}
+
+void Fiber::switch_from(ucontext_t* from) {
+  ULIPC_CHECK_ERRNO(swapcontext(from, &context_) == 0, "swapcontext(in)");
+}
+
+void Fiber::switch_to(ucontext_t* to) {
+  ULIPC_CHECK_ERRNO(swapcontext(&context_, to) == 0, "swapcontext(out)");
+}
+
+}  // namespace ulipc::sim

@@ -1,0 +1,49 @@
+// ucontext-based fibers: the execution vehicle of simulated processes.
+//
+// Each simulated process runs protocol code on its own stack; the simulator
+// kernel swaps between fibers and its own context. Exactly one fiber
+// executes at any real instant, so the simulation is single-threaded and
+// fully deterministic regardless of host scheduling.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ulipc::sim {
+
+class Fiber {
+ public:
+  /// Prepares a fiber that will run `entry` when first switched to.
+  /// `entry` must not return control by falling off the end unless the
+  /// owner arranged uc_link (the kernel routes exits through an explicit
+  /// exit call instead).
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Saves the caller's context into `from` and resumes this fiber.
+  void switch_from(ucontext_t* from);
+
+  /// Saves this fiber's context and resumes `to` (called from inside the
+  /// fiber).
+  void switch_to(ucontext_t* to);
+
+  /// Links the context that regains control if `entry` ever returns.
+  void set_return_context(ucontext_t* ctx) noexcept { context_.uc_link = ctx; }
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  std::function<void()> entry_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t context_{};
+};
+
+}  // namespace ulipc::sim

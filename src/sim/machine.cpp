@@ -1,0 +1,154 @@
+#include "sim/machine.hpp"
+
+namespace ulipc::sim {
+
+const char* policy_name(PolicyKind k) noexcept {
+  switch (k) {
+    case PolicyKind::kAging: return "aging";
+    case PolicyKind::kFixed: return "fixed-priority";
+    case PolicyKind::kTickOnly: return "tick-only";
+    case PolicyKind::kModYield: return "modified-yield";
+  }
+  return "?";
+}
+
+std::int64_t Machine::yield_cost(int n_ready) const noexcept {
+  const auto& pts = yield_cost_points;
+  if (pts.empty()) return 16'000;
+  if (n_ready <= pts.front().first) return pts.front().second;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (n_ready <= pts[i].first) {
+      const auto [x0, y0] = pts[i - 1];
+      const auto [x1, y1] = pts[i];
+      return y0 + (y1 - y0) * (n_ready - x0) / (x1 - x0);
+    }
+  }
+  // Extrapolate with the final slope.
+  const auto [x0, y0] = pts[pts.size() - 2];
+  const auto [x1, y1] = pts.back();
+  const std::int64_t slope = (y1 - y0) / (x1 - x0);
+  return y1 + slope * (n_ready - x1);
+}
+
+// Calibration notes
+// -----------------
+// The simulator's per-op costs are fit to the paper's published numbers:
+//
+//  SGI (Table 1 + Figure 2a):
+//   * enqueue/dequeue pair 3 us  -> 1.5 us each.
+//   * 119 us round trip at one client with ~2.5 yields per process per
+//     round trip under the default (aging) policy. With yield(2 procs) =
+//     18 us, a 39 us defer threshold yields twice per turn, giving
+//     rt = 2*(enq+deq) + 2*(2*yield + ctx) ~= 118 us with ctx = 20 us.
+//     (Table 1's 16 us single-process yield is the no-switch fast path.)
+//   * The 45 us Table 1 trip time at 4 yielding processes includes the
+//     context switch and the resulting cache pollution; the simulator
+//     charges switches separately at dispatch, so the yield *syscall* curve
+//     here grows only by the run-queue scan component (~2.5 us/process).
+//     Using the raw 45 us as pure syscall cost would double-count switches
+//     and invert Figure 2a's rising trend.
+//   * SYSV msgsnd/msgrcv: Table 1's 37 us pair is a non-blocking tight
+//     loop; the exchange path blocks (msgrcv) and wakes (msgsnd), so each
+//     call is dearer (26 us) plus an explicit 30 us wake charge, which
+//     lands the BSS:SYSV ratio at the reported ~1.5x.
+//   * SysV semaphores are "of similar weight to the four SysV message
+//     queue calls" (paper 3.1): semop fit to 18 us + the same wake charge,
+//     which puts BSW within a few percent of SYSV (Figure 6).
+//
+//  IBM (Figure 2b; Table 1's IBM column did not survive in the source
+//  text — every IBM number below is derived):
+//   * 32 msgs/ms BSS at one client -> ~31 us round trip with cheap yields
+//     (4 us at 2 procs) performed ~2x per turn (defer 10 us) and a
+//     3 us switch.
+//   * The roll-off to ~19 msgs/ms at 6 clients is modelled as a run-queue
+//     scan cost that grows steeply with ready processes (to ~41 us at 7),
+//     the same mechanism as the SGI but an order of magnitude steeper —
+//     the paper attributes the opposite trends to scheduling policy.
+//   * SYSV fit to the reported ~1.8x BSS:SYSV ratio.
+Machine Machine::sgi_indy() {
+  Machine m;
+  m.name = "SGI-Indy/IRIX6.2";
+  m.cpus = 1;
+  m.costs.enqueue = 1'500;
+  m.costs.dequeue = 1'500;
+  m.costs.empty_check = 200;
+  m.costs.tas = 300;
+  m.costs.ctx_switch = 20'000;
+  m.costs.semop = 18'000;
+  m.costs.wake = 30'000;
+  m.costs.msgsnd = 26'000;
+  m.costs.msgrcv = 26'000;
+  m.costs.handoff = 8'000;
+  m.costs.quantum = 10'000'000;
+  m.yield_cost_points = {{1, 16'000}, {2, 18'000}, {4, 23'000}, {8, 33'000}};
+  m.default_policy = PolicyKind::kAging;
+  m.defer_base_ns = 39'000;
+  m.defer_scaled_by_ready = false;  // IRIX: flat threshold (see machine.hpp)
+  return m;
+}
+
+Machine Machine::ibm_p4() {
+  Machine m;
+  m.name = "IBM-P4/AIX4.1";
+  m.cpus = 1;
+  m.costs.enqueue = 1'250;
+  m.costs.dequeue = 1'250;
+  m.costs.empty_check = 150;
+  m.costs.tas = 250;
+  m.costs.ctx_switch = 3'000;
+  m.costs.semop = 7'500;
+  m.costs.wake = 10'000;
+  m.costs.msgsnd = 7'250;
+  m.costs.msgrcv = 7'250;
+  m.costs.handoff = 5'000;
+  m.costs.quantum = 10'000'000;
+  m.yield_cost_points = {
+      {1, 3'500}, {2, 4'000}, {3, 17'000}, {5, 27'500}, {7, 41'500}};
+  m.default_policy = PolicyKind::kAging;
+  m.defer_base_ns = 10'000;
+  m.fixed_yield_cost_ns = 5'550;  // AIX fixed-priority class requeue path;
+                                  // fit to the paper's +30% (vs SGI's +50%)
+  return m;
+}
+
+Machine Machine::linux_486() {
+  // 66 MHz 486, Linux 1.0.32 Slackware (paper §6). Under the stock
+  // scheduler (kTickOnly) BSS response is ~33 ms because sched_yield never
+  // rotates and the pair only switches on quantum expiry; the paper's patch
+  // (kModYield) restores a ~120 us round trip. Costs scaled up ~2x from the
+  // 133 MHz MIPS to the slower CPU.
+  Machine m;
+  m.name = "i486-66/Linux1.0.32";
+  m.cpus = 1;
+  m.costs.enqueue = 3'000;
+  m.costs.dequeue = 3'000;
+  m.costs.empty_check = 400;
+  m.costs.tas = 600;
+  m.costs.ctx_switch = 28'000;
+  m.costs.semop = 20'000;
+  m.costs.wake = 24'000;
+  m.costs.msgsnd = 28'000;
+  m.costs.msgrcv = 28'000;
+  m.costs.handoff = 25'000;  // the patched kernel's switch path, like sched_yield
+  m.costs.quantum = 16'000'000;  // sub-2 ticks at 100 Hz before a switch
+  m.yield_cost_points = {{1, 25'000}, {2, 26'000}, {4, 30'000}};
+  m.default_policy = PolicyKind::kModYield;  // the paper's patched kernel
+  m.defer_base_ns = 0;
+  return m;
+}
+
+Machine Machine::sgi_challenge(int cpus) {
+  // 8-processor SGI Challenge (paper §5). Same software as the
+  // uniprocessor runs; busy-waiting becomes a 25 us poll slice. Queue
+  // operations are dearer than on the Indy because every message migrates
+  // cache lines between the client's and server's CPUs.
+  Machine m = sgi_indy();
+  m.name = "SGI-Challenge-MP";
+  m.cpus = cpus;
+  m.costs.enqueue = 6'000;
+  m.costs.dequeue = 6'000;
+  m.costs.poll_slice = 25'000;
+  return m;
+}
+
+}  // namespace ulipc::sim

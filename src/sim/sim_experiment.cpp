@@ -1,0 +1,197 @@
+#include "sim/sim_experiment.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace ulipc::sim {
+
+namespace {
+
+/// Barrier for simulated processes: the last arrival releases the rest.
+struct SimBarrier {
+  explicit SimBarrier(int n) : parties(n) {}
+  int parties;
+  int arrived = 0;
+  SimSemaphore sem;
+
+  void arrive_and_wait(SimKernel& k) {
+    ++arrived;
+    if (arrived == parties) {
+      for (int i = 0; i < parties - 1; ++i) k.sem_v(sem);
+    } else {
+      k.sem_p(sem);
+    }
+  }
+};
+
+/// Shared-memory-protocol experiment (BSS/BSW/BSWY/BSLS).
+template <typename Proto>
+SimExperimentResult run_shm(const SimExperimentConfig& cfg, Proto proto) {
+  SimKernel kernel(cfg.machine, cfg.policy);
+  SimPlatform plat(kernel);
+  plat.use_handoff(cfg.use_handoff);
+
+  auto srv_ep = std::make_unique<SimEndpoint>(cfg.queue_capacity);
+  std::vector<std::unique_ptr<SimEndpoint>> client_eps;
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    client_eps.push_back(std::make_unique<SimEndpoint>(cfg.queue_capacity));
+    client_eps.back()->id = static_cast<int>(i);
+  }
+
+  SimBarrier barrier(static_cast<int>(cfg.clients));
+  SimExperimentResult result;
+  std::vector<std::uint64_t> verified(cfg.clients, 0);
+
+  const int server_pid = kernel.spawn("server", [&] {
+    auto reply_ep = [&](std::uint32_t ch) -> SimEndpoint& {
+      return *client_eps.at(ch);
+    };
+    result.server = run_echo_server(plat, proto, *srv_ep, reply_ep,
+                                    cfg.clients);
+  });
+  srv_ep->partner_pid = kPidAny;  // the server hands off to "anyone"
+
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    client_eps[i]->partner_pid = server_pid;  // clients hand off to the server
+    kernel.spawn("client" + std::to_string(i), [&, i] {
+      client_connect(plat, proto, *srv_ep, *client_eps[i], i);
+      barrier.arrive_and_wait(kernel);
+      verified[i] = client_echo_loop(plat, proto, *srv_ep, *client_eps[i], i,
+                                     cfg.messages_per_client,
+                                     cfg.server_work_us);
+      client_disconnect(plat, proto, *srv_ep, *client_eps[i], i);
+    });
+  }
+
+  kernel.run();
+
+  result.server_stats = kernel.process(server_pid).stats;
+  result.server_counters = kernel.process(server_pid).counters;
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    const auto& proc = kernel.process(static_cast<int>(i) + 1);
+    result.client_stats_total.cpu_ns += proc.stats.cpu_ns;
+    result.client_stats_total.voluntary_switches +=
+        proc.stats.voluntary_switches;
+    result.client_stats_total.involuntary_switches +=
+        proc.stats.involuntary_switches;
+    result.client_stats_total.yields += proc.stats.yields;
+    result.client_stats_total.handoffs += proc.stats.handoffs;
+    result.client_stats_total.blocks += proc.stats.blocks;
+    result.client_stats_total.syscalls += proc.stats.syscalls;
+    result.client_counters_total += proc.counters;
+    result.verified_replies += verified[i];
+  }
+  result.end_time_ns = kernel.now();
+  return result;
+}
+
+/// SysV message-queue baseline: same service, kernel-mediated transport.
+SimExperimentResult run_sysv(const SimExperimentConfig& cfg) {
+  SimKernel kernel(cfg.machine, cfg.policy);
+
+  SimMsgQueue request_q;
+  std::vector<std::unique_ptr<SimMsgQueue>> reply_qs;
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    reply_qs.push_back(std::make_unique<SimMsgQueue>());
+  }
+
+  SimBarrier barrier(static_cast<int>(cfg.clients));
+  SimExperimentResult result;
+  std::vector<std::uint64_t> verified(cfg.clients, 0);
+
+  const int server_pid = kernel.spawn("server", [&] {
+    ServerResult sr;
+    std::uint32_t disconnected = 0;
+    while (disconnected < cfg.clients) {
+      Message msg;
+      kernel.msgq_rcv(request_q, 0, &msg);
+      switch (msg.opcode) {
+        case Op::kDisconnect:
+          ++disconnected;
+          ++sr.control_messages;
+          sr.last_disconnect_ns = kernel.now();
+          break;
+        case Op::kConnect:
+          ++sr.control_messages;
+          break;
+        default:
+          if (sr.echo_messages == 0) sr.first_request_ns = kernel.now();
+          ++sr.echo_messages;
+          break;
+      }
+      kernel.msgq_snd(*reply_qs.at(msg.channel), 1, msg);
+    }
+    result.server = sr;
+  });
+  (void)server_pid;
+
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    kernel.spawn("client" + std::to_string(i), [&, i] {
+      Message ans;
+      kernel.msgq_snd(request_q, 1, Message(Op::kConnect, i, 0.0));
+      kernel.msgq_rcv(*reply_qs[i], 0, &ans);
+      barrier.arrive_and_wait(kernel);
+      for (std::uint64_t m = 0; m < cfg.messages_per_client; ++m) {
+        const auto arg = static_cast<double>(m);
+        kernel.msgq_snd(request_q, 1, Message(Op::kEcho, i, arg));
+        kernel.msgq_rcv(*reply_qs[i], 0, &ans);
+        if (ans.opcode == Op::kEcho && ans.value == arg && ans.channel == i) {
+          ++verified[i];
+        }
+      }
+      kernel.msgq_snd(request_q, 1, Message(Op::kDisconnect, i, 0.0));
+      kernel.msgq_rcv(*reply_qs[i], 0, &ans);
+    });
+  }
+
+  kernel.run();
+
+  result.server_stats = kernel.process(0).stats;
+  for (std::uint32_t i = 0; i < cfg.clients; ++i) {
+    const auto& proc = kernel.process(static_cast<int>(i) + 1);
+    result.client_stats_total.yields += proc.stats.yields;
+    result.client_stats_total.blocks += proc.stats.blocks;
+    result.client_stats_total.syscalls += proc.stats.syscalls;
+    result.client_stats_total.voluntary_switches +=
+        proc.stats.voluntary_switches;
+    result.verified_replies += verified[i];
+  }
+  result.end_time_ns = kernel.now();
+  return result;
+}
+
+void finalize(SimExperimentResult& r, const SimExperimentConfig& cfg) {
+  r.throughput_msgs_per_ms = r.server.throughput_msgs_per_ms();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cfg.clients) * cfg.messages_per_client;
+  if (r.throughput_msgs_per_ms > 0.0 && total > 0) {
+    // Mean per-message service time at the server; for one client this is
+    // the round-trip latency.
+    r.round_trip_us = 1'000.0 / r.throughput_msgs_per_ms;
+  }
+}
+
+}  // namespace
+
+SimExperimentResult run_sim_experiment(const SimExperimentConfig& cfg) {
+  ULIPC_INVARIANT(cfg.clients >= 1, "need at least one client");
+  SimExperimentResult result;
+  switch (cfg.protocol) {
+    case ProtocolKind::kSysv:
+      result = run_sysv(cfg);
+      break;
+    default:
+      result = with_protocol<SimPlatform>(
+          cfg.protocol, cfg.max_spin,
+          [&](auto proto) { return run_shm(cfg, proto); });
+      break;
+  }
+  finalize(result, cfg);
+  return result;
+}
+
+}  // namespace ulipc::sim

@@ -1,0 +1,57 @@
+// Assembles the paper's evaluation rig on the simulator: one single-threaded
+// echo server, n clients, one shared receive queue, one reply queue per
+// client, barrier before the barrage (paper §2.2) — parameterized by
+// machine model, scheduling policy and protocol (including the SysV
+// kernel-mediated baseline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/channel.hpp"
+#include "protocols/platform.hpp"
+#include "protocols/protocol_set.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_process.hpp"
+
+namespace ulipc::sim {
+
+struct SimExperimentConfig {
+  Machine machine = Machine::sgi_indy();
+  PolicyKind policy = PolicyKind::kAging;
+  ProtocolKind protocol = ProtocolKind::kBss;
+  std::uint32_t clients = 1;
+  std::uint64_t messages_per_client = 2'000;
+  std::uint32_t max_spin = 20;        // BSLS only
+  std::uint32_t queue_capacity = 64;  // per-queue bound
+  bool use_handoff = false;           // busy_wait -> handoff(pid) (paper §6)
+  double server_work_us = 0.0;        // per-request server compute time
+};
+
+struct SimExperimentResult {
+  ServerResult server;                 // measurement window + message count
+  std::uint64_t verified_replies = 0;  // correctness check across clients
+  double throughput_msgs_per_ms = 0.0;
+  double round_trip_us = 0.0;          // mean per-message round trip
+
+  SimProcStats server_stats;
+  SimProcStats client_stats_total;
+  ProtocolCounters server_counters;
+  ProtocolCounters client_counters_total;
+
+  std::int64_t end_time_ns = 0;
+
+  /// Yields per round trip for a single-client run (the paper's ~2.5
+  /// observation on IRIX).
+  [[nodiscard]] double client_yields_per_message(
+      std::uint64_t total_messages) const noexcept {
+    if (total_messages == 0) return 0.0;
+    return static_cast<double>(client_stats_total.yields) /
+           static_cast<double>(total_messages);
+  }
+};
+
+/// Runs one experiment to completion. Deterministic for a given config.
+SimExperimentResult run_sim_experiment(const SimExperimentConfig& cfg);
+
+}  // namespace ulipc::sim

@@ -1,0 +1,510 @@
+#include "sim/sim_kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ulipc::sim {
+
+namespace {
+constexpr std::int64_t kSleepSyscallCost = 5'000;  // enter/exit for sleep(1)
+}
+
+SimKernel::SimKernel(Machine machine, PolicyKind policy)
+    : machine_(std::move(machine)), policy_(policy) {
+  ULIPC_INVARIANT(machine_.cpus >= 1, "machine needs at least one cpu");
+  cpus_.resize(static_cast<std::size_t>(machine_.cpus));
+  for (int i = 0; i < machine_.cpus; ++i) cpus_[static_cast<std::size_t>(i)].index = i;
+}
+
+int SimKernel::spawn(std::string name, std::function<void()> body) {
+  ULIPC_INVARIANT(!running_, "spawn during run() is not supported");
+  const int pid = static_cast<int>(procs_.size());
+  auto proc = std::make_unique<SimProcess>();
+  proc->pid = pid;
+  proc->name = std::move(name);
+  proc->fiber = std::make_unique<Fiber>([this, body = std::move(body)] {
+    body();
+    exit_current();
+  });
+  proc->fiber->set_return_context(&kernel_ctx_);
+  procs_.push_back(std::move(proc));
+  return pid;
+}
+
+SimProcess& SimKernel::current_process() {
+  ULIPC_INVARIANT(current_ >= 0, "no current process (not inside a fiber)");
+  return *procs_[static_cast<std::size_t>(current_)];
+}
+
+std::int64_t SimKernel::now() const noexcept {
+  if (current_ >= 0) {
+    return cpus_[static_cast<std::size_t>(
+                     procs_[static_cast<std::size_t>(current_)]->cpu)]
+        .now;
+  }
+  std::int64_t latest = 0;
+  for (const auto& c : cpus_) latest = std::max(latest, c.now);
+  return latest;
+}
+
+// ---------------------------------------------------------------- fiber side
+
+void SimKernel::swap_to_kernel(ResumeReason reason) {
+  SimProcess& self = current_process();
+  self.resume_reason = reason;
+  self.fiber->switch_to(&kernel_ctx_);
+}
+
+void SimKernel::op_sync() {
+  SimProcess& self = current_process();
+  for (;;) {
+    const Cpu& mine = cpus_[static_cast<std::size_t>(self.cpu)];
+    bool earliest = true;
+    for (const Cpu& other : cpus_) {
+      if (other.running < 0 || other.index == mine.index) continue;
+      if (other.now < mine.now ||
+          (other.now == mine.now && other.index < mine.index)) {
+        earliest = false;
+        break;
+      }
+    }
+    if (earliest) return;
+    swap_to_kernel(ResumeReason::kWaitTurn);
+  }
+}
+
+void SimKernel::charge_raw(std::int64_t ns) {
+  SimProcess& self = current_process();
+  cpus_[static_cast<std::size_t>(self.cpu)].now += ns;
+  self.stats.cpu_ns += ns;
+}
+
+void SimKernel::run_hook(OpKind kind) {
+  if (!op_hook_ || in_hook_) return;
+  in_hook_ = true;
+  const std::optional<int> target = op_hook_(kind, current_);
+  in_hook_ = false;
+  if (!target.has_value()) return;
+  if (*target >= 0 && *target < process_count() &&
+      procs_[static_cast<std::size_t>(*target)]->state == ProcState::kReady) {
+    // Move the requested process to the head of the ready queue so it runs
+    // next on this CPU.
+    auto it = std::find(ready_.begin(), ready_.end(), *target);
+    if (it != ready_.end()) {
+      ready_.erase(it);
+      ready_.push_front(*target);
+    }
+  }
+  if (!ready_.empty()) {
+    ++current_process().stats.involuntary_switches;
+    record(TraceKind::kPreempt, current_, current_process().cpu, 1);
+    voluntary_switch_out();
+  }
+}
+
+void SimKernel::op_finish(OpKind kind, std::int64_t cost) {
+  ++ops_;
+  if (cost > 0) charge_raw(cost);
+  SimProcess& self = current_process();
+  const Cpu& mine = cpus_[static_cast<std::size_t>(self.cpu)];
+  // Guards must trip even if this fiber never blocks (e.g. a spinning pair
+  // under a policy whose yield is a no-op). The fiber is suspended and the
+  // kernel loop converts this into a SimTimeout from the main context.
+  if (ops_ > max_ops_ || mine.now > max_virtual_ns_) {
+    swap_to_kernel(ResumeReason::kGuard);
+  }
+  // Quantum expiry: involuntary switch at the next operation boundary.
+  if (mine.now - self.slice_start >= machine_.costs.quantum &&
+      !ready_.empty()) {
+    ++self.stats.involuntary_switches;
+    record(TraceKind::kPreempt, self.pid, self.cpu, 0);
+    voluntary_switch_out();
+  }
+  run_hook(kind);
+}
+
+void SimKernel::voluntary_switch_out() {
+  // "Voluntary" in the mechanical sense: the fiber gives up its CPU and
+  // remains ready. Caller already updated the right stat counter.
+  swap_to_kernel(ResumeReason::kYielded);
+}
+
+bool SimKernel::policy_says_switch(const SimProcess& self, const Cpu& c) const {
+  switch (policy_) {
+    case PolicyKind::kFixed:
+    case PolicyKind::kModYield:
+      return true;
+    case PolicyKind::kTickOnly:
+      return false;
+    case PolicyKind::kAging: {
+      const auto n_other = static_cast<std::int64_t>(ready_.size());
+      if (n_other == 0) return false;
+      const std::int64_t defer = machine_.defer_scaled_by_ready
+                                     ? machine_.defer_base_ns / n_other
+                                     : machine_.defer_base_ns;
+      return (c.now - self.slice_start) >= defer;
+    }
+  }
+  return true;
+}
+
+void SimKernel::yield_syscall() {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.yields;
+  ++self.stats.syscalls;
+  ++self.yields_this_slice;
+  const int n_procs_contending =
+      static_cast<int>(ready_.size()) + 1;  // ready plus the caller
+  if (policy_ == PolicyKind::kFixed && machine_.fixed_yield_cost_ns > 0) {
+    // Fixed-priority class: its own base requeue cost, but the run-queue
+    // scan component still grows with load exactly as on the timeshare path.
+    const std::int64_t scan = std::max<std::int64_t>(
+        0, machine_.yield_cost(n_procs_contending) - machine_.yield_cost(2));
+    charge_raw(machine_.fixed_yield_cost_ns + scan);
+  } else {
+    charge_raw(machine_.yield_cost(n_procs_contending));
+  }
+  const Cpu& mine = cpus_[static_cast<std::size_t>(self.cpu)];
+  const bool do_switch = policy_says_switch(self, mine) && !ready_.empty();
+  record(do_switch ? TraceKind::kYieldSwitch : TraceKind::kYieldNoop,
+         self.pid, self.cpu, static_cast<std::int64_t>(self.yields_this_slice));
+  if (do_switch) {
+    ++self.stats.voluntary_switches;
+    voluntary_switch_out();
+  }
+  run_hook(OpKind::kYield);
+}
+
+void SimKernel::handoff_syscall(int target_pid) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.handoffs;
+  ++self.stats.syscalls;
+  charge_raw(machine_.costs.handoff);
+  record(TraceKind::kHandoff, self.pid, self.cpu, target_pid);
+  if (target_pid == kPidSelf) {
+    // "same semantics as yield" — the policy decides.
+    const Cpu& mine = cpus_[static_cast<std::size_t>(self.cpu)];
+    if (policy_says_switch(self, mine) && !ready_.empty()) {
+      ++self.stats.voluntary_switches;
+      voluntary_switch_out();
+    }
+  } else if (target_pid == kPidAny) {
+    // Block-and-run-anyone: forced rotation regardless of priority.
+    if (!ready_.empty()) {
+      ++self.stats.voluntary_switches;
+      voluntary_switch_out();
+    }
+  } else if (target_pid >= 0 && target_pid < process_count()) {
+    SimProcess& target = *procs_[static_cast<std::size_t>(target_pid)];
+    if (target.state == ProcState::kReady) {
+      auto it = std::find(ready_.begin(), ready_.end(), target_pid);
+      if (it != ready_.end()) {
+        ready_.erase(it);
+        ready_.push_front(target_pid);
+      }
+      ++self.stats.voluntary_switches;
+      voluntary_switch_out();
+    }
+    // Target not ready: the syscall is a costly no-op, as specified.
+  }
+  run_hook(OpKind::kHandoff);
+}
+
+void SimKernel::block_current(TraceKind kind, std::int64_t aux) {
+  SimProcess& self = current_process();
+  ++self.stats.blocks;
+  ++self.stats.voluntary_switches;
+  self.state = ProcState::kBlocked;
+  record(kind, self.pid, self.cpu, aux);
+  swap_to_kernel(ResumeReason::kBlocked);
+}
+
+void SimKernel::sem_p(SimSemaphore& sem) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.syscalls;
+  charge_raw(machine_.costs.semop);
+  ++sem.total_waits;
+  if (sem.count > 0) {
+    --sem.count;
+  } else {
+    sem.waiters.push_back(self.pid);
+    block_current(TraceKind::kBlock, 0);
+    // Woken by sem_v, which transferred one unit directly to us.
+  }
+  op_finish(OpKind::kSemP, 0);
+}
+
+void SimKernel::sem_v(SimSemaphore& sem) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.syscalls;
+  charge_raw(machine_.costs.semop);
+  ++sem.total_posts;
+  if (!sem.waiters.empty()) {
+    const int waiter = sem.waiters.front();
+    sem.waiters.pop_front();
+    charge_raw(machine_.costs.wake);
+    make_ready(waiter);
+    // Deliberately no rescheduling decision here: the paper's observation
+    // that V() readies the sleeper but the caller keeps the CPU.
+  } else {
+    ++sem.count;
+    sem.max_count_seen = std::max(sem.max_count_seen, sem.count);
+  }
+  op_finish(OpKind::kSemV, 0);
+}
+
+void SimKernel::sleep_ns(std::int64_t ns) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.syscalls;
+  ++self.stats.voluntary_switches;
+  charge_raw(kSleepSyscallCost);
+  self.state = ProcState::kSleeping;
+  self.wake_time = cpus_[static_cast<std::size_t>(self.cpu)].now + ns;
+  record(TraceKind::kSleep, self.pid, self.cpu, ns);
+  timers_.push_back(Timer{self.wake_time, self.pid});
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  swap_to_kernel(ResumeReason::kSleeping);
+  op_finish(OpKind::kSleep, 0);
+}
+
+void SimKernel::msgq_snd(SimMsgQueue& q, long mtype, const Message& msg) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.syscalls;
+  charge_raw(machine_.costs.msgsnd);
+  // Deliver directly to a matching blocked receiver if one exists.
+  for (auto it = q.waiters.begin(); it != q.waiters.end(); ++it) {
+    if (it->mtype == 0 || it->mtype == mtype) {
+      *it->out = msg;
+      const int pid = it->pid;
+      q.waiters.erase(it);
+      charge_raw(machine_.costs.wake);
+      make_ready(pid);
+      op_finish(OpKind::kMsgSnd, 0);
+      return;
+    }
+  }
+  q.messages.push_back(SimMsgQueue::Pending{mtype, msg});
+  op_finish(OpKind::kMsgSnd, 0);
+}
+
+void SimKernel::msgq_rcv(SimMsgQueue& q, long mtype, Message* out) {
+  op_sync();
+  SimProcess& self = current_process();
+  ++self.stats.syscalls;
+  charge_raw(machine_.costs.msgrcv);
+  for (auto it = q.messages.begin(); it != q.messages.end(); ++it) {
+    if (mtype == 0 || it->mtype == mtype) {
+      *out = it->msg;
+      q.messages.erase(it);
+      op_finish(OpKind::kMsgRcv, 0);
+      return;
+    }
+  }
+  q.waiters.push_back(SimMsgQueue::Waiter{self.pid, mtype, out});
+  block_current(TraceKind::kBlock, 1);
+  op_finish(OpKind::kMsgRcv, 0);
+}
+
+void SimKernel::exit_current() {
+  SimProcess& self = current_process();
+  self.state = ProcState::kDone;
+  record(TraceKind::kExit, self.pid, self.cpu, 0);
+  swap_to_kernel(ResumeReason::kExited);
+  ULIPC_INVARIANT(false, "resumed an exited process");
+}
+
+void SimKernel::make_ready(int pid, bool to_front) {
+  SimProcess& proc = *procs_[static_cast<std::size_t>(pid)];
+  ULIPC_INVARIANT(proc.state == ProcState::kBlocked ||
+                      proc.state == ProcState::kSleeping ||
+                      proc.state == ProcState::kNew,
+                  "make_ready on a runnable process");
+  proc.state = ProcState::kReady;
+  proc.ready_since = now();
+  record(TraceKind::kWake, pid, current_ >= 0 ? current_process().cpu : -1, 0);
+  if (to_front) {
+    ready_.push_front(pid);
+  } else {
+    ready_.push_back(pid);
+  }
+}
+
+void SimKernel::record(TraceKind kind, int pid, int cpu, std::int64_t aux) {
+  if (!trace_enabled_) return;
+  std::int64_t t = 0;
+  if (cpu >= 0) {
+    t = cpus_[static_cast<std::size_t>(cpu)].now;
+  } else {
+    t = now();
+  }
+  trace_.push_back(TraceEvent{t, pid, cpu, kind, aux});
+}
+
+// --------------------------------------------------------------- kernel loop
+
+void SimKernel::dispatch_all() {
+  for (;;) {
+    if (ready_.empty()) return;
+    // Choose the idle CPU that can start the next ready process soonest.
+    int best = -1;
+    std::int64_t best_start = 0;
+    const int next_pid = ready_.front();
+    const std::int64_t ready_since =
+        procs_[static_cast<std::size_t>(next_pid)]->ready_since;
+    for (const Cpu& c : cpus_) {
+      if (c.running >= 0) continue;
+      const std::int64_t start = std::max(c.now, ready_since);
+      if (best < 0 || start < best_start) {
+        best = c.index;
+        best_start = start;
+      }
+    }
+    if (best < 0) return;  // no idle CPU
+    ready_.pop_front();
+    Cpu& c = cpus_[static_cast<std::size_t>(best)];
+    SimProcess& proc = *procs_[static_cast<std::size_t>(next_pid)];
+    c.now = best_start + machine_.costs.ctx_switch;
+    c.running = next_pid;
+    proc.state = ProcState::kRunning;
+    proc.cpu = best;
+    proc.slice_start = c.now;
+    proc.yields_this_slice = 0;
+    record(TraceKind::kDispatch, next_pid, best, 0);
+  }
+}
+
+int SimKernel::pick_min_running_cpu() const noexcept {
+  int best = -1;
+  for (const Cpu& c : cpus_) {
+    if (c.running < 0) continue;
+    if (best < 0 || c.now < cpus_[static_cast<std::size_t>(best)].now) {
+      best = c.index;
+    }
+  }
+  return best;
+}
+
+void SimKernel::fire_due_timer() {
+  std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
+  const Timer t = timers_.back();
+  timers_.pop_back();
+  SimProcess& proc = *procs_[static_cast<std::size_t>(t.pid)];
+  if (proc.state != ProcState::kSleeping) return;  // e.g. already exited
+  proc.state = ProcState::kReady;
+  proc.ready_since = t.fire_at;
+  record(TraceKind::kTimerFire, t.pid, -1, t.fire_at);
+  ready_.push_back(t.pid);
+}
+
+std::string SimKernel::describe_blocked() const {
+  std::ostringstream os;
+  os << "simulation deadlock: all remaining processes blocked:";
+  for (const auto& p : procs_) {
+    if (p->state == ProcState::kBlocked) {
+      os << " [" << p->pid << ":" << p->name << "]";
+    }
+  }
+  return os.str();
+}
+
+void SimKernel::run() {
+  ULIPC_INVARIANT(!running_, "run() reentered");
+  running_ = true;
+  live_count_ = 0;
+  for (auto& p : procs_) {
+    if (p->state == ProcState::kNew) {
+      p->state = ProcState::kReady;
+      p->ready_since = 0;
+      ready_.push_back(p->pid);
+    }
+    if (p->state != ProcState::kDone) ++live_count_;
+  }
+
+  while (live_count_ > 0) {
+    dispatch_all();
+    const int cpu_idx = pick_min_running_cpu();
+    if (cpu_idx < 0) {
+      if (!timers_.empty()) {
+        fire_due_timer();
+        continue;
+      }
+      running_ = false;
+      throw SimDeadlock(describe_blocked());
+    }
+    Cpu& c = cpus_[static_cast<std::size_t>(cpu_idx)];
+    SimProcess& proc = *procs_[static_cast<std::size_t>(c.running)];
+    current_ = proc.pid;
+    proc.fiber->switch_from(&kernel_ctx_);
+    current_ = -1;
+
+    switch (proc.resume_reason) {
+      case ResumeReason::kWaitTurn:
+        break;  // stays running; loop re-picks the minimum clock
+      case ResumeReason::kYielded:
+        proc.state = ProcState::kReady;
+        proc.ready_since = c.now;
+        ready_.push_back(proc.pid);
+        c.running = -1;
+        break;
+      case ResumeReason::kBlocked:
+      case ResumeReason::kSleeping:
+        c.running = -1;
+        break;
+      case ResumeReason::kExited:
+        c.running = -1;
+        --live_count_;
+        break;
+      case ResumeReason::kGuard:
+        running_ = false;
+        throw SimTimeout("simulation guard tripped (ops=" +
+                         std::to_string(ops_) + ", t=" +
+                         std::to_string(c.now) + "ns)");
+      case ResumeReason::kNone:
+        running_ = false;
+        throw InvariantError("fiber returned without a resume reason");
+    }
+
+    if (ops_ > max_ops_) {
+      running_ = false;
+      throw SimTimeout("simulation exceeded max op count");
+    }
+    if (c.now > max_virtual_ns_) {
+      running_ = false;
+      throw SimTimeout("simulation exceeded max virtual time");
+    }
+  }
+  running_ = false;
+}
+
+const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kDispatch: return "dispatch";
+    case TraceKind::kYieldNoop: return "yield-noop";
+    case TraceKind::kYieldSwitch: return "yield-switch";
+    case TraceKind::kPreempt: return "preempt";
+    case TraceKind::kBlock: return "block";
+    case TraceKind::kWake: return "wake";
+    case TraceKind::kSleep: return "sleep";
+    case TraceKind::kTimerFire: return "timer-fire";
+    case TraceKind::kHandoff: return "handoff";
+    case TraceKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+std::string format_trace_event(const TraceEvent& e) {
+  std::ostringstream os;
+  os << e.time_ns << "ns cpu" << e.cpu << " pid" << e.pid << " "
+     << trace_kind_name(e.kind) << " aux=" << e.aux;
+  return os.str();
+}
+
+}  // namespace ulipc::sim

@@ -1,0 +1,199 @@
+// The simulator kernel: a deterministic discrete-event model of an N-CPU
+// machine running a 1998-style Unix scheduler.
+//
+// Execution model
+// ---------------
+// Every simulated process is a fiber. The kernel runs exactly one fiber at a
+// time; virtual interleaving comes from per-CPU virtual clocks. All shared
+// simulation state (queues, flags, semaphores) is only touched inside
+// platform operations, and every operation begins with op_sync(), which
+// parks the fiber until its CPU holds the minimum virtual clock among
+// executing CPUs. Hence the observable interleaving is exactly the
+// virtual-time order, and runs are bit-for-bit reproducible.
+//
+// Scheduling model
+// ----------------
+// A global ready queue plus one of four policies (machine.hpp):
+//  * kAging    — yield keeps the CPU until the caller has run for
+//                defer_base/n_ready since dispatch (priority degradation);
+//  * kFixed    — yield always rotates (non-degrading priorities);
+//  * kTickOnly — yield never switches; only quantum expiry does;
+//  * kModYield — yield expires the quantum and forces a switch.
+// Waking a blocked process (sem_v, msgq_snd) never forces a rescheduling
+// decision — the paper's central observation about V().
+// The proposed handoff(pid | PID_SELF | PID_ANY) syscall (paper §6) is
+// always available.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "queue/message.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_objects.hpp"
+#include "sim/sim_process.hpp"
+#include "sim/trace.hpp"
+
+namespace ulipc::sim {
+
+/// All blocked, nothing ready, no timers pending: the lost-wakeup outcome
+/// the paper's Figure 4 interleavings warn about.
+class SimDeadlock : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Virtual time or operation-count guard exceeded.
+class SimTimeout : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Operation kinds, used by the test hook to force preemption at exact
+/// protocol steps (reproducing the paper's execution interleavings).
+enum class OpKind : std::uint8_t {
+  kEnqueue,
+  kDequeue,
+  kEmptyCheck,
+  kTas,
+  kFlagStore,
+  kSemP,
+  kSemV,
+  kYield,
+  kHandoff,
+  kSleep,
+  kMsgSnd,
+  kMsgRcv,
+  kCharge,
+};
+
+class SimKernel {
+ public:
+  explicit SimKernel(Machine machine)
+      : SimKernel(machine, machine.default_policy) {}
+  SimKernel(Machine machine, PolicyKind policy);
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // ---- setup (before run) ----
+
+  /// Creates a process that will execute `body` when the simulation runs.
+  /// Returns its pid (dense, starting at 0).
+  int spawn(std::string name, std::function<void()> body);
+
+  /// Records dispatch/yield/block/... events for tests and visualisation.
+  void enable_trace(bool on) noexcept { trace_enabled_ = on; }
+
+  /// Test hook, invoked after every operation with (kind, pid). Returning a
+  /// pid forces an immediate preemption with that process moved to the head
+  /// of the ready queue (kPidAny = plain forced preemption); nullopt means
+  /// "no interference".
+  using OpHook = std::function<std::optional<int>(OpKind, int)>;
+  void set_op_hook(OpHook hook) { op_hook_ = std::move(hook); }
+
+  /// Safety guards (defaults are generous; tests may tighten them).
+  void set_max_virtual_ns(std::int64_t ns) noexcept { max_virtual_ns_ = ns; }
+  void set_max_ops(std::uint64_t n) noexcept { max_ops_ = n; }
+
+  // ---- execution ----
+
+  /// Runs until every process has exited. Throws SimDeadlock if all
+  /// remaining processes are blocked with no pending timer, SimTimeout if a
+  /// guard trips.
+  void run();
+
+  // ---- operations, callable only from inside a running fiber ----
+
+  /// Multiprocessor causality: parks the calling fiber until its CPU clock
+  /// is the global minimum among executing CPUs. Every op calls this first.
+  void op_sync();
+
+  /// Charges `cost` virtual ns, fires the test hook, and preempts the
+  /// caller if its quantum expired. Every op calls this last.
+  void op_finish(OpKind kind, std::int64_t cost);
+
+  void yield_syscall();
+  void handoff_syscall(int target_pid);  // pid, kPidSelf, or kPidAny
+  void sem_p(SimSemaphore& sem);
+  void sem_v(SimSemaphore& sem);
+  void sleep_ns(std::int64_t ns);
+  void msgq_snd(SimMsgQueue& q, long mtype, const Message& msg);
+  void msgq_rcv(SimMsgQueue& q, long mtype, Message* out);
+
+  /// Virtual time of the calling fiber's CPU (inside a fiber) or the global
+  /// maximum (outside).
+  [[nodiscard]] std::int64_t now() const noexcept;
+
+  // ---- introspection ----
+
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] PolicyKind policy() const noexcept { return policy_; }
+  [[nodiscard]] int process_count() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+  [[nodiscard]] SimProcess& process(int pid) { return *procs_.at(pid); }
+  [[nodiscard]] SimProcess& current_process();
+  [[nodiscard]] int current_pid() const noexcept { return current_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] std::uint64_t total_ops() const noexcept { return ops_; }
+
+ private:
+  struct Cpu {
+    int index = 0;
+    std::int64_t now = 0;
+    int running = -1;  // pid or -1
+  };
+
+  struct Timer {
+    std::int64_t fire_at;
+    int pid;
+    bool operator>(const Timer& o) const noexcept {
+      return fire_at > o.fire_at || (fire_at == o.fire_at && pid > o.pid);
+    }
+  };
+
+  // Fiber-side helpers.
+  void swap_to_kernel(ResumeReason reason);
+  void voluntary_switch_out();
+  void block_current(TraceKind kind, std::int64_t aux);
+  void exit_current();
+  [[nodiscard]] bool policy_says_switch(const SimProcess& self, const Cpu& c) const;
+  void record(TraceKind kind, int pid, int cpu, std::int64_t aux);
+  void make_ready(int pid, bool to_front = false);
+  void charge_raw(std::int64_t ns);
+  void run_hook(OpKind kind);
+
+  // Kernel-loop helpers.
+  void dispatch_all();
+  [[nodiscard]] int pick_min_running_cpu() const noexcept;
+  void fire_due_timer();
+  [[nodiscard]] std::string describe_blocked() const;
+
+  Machine machine_;
+  PolicyKind policy_;
+  std::vector<std::unique_ptr<SimProcess>> procs_;
+  std::vector<Cpu> cpus_;
+  std::deque<int> ready_;
+  std::vector<Timer> timers_;  // min-heap via std::push_heap/greater
+  int current_ = -1;
+  int live_count_ = 0;
+  bool running_ = false;
+  bool in_hook_ = false;
+  ucontext_t kernel_ctx_{};
+
+  bool trace_enabled_ = false;
+  std::vector<TraceEvent> trace_;
+  OpHook op_hook_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t max_ops_ = 500'000'000;
+  std::int64_t max_virtual_ns_ = 50'000'000'000'000LL;  // 50,000 virtual s
+};
+
+}  // namespace ulipc::sim

@@ -1,0 +1,76 @@
+// Passive simulation objects: queues, semaphores, SysV-model message
+// queues, and the endpoint bundle the protocols operate on.
+//
+// The simulation is single-threaded and advances shared state only at
+// platform-operation boundaries, so these are plain containers — no atomics
+// needed. All blocking behaviour lives in the kernel (sim_kernel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "queue/message.hpp"
+
+namespace ulipc::sim {
+
+/// Special pid values for the handoff syscall (paper §6).
+inline constexpr int kPidAny = -1;
+inline constexpr int kPidSelf = -2;
+
+/// Counting semaphore: value + FIFO wait list (pids).
+struct SimSemaphore {
+  std::int64_t count = 0;
+  std::deque<int> waiters;
+
+  // Lifetime totals for tests (e.g. semaphore-overflow detection in the
+  // broken-protocol experiments).
+  std::int64_t max_count_seen = 0;
+  std::uint64_t total_posts = 0;
+  std::uint64_t total_waits = 0;
+};
+
+/// Bounded FIFO of messages — the simulated shared-memory queue.
+struct SimQueueObj {
+  explicit SimQueueObj(
+      std::uint32_t capacity = std::numeric_limits<std::uint32_t>::max())
+      : capacity_(capacity) {}
+
+  [[nodiscard]] bool full() const noexcept { return fifo.size() >= capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return fifo.empty(); }
+
+  std::deque<Message> fifo;
+  std::uint32_t capacity_;
+};
+
+/// The paper's Q[x]: queue + awake flag + the consumer's semaphore.
+struct SimEndpoint {
+  explicit SimEndpoint(
+      std::uint32_t capacity = std::numeric_limits<std::uint32_t>::max())
+      : queue(capacity) {}
+
+  SimQueueObj queue;
+  SimSemaphore sem;
+  int awake = 1;        // everyone starts awake
+  int partner_pid = kPidAny;  // hand-off target when waiting on this queue
+  int id = 0;           // diagnostic label
+};
+
+/// SysV message queue model: mtype-tagged messages with blocked receivers.
+struct SimMsgQueue {
+  struct Pending {
+    long mtype;
+    Message msg;
+  };
+  struct Waiter {
+    int pid;
+    long mtype;       // 0 = any
+    Message* out;     // where the kernel delivers on wake
+  };
+
+  std::deque<Pending> messages;
+  std::deque<Waiter> waiters;
+};
+
+}  // namespace ulipc::sim

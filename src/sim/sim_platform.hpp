@@ -1,0 +1,139 @@
+// SimPlatform: the Platform-concept implementation backed by SimKernel.
+//
+// One SimPlatform instance can be shared by every simulated process — all
+// per-process state (counters, clocks) is looked up through the kernel's
+// current-process notion. Each operation charges the machine's cost table
+// and passes through the kernel's preemption/hook machinery, so protocol
+// code behaves exactly as it would under the modelled scheduler.
+//
+// busy_wait()/poll_queue() follow the paper's platform split: a yield()
+// system call on a uniprocessor, a 25 us delay slice on a multiprocessor.
+// With use_handoff(true), busy_wait instead issues the proposed
+// handoff(pid) syscall toward the endpoint's partner process (paper §6).
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/platform.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_objects.hpp"
+
+namespace ulipc::sim {
+
+class SimPlatform {
+ public:
+  using Endpoint = SimEndpoint;
+
+  explicit SimPlatform(SimKernel& kernel) : k_(&kernel) {}
+
+  /// Route busy_wait through handoff(partner_pid) instead of yield().
+  void use_handoff(bool on) noexcept { use_handoff_ = on; }
+
+  // ---- queue ----
+
+  bool enqueue(Endpoint& ep, const Message& msg) {
+    k_->op_sync();
+    const bool ok = !ep.queue.full();
+    if (ok) ep.queue.fifo.push_back(msg);
+    k_->op_finish(OpKind::kEnqueue, k_->machine().costs.enqueue);
+    return ok;
+  }
+
+  bool dequeue(Endpoint& ep, Message* out) {
+    k_->op_sync();
+    const bool ok = !ep.queue.empty();
+    if (ok) {
+      *out = ep.queue.fifo.front();
+      ep.queue.fifo.pop_front();
+    }
+    k_->op_finish(OpKind::kDequeue, k_->machine().costs.dequeue);
+    return ok;
+  }
+
+  bool queue_empty(Endpoint& ep) {
+    k_->op_sync();
+    const bool empty = ep.queue.empty();
+    k_->op_finish(OpKind::kEmptyCheck, k_->machine().costs.empty_check);
+    return empty;
+  }
+
+  // ---- awake flag ----
+
+  bool tas_awake(Endpoint& ep) {
+    k_->op_sync();
+    const bool prev = ep.awake != 0;
+    ep.awake = 1;
+    k_->op_finish(OpKind::kTas, k_->machine().costs.tas);
+    return prev;
+  }
+
+  void clear_awake(Endpoint& ep) {
+    k_->op_sync();
+    ep.awake = 0;
+    k_->op_finish(OpKind::kFlagStore, k_->machine().costs.tas);
+  }
+
+  void set_awake(Endpoint& ep) {
+    k_->op_sync();
+    ep.awake = 1;
+    k_->op_finish(OpKind::kFlagStore, k_->machine().costs.tas);
+  }
+
+  bool awake_is_set(Endpoint& ep) {
+    k_->op_sync();
+    const bool set = ep.awake != 0;
+    k_->op_finish(OpKind::kFlagStore, k_->machine().costs.tas);
+    return set;
+  }
+
+  // ---- semaphore ----
+
+  void sem_p(Endpoint& ep) { k_->sem_p(ep.sem); }
+  void sem_v(Endpoint& ep) { k_->sem_v(ep.sem); }
+
+  // ---- scheduling ----
+
+  void yield() { k_->yield_syscall(); }
+
+  void busy_wait(Endpoint& ep) {
+    if (k_->machine().cpus > 1) {
+      // Multiprocessor: burn a poll slice; no syscall.
+      k_->op_sync();
+      k_->op_finish(OpKind::kCharge, k_->machine().costs.poll_slice);
+    } else if (use_handoff_) {
+      k_->handoff_syscall(ep.partner_pid);
+    } else {
+      k_->yield_syscall();
+    }
+  }
+
+  void poll_queue(Endpoint& ep) { busy_wait(ep); }
+
+  void sleep_seconds(int secs) {
+    k_->sleep_ns(static_cast<std::int64_t>(secs) * 1'000'000'000LL);
+  }
+
+  void fence() noexcept {
+    // The simulation is sequentially consistent by construction.
+  }
+
+  void work_us(double us) {
+    k_->op_sync();
+    k_->op_finish(OpKind::kCharge,
+                  static_cast<std::int64_t>(us * 1'000.0));
+  }
+
+  [[nodiscard]] std::int64_t time_ns() { return k_->now(); }
+
+  ProtocolCounters& counters() { return k_->current_process().counters; }
+
+  [[nodiscard]] SimKernel& kernel() noexcept { return *k_; }
+
+ private:
+  SimKernel* k_;
+  bool use_handoff_ = false;
+};
+
+static_assert(Platform<SimPlatform>);
+
+}  // namespace ulipc::sim

@@ -1,0 +1,61 @@
+// Simulated process: a fiber plus scheduling state and statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "protocols/platform.hpp"
+#include "sim/fiber.hpp"
+
+namespace ulipc::sim {
+
+enum class ProcState : std::uint8_t {
+  kNew,       // spawned, not yet admitted to the ready queue
+  kReady,     // runnable, waiting for a CPU
+  kRunning,   // assigned to a CPU (possibly waiting for its virtual turn)
+  kBlocked,   // on a semaphore or message queue
+  kSleeping,  // timed sleep
+  kDone,      // body returned
+};
+
+/// Why a fiber handed control back to the kernel loop.
+enum class ResumeReason : std::uint8_t {
+  kNone,
+  kWaitTurn,   // multiprocessor time-ordering: not the minimum clock
+  kYielded,    // gives up the CPU (voluntary or preempted); still ready
+  kBlocked,    // parked on a wait list
+  kSleeping,   // timed sleep
+  kExited,     // process finished
+  kGuard,      // op-count / virtual-time guard tripped mid-operation
+};
+
+/// Per-process accounting, mirroring what the paper extracted via getrusage.
+struct SimProcStats {
+  std::int64_t cpu_ns = 0;
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+  std::uint64_t yields = 0;          // yield syscalls issued
+  std::uint64_t handoffs = 0;        // handoff syscalls issued
+  std::uint64_t blocks = 0;          // times actually parked
+  std::uint64_t syscalls = 0;        // every simulated kernel crossing
+};
+
+struct SimProcess {
+  int pid = -1;
+  std::string name;
+  std::unique_ptr<Fiber> fiber;
+  ProcState state = ProcState::kNew;
+  ResumeReason resume_reason = ResumeReason::kNone;
+
+  int cpu = -1;                     // CPU currently assigned (if kRunning)
+  std::int64_t ready_since = 0;     // when it last became ready
+  std::int64_t slice_start = 0;     // when it last got a CPU
+  std::int64_t wake_time = 0;       // for kSleeping
+  std::uint64_t yields_this_slice = 0;
+
+  SimProcStats stats;
+  ProtocolCounters counters;        // protocol-level counters (SimPlatform)
+};
+
+}  // namespace ulipc::sim

@@ -1,0 +1,40 @@
+// Optional schedule trace: a flat record of scheduling-relevant events,
+// used by determinism tests (identical seeds must yield identical traces)
+// and by the sim_trace example to visualize protocol behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulipc::sim {
+
+enum class TraceKind : std::uint8_t {
+  kDispatch,    // process got a CPU
+  kYieldNoop,   // yield syscall that kept the CPU
+  kYieldSwitch, // yield syscall that released the CPU
+  kPreempt,     // quantum expiry
+  kBlock,       // parked on a wait object
+  kWake,        // made ready by another process
+  kSleep,       // timed sleep started
+  kTimerFire,   // timed sleep finished
+  kHandoff,     // handoff syscall
+  kExit,        // process finished
+};
+
+const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  std::int64_t time_ns;
+  int pid;
+  int cpu;
+  TraceKind kind;
+  std::int64_t aux;  // kind-specific detail (target pid, sleep ns, ...)
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+/// Renders one event as a fixed-width text line.
+std::string format_trace_event(const TraceEvent& e);
+
+}  // namespace ulipc::sim

@@ -1,0 +1,46 @@
+#include "common/cacheline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ulipc {
+namespace {
+
+TEST(AlignUp, Basics) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(63, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(7, 8), 8u);
+}
+
+TEST(CacheAligned, OccupiesFullLines) {
+  EXPECT_EQ(sizeof(CacheAligned<char>), kCacheLineSize);
+  EXPECT_EQ(sizeof(CacheAligned<std::uint64_t>), kCacheLineSize);
+  EXPECT_EQ(alignof(CacheAligned<char>), kCacheLineSize);
+  struct Big {
+    char data[70];
+  };
+  EXPECT_EQ(sizeof(CacheAligned<Big>), 2 * kCacheLineSize);
+}
+
+TEST(CacheAligned, AccessorsWork) {
+  CacheAligned<int> v(41);
+  EXPECT_EQ(*v, 41);
+  *v += 1;
+  EXPECT_EQ(v.value, 42);
+  const CacheAligned<int> c(7);
+  EXPECT_EQ(*c, 7);
+}
+
+TEST(CacheAligned, ArrayElementsOnDistinctLines) {
+  CacheAligned<int> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(b - a, kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,63 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulipc {
+namespace {
+
+TEST(Clock, MonotonicNonDecreasing) {
+  std::int64_t prev = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t t = now_ns();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Clock, ThreadCpuAdvancesUnderWork) {
+  // The thread CPU clock may be coarse on sandboxed kernels; spin in rounds
+  // until it visibly advances (bounded by a generous total).
+  const std::int64_t before = thread_cpu_ns();
+  std::int64_t after = before;
+  for (int round = 0; round < 100 && after <= before; ++round) {
+    DelayLoop::spin_ns(2'000'000);  // 2 ms of spinning per round
+    after = thread_cpu_ns();
+  }
+  EXPECT_GT(after, before);
+}
+
+TEST(DelayLoop, CalibrationIsPositiveAndCached) {
+  const double a = DelayLoop::iters_per_ns();
+  const double b = DelayLoop::iters_per_ns();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b) << "calibration must be cached";
+}
+
+TEST(DelayLoop, SpinDurationRoughlyCalibrated) {
+  // The calibration and this measurement both race with other load on a
+  // shared CI box, so accept any of several attempts landing within a
+  // factor of ~6 of the requested duration.
+  constexpr std::int64_t kTarget = 5'000'000;  // 5 ms
+  bool in_band = false;
+  for (int attempt = 0; attempt < 5 && !in_band; ++attempt) {
+    const std::int64_t t0 = now_ns();
+    DelayLoop::spin_ns(kTarget);
+    const std::int64_t elapsed = now_ns() - t0;
+    in_band = elapsed > kTarget / 6 && elapsed < kTarget * 6;
+  }
+  EXPECT_TRUE(in_band);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  DelayLoop::spin_ns(1'000'000);
+  EXPECT_GT(sw.elapsed_ns(), 0);
+  EXPECT_GT(sw.elapsed_us(), 0.0);
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+  const double before = sw.elapsed_ms();
+  sw.reset();
+  EXPECT_LE(sw.elapsed_ms(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,58 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+namespace ulipc {
+namespace {
+
+TEST(SysError, CarriesErrnoAndMessage) {
+  const SysError e("opening widget", ENOENT);
+  EXPECT_EQ(e.errno_value(), ENOENT);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("opening widget"), std::string::npos);
+  EXPECT_NE(what.find(std::to_string(ENOENT)), std::string::npos);
+}
+
+TEST(SysError, ThrowErrnoUsesCurrentErrno) {
+  errno = EAGAIN;
+  try {
+    throw_errno("resource probe");
+    FAIL() << "throw_errno must not return";
+  } catch (const SysError& e) {
+    EXPECT_EQ(e.errno_value(), EAGAIN);
+  }
+}
+
+TEST(CheckErrno, PassesOnTrue) {
+  EXPECT_NO_THROW(ULIPC_CHECK_ERRNO(true, "never fires"));
+}
+
+TEST(CheckErrno, ThrowsOnFalse) {
+  errno = EPERM;
+  EXPECT_THROW(ULIPC_CHECK_ERRNO(false, "fires"), SysError);
+}
+
+TEST(Invariant, PassesOnTrue) {
+  EXPECT_NO_THROW(ULIPC_INVARIANT(1 + 1 == 2, "math"));
+}
+
+TEST(Invariant, MessageNamesFileAndText) {
+  try {
+    ULIPC_INVARIANT(false, "the-condition");
+    FAIL() << "must throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the-condition"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Invariant, IsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(ULIPC_INVARIANT(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,120 @@
+// benchsupport: FigureReport rendering/shape checks and the Args parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchsupport/args.hpp"
+#include "benchsupport/figure.hpp"
+
+namespace ulipc::bench {
+namespace {
+
+// ------------------------------------------------------------ FigureReport
+
+TEST(FigureReport, RendersSeriesTable) {
+  FigureReport r("Fig X", "test figure", "clients", "msgs/ms");
+  Series& s = r.add_series("BSS");
+  s.x = {1, 2, 3};
+  s.y = {10.0, 20.0, 30.0};
+  std::ostringstream os;
+  EXPECT_EQ(r.render(os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("BSS"), std::string::npos);
+  EXPECT_NE(out.find("20.00"), std::string::npos);
+}
+
+TEST(FigureReport, SeriesReferencesSurviveFurtherAdds) {
+  // add_series must not invalidate previously returned references.
+  FigureReport r("Fig", "t", "x", "y");
+  Series& first = r.add_series("one");
+  for (int i = 0; i < 20; ++i) r.add_series("filler" + std::to_string(i));
+  first.x.push_back(1.0);
+  first.y.push_back(2.0);
+  EXPECT_EQ(first.label, "one");
+}
+
+TEST(FigureReport, FailedChecksCountAndRender) {
+  FigureReport r("Fig", "t", "x", "y");
+  r.check("passes", true, "detail-a");
+  r.check("fails", false, "detail-b");
+  std::ostringstream os;
+  EXPECT_EQ(r.render(os), 1);
+  EXPECT_EQ(r.failed_checks(), 1);
+  EXPECT_NE(os.str().find("[shape OK]"), std::string::npos);
+  EXPECT_NE(os.str().find("[shape MISMATCH]"), std::string::npos);
+  EXPECT_NE(os.str().find("detail-b"), std::string::npos);
+}
+
+TEST(FigureReport, MissingPointsRenderDash) {
+  FigureReport r("Fig", "t", "x", "y");
+  Series& a = r.add_series("a");
+  a.x = {1, 2};
+  a.y = {1.0, 2.0};
+  Series& b = r.add_series("b");
+  b.x = {2};
+  b.y = {5.0};
+  std::ostringstream os;
+  r.render(os);
+  EXPECT_NE(os.str().find("| -"), std::string::npos);
+}
+
+// -------------------------------------------------------- shape predicates
+
+TEST(ShapeHelpers, MostlyIncreasing) {
+  EXPECT_TRUE(mostly_increasing({1, 2, 3}));
+  EXPECT_TRUE(mostly_increasing({1, 2, 1.99, 3}, 0.05)) << "small dip ok";
+  EXPECT_FALSE(mostly_increasing({3, 2, 1}));
+  EXPECT_FALSE(mostly_increasing({1, 3, 2, 2.5}, 0.05)) << "big dip";
+  EXPECT_FALSE(mostly_increasing({1, 2, 1.0})) << "must end above start";
+  EXPECT_TRUE(mostly_increasing({})) << "trivially true";
+}
+
+TEST(ShapeHelpers, MostlyDecreasing) {
+  EXPECT_TRUE(mostly_decreasing({3, 2, 1}));
+  EXPECT_FALSE(mostly_decreasing({1, 2, 3}));
+  EXPECT_TRUE(mostly_decreasing({3, 2.0, 2.05, 1}, 0.05));
+}
+
+TEST(ShapeHelpers, Dominates) {
+  EXPECT_TRUE(dominates({2, 4}, {1, 2}, 1.0));
+  EXPECT_TRUE(dominates({2, 4}, {1, 2}, 2.0));
+  EXPECT_FALSE(dominates({2, 4}, {1, 3}, 2.0));
+  EXPECT_FALSE(dominates({}, {}, 1.0)) << "no data cannot dominate";
+}
+
+// --------------------------------------------------------------------- Args
+
+TEST(Args, FlagsAndValues) {
+  const char* argv[] = {"prog", "--quick", "--messages=500", "--work=2.5"};
+  Args args(4, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has_flag("quick"));
+  EXPECT_FALSE(args.has_flag("csv"));
+  EXPECT_EQ(args.value_or("messages", std::int64_t{0}), 500);
+  EXPECT_DOUBLE_EQ(args.value_or("work", 0.0), 2.5);
+  EXPECT_EQ(args.value_or("missing", std::int64_t{7}), 7);
+}
+
+TEST(Args, QuickScalesMessages) {
+  const char* argv[] = {"prog", "--quick"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.messages(1'000), 101u);  // 1000/10 + 1
+  const char* argv2[] = {"prog"};
+  Args plain(1, const_cast<char**>(argv2));
+  EXPECT_EQ(plain.messages(1'000), 1'000u);
+}
+
+TEST(Args, ExplicitMessagesOverridesDefault) {
+  const char* argv[] = {"prog", "--messages=42"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.messages(9'999), 42u);
+}
+
+TEST(Args, ValueReturnsNulloptWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, const_cast<char**>(argv));
+  EXPECT_FALSE(args.value("anything").has_value());
+}
+
+}  // namespace
+}  // namespace ulipc::bench

@@ -1,0 +1,91 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ulipc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, BelowStaysInRange) {
+  Xoshiro256 rng(GetParam());
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST_P(RngBoundsTest, RangeInclusive) {
+  Xoshiro256 rng(GetParam());
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "all 7 values should appear in 500 draws";
+}
+
+TEST_P(RngBoundsTest, Uniform01HalfOpen) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundsTest,
+                         ::testing::Values(0, 1, 42, 0xDEADBEEF, ~0ull));
+
+TEST(Rng, Below1AlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, MeanRoughlyCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,117 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(OnlineStats, EmptyState) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  Xoshiro256 rng(7);
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01() * 100.0;
+    (i % 3 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a;
+  OnlineStats b;
+  b.add(3.0);
+  a.merge(b);  // empty += non-empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  OnlineStats c;
+  a.merge(c);  // non-empty += empty
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(25.0), 25.75, 1e-12);
+}
+
+TEST(SampleSet, NanOnEmpty) {
+  SampleSet s;
+  EXPECT_TRUE(std::isnan(s.percentile(50.0)));
+}
+
+TEST(SampleSet, AddAfterSortStillCorrect) {
+  SampleSet s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);  // invalidates sorted state
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(99.0);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 20.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(1e9);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ulipc {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22.5"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longer-name | 22.5  |"), std::string::npos) << out;
+  // Three rule lines: top, under header, bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    if (out[pos] == '+') ++rules;  // rule lines start with '+'
+    pos = out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.render(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(5.0, 0), "5");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace ulipc

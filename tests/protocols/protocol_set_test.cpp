@@ -1,0 +1,69 @@
+#include "protocols/protocol_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(ProtocolSet, NamesRoundTripThroughParse) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kBss, ProtocolKind::kBsw, ProtocolKind::kBswy,
+        ProtocolKind::kBsls, ProtocolKind::kSysv}) {
+    const auto parsed = parse_protocol(protocol_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << protocol_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(ProtocolSet, ParseAcceptsLowercase) {
+  EXPECT_EQ(parse_protocol("bsls"), ProtocolKind::kBsls);
+  EXPECT_EQ(parse_protocol("sysv"), ProtocolKind::kSysv);
+}
+
+TEST(ProtocolSet, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_protocol("TCP").has_value());
+  EXPECT_FALSE(parse_protocol("").has_value());
+  EXPECT_FALSE(parse_protocol("Bss").has_value()) << "mixed case not accepted";
+}
+
+TEST(ProtocolSet, DispatchInstantiatesRequestedProtocol) {
+  using P = sim::SimPlatform;
+  EXPECT_STREQ(with_protocol<P>(ProtocolKind::kBss, 0,
+                                [](auto proto) { return proto.kName; }),
+               "BSS");
+  EXPECT_STREQ(with_protocol<P>(ProtocolKind::kBsw, 0,
+                                [](auto proto) { return proto.kName; }),
+               "BSW");
+  EXPECT_STREQ(with_protocol<P>(ProtocolKind::kBswy, 0,
+                                [](auto proto) { return proto.kName; }),
+               "BSWY");
+  EXPECT_STREQ(with_protocol<P>(ProtocolKind::kBsls, 7,
+                                [](auto proto) { return proto.kName; }),
+               "BSLS");
+}
+
+TEST(ProtocolSet, DispatchPassesMaxSpinToBsls) {
+  using P = sim::SimPlatform;
+  const std::uint32_t spin = with_protocol<P>(
+      ProtocolKind::kBsls, 13, [](auto proto) {
+        if constexpr (requires { proto.max_spin(); }) {
+          return proto.max_spin();
+        } else {
+          return 0u;
+        }
+      });
+  EXPECT_EQ(spin, 13u);
+}
+
+TEST(ProtocolSet, DispatchRejectsSysv) {
+  using P = sim::SimPlatform;
+  EXPECT_THROW(with_protocol<P>(ProtocolKind::kSysv, 0, [](auto) {}),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace ulipc

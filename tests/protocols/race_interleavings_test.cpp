@@ -1,0 +1,274 @@
+// The paper's Figure 4 execution interleavings, reproduced deterministically
+// on the simulator.
+//
+// Each scenario builds a small producer/consumer pair over one endpoint and
+// uses the kernel's op hook to force the exact preemption the paper draws,
+// then asserts the outcome the paper predicts:
+//   1. wake-up before sleep      -> safe, because counting semaphores keep
+//                                   the wake-up pending;
+//   2. multiple wake-ups         -> the producers' test-and-set admits only
+//                                   one V per clearing (and the broken
+//                                   plain-read variant accumulates counts);
+//   3. wake-up without sleep     -> the consumer's recheck-path test-and-set
+//                                   absorbs the stray V;
+//   4. missing recheck (no C.3)  -> lost wake-up: the consumer sleeps
+//                                   forever (deadlock).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "protocols/broken.hpp"
+#include "protocols/bsw.hpp"
+#include "protocols/detail.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+Machine fast_machine() {
+  Machine m;
+  m.name = "race-test";
+  m.cpus = 1;
+  m.costs = Costs{};
+  m.costs.quantum = 1'000'000'000;  // no spurious preemption
+  m.yield_cost_points = {{1, 1'000}};
+  m.default_policy = PolicyKind::kFixed;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 1: the producer's wake-up lands after the consumer committed
+// to sleeping (C.3 saw empty) but before the block (C.4). With counting
+// semaphores the V stays pending and the P returns immediately.
+TEST(Figure4, Interleaving1_WakeupBeforeSleepIsSafe) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  // Force: preempt the consumer right after its C.2 clear_awake and its C.3
+  // recheck dequeue, handing control to the producer both times.
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  int flag_clears = 0;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    if (pid == consumer_pid && kind == OpKind::kDequeue && flag_clears == 1 &&
+        ep.queue.empty()) {
+      // C.3 just failed; let the producer run before C.4's block.
+      return producer_pid;
+    }
+    if (pid == consumer_pid && kind == OpKind::kFlagStore &&
+        ep.awake == 0) {
+      ++flag_clears;
+    }
+    return std::nullopt;
+  });
+
+  Message got;
+  consumer_pid = k.spawn("consumer", [&] {
+    detail::dequeue_or_sleep(plat, ep, &got, /*pre_busy_wait=*/false);
+  });
+  producer_pid = k.spawn("producer", [&] {
+    detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 1.0));
+  });
+
+  k.run();  // must terminate: the pending V prevents the lost wake-up
+  EXPECT_DOUBLE_EQ(got.value, 1.0);
+  EXPECT_EQ(ep.sem.count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 2: multiple producers race on a cleared awake flag. The
+// shipped protocol admits exactly one V; the broken plain-read variant lets
+// every producer V, and the counts accumulate ("this happened in our first
+// version of the algorithm!").
+TEST(Figure4, Interleaving2_TasAdmitsSingleWakeup) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  ep.awake = 0;  // consumer is (about to be) asleep
+
+  constexpr int kProducers = 4;
+  for (int p = 0; p < kProducers; ++p) {
+    k.spawn("producer", [&] {
+      detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 1.0));
+    });
+  }
+  k.run();
+  EXPECT_EQ(ep.sem.total_posts, 1u)
+      << "test-and-set must admit exactly one wake-up per clearing";
+}
+
+TEST(Figure4, Interleaving2_BrokenVariantAccumulatesPosts) {
+  // The broken producer reads the flag non-atomically; every producer that
+  // reads 0 posts. Force each producer to be preempted right between its
+  // read (awake_is_set, an OpKind::kFlagStore op) and its set, so they all
+  // read 0 — the paper's simultaneous-producers picture.
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  ep.awake = 0;
+
+  k.set_op_hook([&](OpKind kind, int) -> std::optional<int> {
+    if (kind == OpKind::kFlagStore && ep.awake == 0) return kPidAny;
+    return std::nullopt;
+  });
+
+  constexpr int kProducers = 4;
+  for (int p = 0; p < kProducers; ++p) {
+    k.spawn("producer", [&] {
+      // Reproduce just BswNoTasWake's broken wake path.
+      while (!plat.enqueue(ep, Message(Op::kEcho, 0, 1.0))) {
+        plat.sleep_seconds(1);
+      }
+      if (!plat.awake_is_set(ep)) {
+        plat.set_awake(ep);
+        plat.sem_v(ep);
+      }
+    });
+  }
+  k.run();
+  EXPECT_GT(ep.sem.total_posts, 1u)
+      << "without test-and-set, simultaneous producers all post";
+  EXPECT_GT(ep.sem.max_count_seen, 1) << "semaphore count accumulates";
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 3: the producer wakes a consumer whose C.3 recheck actually
+// succeeded (no sleep happened). The consumer's tas on the success path
+// detects this and absorbs the count.
+TEST(Figure4, Interleaving3_StrayWakeupAbsorbed) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    // The moment the consumer clears its awake flag (C.2), run the producer
+    // to completion: it enqueues, sees awake==0, and V's — a wake-up for a
+    // consumer that will then find the message at C.3 and not sleep.
+    if (pid == consumer_pid && kind == OpKind::kFlagStore && ep.awake == 0) {
+      return producer_pid;
+    }
+    return std::nullopt;
+  });
+
+  ProtocolCounters* consumer_counters = nullptr;
+  Message got;
+  consumer_pid = k.spawn("consumer", [&] {
+    consumer_counters = &plat.counters();
+    detail::dequeue_or_sleep(plat, ep, &got, /*pre_busy_wait=*/false);
+  });
+  producer_pid = k.spawn("producer", [&] {
+    detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 3.0));
+  });
+
+  k.run();
+  EXPECT_DOUBLE_EQ(got.value, 3.0);
+  ASSERT_NE(consumer_counters, nullptr);
+  EXPECT_EQ(consumer_counters->sem_absorbs, 1u)
+      << "consumer must detect and absorb the stray wake-up";
+  EXPECT_EQ(ep.sem.count, 0) << "no count may be left behind";
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 4: why step C.3 exists. Without the recheck, a producer that
+// read the awake flag before the consumer cleared it never wakes the
+// consumer, and the consumer sleeps forever.
+TEST(Figure4, Interleaving4_NoRecheckDeadlocks) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  bool forced = false;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    // After the consumer's *first failed dequeue* (C.1) — before it clears
+    // the flag — run the producer: it enqueues, reads awake==1, skips the V.
+    if (!forced && pid == consumer_pid && kind == OpKind::kDequeue &&
+        ep.queue.empty()) {
+      forced = true;
+      return producer_pid;
+    }
+    return std::nullopt;
+  });
+
+  Message got;
+  consumer_pid = k.spawn("consumer", [&] {
+    BswNoRecheck<SimPlatform> broken;
+    broken.receive(plat, ep, &got);
+  });
+  producer_pid = k.spawn("producer", [&] {
+    detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 4.0));
+  });
+
+  EXPECT_THROW(k.run(), SimDeadlock)
+      << "omitting C.3 loses the wake-up exactly as the paper predicts";
+}
+
+TEST(Figure4, Interleaving4_ShippedProtocolSurvivesSameSchedule) {
+  // Identical forced schedule, but with the real protocol (with C.3): the
+  // recheck finds the message and no sleep happens.
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  bool forced = false;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    if (!forced && pid == consumer_pid && kind == OpKind::kDequeue &&
+        ep.queue.empty()) {
+      forced = true;
+      return producer_pid;
+    }
+    return std::nullopt;
+  });
+
+  Message got;
+  consumer_pid = k.spawn("consumer", [&] {
+    detail::dequeue_or_sleep(plat, ep, &got, /*pre_busy_wait=*/false);
+  });
+  producer_pid = k.spawn("producer", [&] {
+    detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 4.0));
+  });
+
+  k.run();
+  EXPECT_DOUBLE_EQ(got.value, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// The always-wake strawman is correct but pays a V per message.
+TEST(Figure4, AlwaysWakePaysVPerMessage) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint srv;
+  SimEndpoint clnt;
+  constexpr std::uint64_t kMessages = 50;
+
+  k.spawn("server", [&] {
+    BswAlwaysWake<SimPlatform> proto;
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      Message m;
+      proto.receive(plat, srv, &m);
+      proto.reply(plat, clnt, m);
+    }
+  });
+  k.spawn("client", [&] {
+    BswAlwaysWake<SimPlatform> proto;
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      Message ans;
+      proto.send(plat, srv, clnt, Message(Op::kEcho, 0, double(i)), &ans);
+      ASSERT_DOUBLE_EQ(ans.value, double(i));
+    }
+  });
+  k.run();
+  EXPECT_EQ(srv.sem.total_posts, kMessages);
+  EXPECT_EQ(clnt.sem.total_posts, kMessages);
+}
+
+}  // namespace
+}  // namespace ulipc::sim

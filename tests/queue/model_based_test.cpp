@@ -1,0 +1,114 @@
+// Model-based randomized testing: the shared-memory queues against a plain
+// std::deque reference model, over seeded random operation streams
+// (parameterized — each seed is an independent test case).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/rng.hpp"
+#include "queue/ms_two_lock_queue.hpp"
+#include "queue/payload_pool.hpp"
+#include "queue/spsc_ring.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class ModelBasedTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ModelBasedTest()
+      : region_(ShmRegion::create_anonymous(4 * 1024 * 1024)),
+        arena_(ShmArena::format(region_)) {}
+
+  ShmRegion region_;
+  ShmArena arena_;
+};
+
+TEST_P(ModelBasedTest, TwoLockQueueMatchesDeque) {
+  Xoshiro256 rng(GetParam());
+  constexpr std::uint32_t kCapacity = 16;
+  NodePool* pool = NodePool::create(arena_, kCapacity + 1);
+  TwoLockQueue* queue = TwoLockQueue::create(arena_, pool, kCapacity);
+  std::deque<double> model;
+
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng.chance(0.55)) {
+      const auto v = static_cast<double>(step);
+      const bool ok = queue->enqueue(Message(Op::kEcho, 0, v));
+      const bool model_ok = model.size() < kCapacity;
+      ASSERT_EQ(ok, model_ok) << "full-condition divergence at " << step;
+      if (ok) model.push_back(v);
+    } else {
+      Message m;
+      const bool ok = queue->dequeue(&m);
+      ASSERT_EQ(ok, !model.empty()) << "empty-condition divergence at " << step;
+      if (ok) {
+        ASSERT_DOUBLE_EQ(m.value, model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(queue->size(), model.size());
+    ASSERT_EQ(queue->empty(), model.empty());
+  }
+}
+
+TEST_P(ModelBasedTest, SpscRingMatchesDeque) {
+  Xoshiro256 rng(GetParam() ^ 0x5555);
+  SpscRing* ring = SpscRing::create(arena_, 8);
+  const std::uint32_t cap = ring->capacity();
+  std::deque<double> model;
+
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng.chance(0.5)) {
+      const auto v = static_cast<double>(step);
+      const bool ok = ring->enqueue(Message(Op::kEcho, 0, v));
+      ASSERT_EQ(ok, model.size() < cap);
+      if (ok) model.push_back(v);
+    } else {
+      Message m;
+      const bool ok = ring->dequeue(&m);
+      ASSERT_EQ(ok, !model.empty());
+      if (ok) {
+        ASSERT_DOUBLE_EQ(m.value, model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(ring->size(), model.size());
+  }
+}
+
+TEST_P(ModelBasedTest, PayloadPoolNeverDoubleAllocates) {
+  Xoshiro256 rng(GetParam() ^ 0xAAAA);
+  PayloadPool* pool = PayloadPool::create(arena_, 48, 6);
+  std::set<std::uint64_t> live;
+
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng.chance(0.5)) {
+      const std::uint64_t token = pool->acquire();
+      if (live.size() < 6) {
+        ASSERT_NE(token, PayloadPool::kNoPayload);
+        ASSERT_TRUE(live.insert(token).second) << "token handed out twice";
+        pool->write(token, std::to_string(step));
+      } else {
+        ASSERT_EQ(token, PayloadPool::kNoPayload);
+      }
+    } else if (!live.empty()) {
+      // Release a pseudo-random live token.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      pool->release(*it);
+      live.erase(it);
+    }
+    ASSERT_EQ(pool->free_count(), 6u - live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelBasedTest,
+                         ::testing::Values(1, 2, 3, 17, 257, 65537, 0xC0FFEE),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+}  // namespace
+}  // namespace ulipc

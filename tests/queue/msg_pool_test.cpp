@@ -1,0 +1,75 @@
+#include "queue/msg_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class NodePoolTest : public ::testing::Test {
+ protected:
+  NodePoolTest()
+      : region_(ShmRegion::create_anonymous(256 * 1024)),
+        arena_(ShmArena::format(region_)) {}
+
+  ShmRegion region_;
+  ShmArena arena_;
+};
+
+TEST_F(NodePoolTest, CapacityAndInitialFreeCount) {
+  NodePool* pool = NodePool::create(arena_, 16);
+  EXPECT_EQ(pool->capacity(), 16u);
+  EXPECT_EQ(pool->free_count(), 16u);
+}
+
+TEST_F(NodePoolTest, AllocateAllThenExhaust) {
+  NodePool* pool = NodePool::create(arena_, 8);
+  std::set<ShmIndex> seen;
+  for (int i = 0; i < 8; ++i) {
+    const ShmIndex idx = pool->allocate();
+    ASSERT_NE(idx, kNullIndex);
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate node handed out";
+  }
+  EXPECT_EQ(pool->allocate(), kNullIndex);
+  EXPECT_EQ(pool->free_count(), 0u);
+}
+
+TEST_F(NodePoolTest, ReleaseRecycles) {
+  NodePool* pool = NodePool::create(arena_, 2);
+  const ShmIndex a = pool->allocate();
+  const ShmIndex b = pool->allocate();
+  EXPECT_EQ(pool->allocate(), kNullIndex);
+  pool->release(a);
+  const ShmIndex c = pool->allocate();
+  EXPECT_EQ(c, a) << "LIFO free list returns the last released node";
+  pool->release(b);
+  pool->release(c);
+  EXPECT_EQ(pool->free_count(), 2u);
+}
+
+TEST_F(NodePoolTest, NodePayloadIsWritable) {
+  NodePool* pool = NodePool::create(arena_, 4);
+  const ShmIndex idx = pool->allocate();
+  pool->node(idx).msg = Message(Op::kEcho, 9, 2.25);
+  EXPECT_EQ(pool->node(idx).msg.channel, 9u);
+  EXPECT_DOUBLE_EQ(pool->node(idx).msg.value, 2.25);
+}
+
+TEST_F(NodePoolTest, ManyCycles) {
+  NodePool* pool = NodePool::create(arena_, 4);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ShmIndex idx[4];
+    for (auto& i : idx) {
+      i = pool->allocate();
+      ASSERT_NE(i, kNullIndex);
+    }
+    for (const auto i : idx) pool->release(i);
+  }
+  EXPECT_EQ(pool->free_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ulipc

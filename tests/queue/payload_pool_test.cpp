@@ -1,0 +1,140 @@
+#include "queue/payload_pool.hpp"
+
+#include <gtest/gtest.h>
+#include <sched.h>
+
+#include <set>
+#include <string>
+
+#include "queue/ms_two_lock_queue.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class PayloadPoolTest : public ::testing::Test {
+ protected:
+  PayloadPoolTest()
+      : region_(ShmRegion::create_anonymous(1 << 20)),
+        arena_(ShmArena::format(region_)) {}
+
+  ShmRegion region_;
+  ShmArena arena_;
+};
+
+TEST_F(PayloadPoolTest, AcquireReleaseCycle) {
+  PayloadPool* pool = PayloadPool::create(arena_, 128, 4);
+  EXPECT_EQ(pool->capacity(), 4u);
+  EXPECT_EQ(pool->free_count(), 4u);
+  const std::uint64_t token = pool->acquire();
+  ASSERT_NE(token, PayloadPool::kNoPayload);
+  EXPECT_EQ(pool->free_count(), 3u);
+  pool->release(token);
+  EXPECT_EQ(pool->free_count(), 4u);
+}
+
+TEST_F(PayloadPoolTest, TokensAreDistinctAndNonZero) {
+  PayloadPool* pool = PayloadPool::create(arena_, 64, 8);
+  std::set<std::uint64_t> tokens;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t t = pool->acquire();
+    ASSERT_NE(t, PayloadPool::kNoPayload);
+    EXPECT_TRUE(tokens.insert(t).second);
+  }
+  EXPECT_EQ(pool->acquire(), PayloadPool::kNoPayload) << "pool exhausted";
+}
+
+TEST_F(PayloadPoolTest, WriteReadRoundTrip) {
+  PayloadPool* pool = PayloadPool::create(arena_, 64, 2);
+  const std::uint64_t token = pool->acquire();
+  ASSERT_TRUE(pool->write(token, std::string_view("variable payload!")));
+  EXPECT_EQ(pool->read(token), "variable payload!");
+}
+
+TEST_F(PayloadPoolTest, RejectsOversizedWrite) {
+  PayloadPool* pool = PayloadPool::create(arena_, 16, 2);
+  const std::uint64_t token = pool->acquire();
+  const std::string big(pool->slot_bytes() + 1, 'x');
+  EXPECT_FALSE(pool->write(token, big));
+  const std::string fits(pool->slot_bytes(), 'y');
+  EXPECT_TRUE(pool->write(token, fits));
+  EXPECT_EQ(pool->read(token).size(), fits.size());
+}
+
+TEST_F(PayloadPoolTest, SlotsDoNotAlias) {
+  PayloadPool* pool = PayloadPool::create(arena_, 64, 4);
+  const std::uint64_t a = pool->acquire();
+  const std::uint64_t b = pool->acquire();
+  ASSERT_TRUE(pool->write(a, std::string_view("aaaa")));
+  ASSERT_TRUE(pool->write(b, std::string_view("bbbbbb")));
+  EXPECT_EQ(pool->read(a), "aaaa");
+  EXPECT_EQ(pool->read(b), "bbbbbb");
+}
+
+TEST_F(PayloadPoolTest, TokenTravelsThroughMessage) {
+  // The paper's mechanism end-to-end: ext_offset carries the payload.
+  PayloadPool* pool = PayloadPool::create(arena_, 128, 4);
+  NodePool* nodes = NodePool::create(arena_, 8);
+  TwoLockQueue* queue = TwoLockQueue::create(arena_, nodes);
+
+  const std::uint64_t token = pool->acquire();
+  ASSERT_TRUE(pool->write(token, std::string_view("hello via ext_offset")));
+  ASSERT_TRUE(queue->enqueue(Message(Op::kPut, 0, 1.0, token)));
+
+  Message received;
+  ASSERT_TRUE(queue->dequeue(&received));
+  EXPECT_EQ(pool->read(received.ext_offset), "hello via ext_offset");
+  pool->release(received.ext_offset);
+  EXPECT_EQ(pool->free_count(), 4u);
+}
+
+TEST_F(PayloadPoolTest, CrossProcessBaton) {
+  PayloadPool* pool = PayloadPool::create(arena_, 256, 4);
+  NodePool* nodes = NodePool::create(arena_, 8);
+  TwoLockQueue* request = TwoLockQueue::create(arena_, nodes);
+  TwoLockQueue* reply = TwoLockQueue::create(arena_, nodes);
+  constexpr int kRounds = 2'000;
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      Message m;
+      while (!request->dequeue(&m)) sched_yield();
+      // Reuse the slot for the reply: uppercase the text in place.
+      std::string text(pool->read(m.ext_offset));
+      for (char& c : text) c = static_cast<char>(c - 32 * (c >= 'a' && c <= 'z'));
+      pool->write(m.ext_offset, text);
+      while (!reply->enqueue(m)) sched_yield();
+    }
+    return 0;
+  });
+
+  for (int i = 0; i < kRounds; ++i) {
+    const std::uint64_t token = pool->acquire();
+    ASSERT_NE(token, PayloadPool::kNoPayload);
+    ASSERT_TRUE(pool->write(token, std::string_view("payload text")));
+    while (!request->enqueue(Message(Op::kTask, 0, 0.0, token))) sched_yield();
+    Message m;
+    while (!reply->dequeue(&m)) sched_yield();
+    EXPECT_EQ(pool->read(m.ext_offset), "PAYLOAD TEXT");
+    pool->release(m.ext_offset);
+  }
+  EXPECT_EQ(server.join(), 0);
+  EXPECT_EQ(pool->free_count(), 4u);
+}
+
+TEST_F(PayloadPoolTest, ManyAcquireReleaseNoLeak) {
+  PayloadPool* pool = PayloadPool::create(arena_, 32, 3);
+  for (int round = 0; round < 5'000; ++round) {
+    const std::uint64_t a = pool->acquire();
+    const std::uint64_t b = pool->acquire();
+    ASSERT_NE(a, PayloadPool::kNoPayload);
+    ASSERT_NE(b, PayloadPool::kNoPayload);
+    pool->release(b);
+    pool->release(a);
+  }
+  EXPECT_EQ(pool->free_count(), 3u);
+}
+
+}  // namespace
+}  // namespace ulipc

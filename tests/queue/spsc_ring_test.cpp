@@ -1,0 +1,104 @@
+#include "queue/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class SpscRingTest : public ::testing::Test {
+ protected:
+  SpscRingTest()
+      : region_(ShmRegion::create_anonymous(1024 * 1024)),
+        arena_(ShmArena::format(region_)) {}
+
+  ShmRegion region_;
+  ShmArena arena_;
+};
+
+TEST_F(SpscRingTest, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(SpscRing::create(arena_, 5)->capacity(), 8u);
+  EXPECT_EQ(SpscRing::create(arena_, 8)->capacity(), 8u);
+  EXPECT_EQ(SpscRing::create(arena_, 1)->capacity(), 1u);
+}
+
+TEST_F(SpscRingTest, FifoOrder) {
+  SpscRing* ring = SpscRing::create(arena_, 16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring->enqueue(Message(Op::kEcho, 0, static_cast<double>(i))));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    ASSERT_TRUE(ring->dequeue(&m));
+    EXPECT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+}
+
+TEST_F(SpscRingTest, FullAndEmptyConditions) {
+  SpscRing* ring = SpscRing::create(arena_, 4);
+  Message m;
+  EXPECT_TRUE(ring->empty());
+  EXPECT_FALSE(ring->dequeue(&m));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring->enqueue(Message(Op::kEcho, 0, 0.0)));
+  }
+  EXPECT_FALSE(ring->enqueue(Message(Op::kEcho, 0, 0.0))) << "ring full";
+  EXPECT_EQ(ring->size(), 4u);
+  EXPECT_TRUE(ring->dequeue(&m));
+  EXPECT_TRUE(ring->enqueue(Message(Op::kEcho, 0, 0.0)));
+}
+
+TEST_F(SpscRingTest, WrapAroundManyTimes) {
+  SpscRing* ring = SpscRing::create(arena_, 4);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(ring->enqueue(Message(Op::kEcho, 0, static_cast<double>(i))));
+    Message m;
+    ASSERT_TRUE(ring->dequeue(&m));
+    ASSERT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+}
+
+TEST_F(SpscRingTest, ConcurrentProducerConsumerThreads) {
+  SpscRing* ring = SpscRing::create(arena_, 64);
+  constexpr int kMessages = 200'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      while (!ring->enqueue(Message(Op::kEcho, 0, static_cast<double>(i)))) {
+      }
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    Message m;
+    while (!ring->dequeue(&m)) {
+    }
+    ASSERT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+  producer.join();
+  EXPECT_TRUE(ring->empty());
+}
+
+TEST_F(SpscRingTest, CrossProcess) {
+  SpscRing* ring = SpscRing::create(arena_, 32);
+  constexpr int kMessages = 50'000;
+  ChildProcess producer = ChildProcess::spawn([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      while (!ring->enqueue(Message(Op::kEcho, 0, static_cast<double>(i)))) {
+        sched_yield();
+      }
+    }
+    return 0;
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    Message m;
+    while (!ring->dequeue(&m)) sched_yield();
+    ASSERT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+  EXPECT_EQ(producer.join(), 0);
+}
+
+}  // namespace
+}  // namespace ulipc

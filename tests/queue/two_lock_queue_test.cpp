@@ -1,0 +1,134 @@
+#include "queue/ms_two_lock_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class TwoLockQueueTest : public ::testing::Test {
+ protected:
+  TwoLockQueueTest()
+      : region_(ShmRegion::create_anonymous(1024 * 1024)),
+        arena_(ShmArena::format(region_)),
+        pool_(NodePool::create(arena_, 64)) {}
+
+  TwoLockQueue* make_queue(std::uint32_t capacity = 0) {
+    return TwoLockQueue::create(arena_, pool_, capacity);
+  }
+
+  ShmRegion region_;
+  ShmArena arena_;
+  NodePool* pool_;
+};
+
+TEST_F(TwoLockQueueTest, StartsEmpty) {
+  TwoLockQueue* q = make_queue();
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
+  Message m;
+  EXPECT_FALSE(q->dequeue(&m));
+}
+
+TEST_F(TwoLockQueueTest, FifoOrder) {
+  TwoLockQueue* q = make_queue();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, static_cast<double>(i))));
+  }
+  EXPECT_EQ(q->size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    Message m;
+    ASSERT_TRUE(q->dequeue(&m));
+    EXPECT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_F(TwoLockQueueTest, MessageFieldsSurviveTransit) {
+  TwoLockQueue* q = make_queue();
+  ASSERT_TRUE(q->enqueue(Message(Op::kCompute, 5, 3.75, 0xABCD)));
+  Message m;
+  ASSERT_TRUE(q->dequeue(&m));
+  EXPECT_EQ(m.opcode, Op::kCompute);
+  EXPECT_EQ(m.channel, 5u);
+  EXPECT_DOUBLE_EQ(m.value, 3.75);
+  EXPECT_EQ(m.ext_offset, 0xABCDu);
+}
+
+TEST_F(TwoLockQueueTest, CapacityBoundRejectsWhenFull) {
+  TwoLockQueue* q = make_queue(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q->enqueue(Message(Op::kEcho, 0, 0.0)));
+  }
+  EXPECT_FALSE(q->enqueue(Message(Op::kEcho, 0, 0.0))) << "queue full";
+  Message m;
+  EXPECT_TRUE(q->dequeue(&m));
+  EXPECT_TRUE(q->enqueue(Message(Op::kEcho, 0, 0.0))) << "space reclaimed";
+}
+
+TEST_F(TwoLockQueueTest, PoolExhaustionReportsFull) {
+  // Pool has 64 nodes; each queue consumes one dummy.
+  TwoLockQueue* q = make_queue();
+  int enqueued = 0;
+  while (q->enqueue(Message(Op::kEcho, 0, 0.0))) ++enqueued;
+  EXPECT_EQ(enqueued, 63) << "64 nodes - 1 dummy";
+  Message m;
+  ASSERT_TRUE(q->dequeue(&m));
+  EXPECT_TRUE(q->enqueue(Message(Op::kEcho, 0, 0.0)))
+      << "released node must be reusable";
+}
+
+TEST_F(TwoLockQueueTest, NodesRecycleThroughPool) {
+  TwoLockQueue* q = make_queue();
+  const std::uint32_t free_before = pool_->free_count();
+  for (int round = 0; round < 500; ++round) {
+    ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, static_cast<double>(round))));
+    Message m;
+    ASSERT_TRUE(q->dequeue(&m));
+    EXPECT_DOUBLE_EQ(m.value, static_cast<double>(round));
+  }
+  EXPECT_EQ(pool_->free_count(), free_before);
+}
+
+TEST_F(TwoLockQueueTest, TwoQueuesShareOnePool) {
+  TwoLockQueue* a = make_queue();
+  TwoLockQueue* b = make_queue();
+  ASSERT_TRUE(a->enqueue(Message(Op::kEcho, 0, 1.0)));
+  ASSERT_TRUE(b->enqueue(Message(Op::kEcho, 0, 2.0)));
+  Message m;
+  ASSERT_TRUE(a->dequeue(&m));
+  EXPECT_DOUBLE_EQ(m.value, 1.0);
+  ASSERT_TRUE(b->dequeue(&m));
+  EXPECT_DOUBLE_EQ(m.value, 2.0);
+}
+
+TEST_F(TwoLockQueueTest, InterleavedEnqueueDequeue) {
+  TwoLockQueue* q = make_queue();
+  int next_in = 0;
+  int next_out = 0;
+  // Sawtooth fill levels exercise the empty<->nonempty transition.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < (round % 5) + 1; ++i) {
+      ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, static_cast<double>(next_in++))));
+    }
+    Message m;
+    while (q->dequeue(&m)) {
+      EXPECT_DOUBLE_EQ(m.value, static_cast<double>(next_out++));
+    }
+    EXPECT_EQ(next_in, next_out);
+  }
+}
+
+TEST_F(TwoLockQueueTest, EmptyProbeConsistentWithDequeue) {
+  TwoLockQueue* q = make_queue();
+  EXPECT_TRUE(q->empty());
+  ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, 0.0)));
+  EXPECT_FALSE(q->empty());
+  Message m;
+  ASSERT_TRUE(q->dequeue(&m));
+  EXPECT_TRUE(q->empty());
+}
+
+}  // namespace
+}  // namespace ulipc

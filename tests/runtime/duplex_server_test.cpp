@@ -1,0 +1,123 @@
+#include "runtime/duplex_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/bsls.hpp"
+#include "protocols/bsw.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class DuplexServerTest : public ::testing::Test {
+ protected:
+  void build(std::uint32_t clients) {
+    ShmChannel::Config cfg;
+    cfg.max_clients = clients;
+    cfg.queue_capacity = 32;
+    cfg.duplex = true;
+    region_ = ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+    channel_.emplace(ShmChannel::create(region_, cfg));
+  }
+
+  ShmRegion region_;
+  std::optional<ShmChannel> channel_;
+};
+
+TEST_F(DuplexServerTest, RequestEndpointsDistinctFromReply) {
+  build(2);
+  EXPECT_NE(&channel_->client_request_endpoint(0),
+            &channel_->client_endpoint(0));
+  EXPECT_NE(&channel_->client_request_endpoint(0),
+            &channel_->client_request_endpoint(1));
+  // Semaphores must be distinct too.
+  EXPECT_NE(channel_->client_request_endpoint(0).vsem.index,
+            channel_->client_endpoint(0).vsem.index);
+}
+
+TEST_F(DuplexServerTest, NonDuplexChannelRejectsRequestEndpoint) {
+  ShmChannel::Config cfg;
+  cfg.max_clients = 1;
+  ShmRegion region =
+      ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+  ShmChannel ch = ShmChannel::create(region, cfg);
+  EXPECT_THROW((void)ch.client_request_endpoint(0), InvariantError);
+}
+
+template <typename Proto>
+void run_duplex_echo(ShmChannel& channel, std::uint32_t clients,
+                     std::uint64_t messages, Proto proto) {
+  ChildProcess server = ChildProcess::spawn([&] {
+    const DuplexServerResult r =
+        run_duplex_server(channel, proto, clients);
+    return r.echo_messages ==
+                   static_cast<std::uint64_t>(clients) * messages
+               ? 0
+               : 1;
+  });
+  std::vector<ChildProcess> client_procs;
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    client_procs.push_back(ChildProcess::spawn([&, i] {
+      NativePlatform plat;
+      Proto p2 = proto;
+      NativeEndpoint& req = channel.client_request_endpoint(i);
+      NativeEndpoint& mine = channel.client_endpoint(i);
+      client_connect(plat, p2, req, mine, i);
+      const std::uint64_t ok =
+          client_echo_loop(plat, p2, req, mine, i, messages);
+      client_disconnect(plat, p2, req, mine, i);
+      return ok == messages ? 0 : 1;
+    }));
+  }
+  for (auto& c : client_procs) EXPECT_EQ(c.join(), 0);
+  EXPECT_EQ(server.join(), 0);
+}
+
+TEST_F(DuplexServerTest, SingleClientEcho) {
+  build(1);
+  run_duplex_echo(*channel_, 1, 2'000, Bsls<NativePlatform>(10));
+}
+
+TEST_F(DuplexServerTest, FourClientsEcho) {
+  build(4);
+  run_duplex_echo(*channel_, 4, 1'000, Bsls<NativePlatform>(10));
+}
+
+TEST_F(DuplexServerTest, WorksWithBswToo) {
+  build(2);
+  run_duplex_echo(*channel_, 2, 1'000, Bsw<NativePlatform>());
+}
+
+TEST_F(DuplexServerTest, ReportsAggregateThroughput) {
+  build(2);
+  constexpr std::uint64_t kMessages = 1'000;
+  ShmRegion out_region = ShmRegion::create_anonymous(4096);
+  auto* throughput = new (out_region.base()) double(0.0);
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    const DuplexServerResult r =
+        run_duplex_server(*channel_, Bsls<NativePlatform>(10), 2);
+    *throughput = r.throughput_msgs_per_ms();
+    return 0;
+  });
+  std::vector<ChildProcess> clients;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    clients.push_back(ChildProcess::spawn([&, i] {
+      NativePlatform plat;
+      Bsls<NativePlatform> proto(10);
+      NativeEndpoint& req = channel_->client_request_endpoint(i);
+      NativeEndpoint& mine = channel_->client_endpoint(i);
+      client_connect(plat, proto, req, mine, i);
+      client_echo_loop(plat, proto, req, mine, i, kMessages);
+      client_disconnect(plat, proto, req, mine, i);
+      return 0;
+    }));
+  }
+  join_all(clients);
+  EXPECT_EQ(server.join(), 0);
+  EXPECT_GT(*throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,142 @@
+#include "runtime/native_platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/shm_channel.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class NativePlatformTest : public ::testing::Test {
+ protected:
+  NativePlatformTest() {
+    ShmChannel::Config cfg;
+    cfg.max_clients = 2;
+    cfg.queue_capacity = 8;
+    region_ = ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+    channel_.emplace(ShmChannel::create(region_, cfg));
+  }
+
+  NativeEndpoint& srv() { return channel_->server_endpoint(); }
+
+  ShmRegion region_;
+  std::optional<ShmChannel> channel_;
+};
+
+TEST_F(NativePlatformTest, QueueOpsRoundTrip) {
+  NativePlatform p;
+  EXPECT_TRUE(p.queue_empty(srv()));
+  EXPECT_TRUE(p.enqueue(srv(), Message(Op::kEcho, 1, 2.5)));
+  EXPECT_FALSE(p.queue_empty(srv()));
+  Message m;
+  EXPECT_TRUE(p.dequeue(srv(), &m));
+  EXPECT_DOUBLE_EQ(m.value, 2.5);
+  EXPECT_FALSE(p.dequeue(srv(), &m));
+}
+
+TEST_F(NativePlatformTest, EnqueueReportsFull) {
+  NativePlatform p;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(p.enqueue(srv(), Message(Op::kEcho, 0, 0.0)));
+  }
+  EXPECT_FALSE(p.enqueue(srv(), Message(Op::kEcho, 0, 0.0)));
+}
+
+TEST_F(NativePlatformTest, AwakeFlagSemantics) {
+  NativePlatform p;
+  EXPECT_TRUE(p.awake_is_set(srv()));
+  p.clear_awake(srv());
+  EXPECT_FALSE(p.awake_is_set(srv()));
+  EXPECT_FALSE(p.tas_awake(srv())) << "first tas after clear returns 0";
+  EXPECT_TRUE(p.tas_awake(srv())) << "second tas returns 1";
+  p.set_awake(srv());
+  EXPECT_TRUE(p.awake_is_set(srv()));
+}
+
+TEST_F(NativePlatformTest, FutexSemaphorePV) {
+  NativePlatform::Config cfg;
+  cfg.sem = SemKind::kFutex;
+  NativePlatform p(cfg);
+  p.sem_v(srv());
+  p.sem_p(srv());  // must not block
+  EXPECT_EQ(srv().fsem.value(), 0u);
+}
+
+TEST_F(NativePlatformTest, SysvSemaphorePV) {
+  NativePlatform::Config cfg;
+  cfg.sem = SemKind::kSysv;
+  NativePlatform p(cfg);
+  p.sem_v(srv());
+  EXPECT_EQ(SysvSemaphoreSet::value(srv().vsem), 1);
+  p.sem_p(srv());
+  EXPECT_EQ(SysvSemaphoreSet::value(srv().vsem), 0);
+}
+
+TEST_F(NativePlatformTest, SemBlocksAcrossThreads) {
+  NativePlatform p;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    NativePlatform p2;
+    p2.sem_p(srv());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  p.sem_v(srv());
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST_F(NativePlatformTest, SleepSecondsHonorsConfiguredScale) {
+  NativePlatform::Config cfg;
+  cfg.full_sleep_ns = 2'000'000;  // "1 second" compressed to 2 ms for tests
+  NativePlatform p(cfg);
+  const std::int64_t t0 = p.time_ns();
+  p.sleep_seconds(1);
+  const std::int64_t elapsed = p.time_ns() - t0;
+  EXPECT_GE(elapsed, 2'000'000);
+  EXPECT_LT(elapsed, 500'000'000);
+}
+
+TEST_F(NativePlatformTest, WorkBurnsCpu) {
+  NativePlatform p;
+  const std::int64_t t0 = p.time_ns();
+  p.work_us(2'000);  // 2 ms
+  EXPECT_GE(p.time_ns() - t0, 500'000);
+}
+
+TEST_F(NativePlatformTest, TimeIsMonotonic) {
+  NativePlatform p;
+  const std::int64_t a = p.time_ns();
+  const std::int64_t b = p.time_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST_F(NativePlatformTest, CountersAreProcessLocalState) {
+  NativePlatform p;
+  EXPECT_EQ(p.counters().sends, 0u);
+  p.counters().sends = 5;
+  NativePlatform q;
+  EXPECT_EQ(q.counters().sends, 0u);
+}
+
+TEST_F(NativePlatformTest, YieldAndBusyWaitReturn) {
+  NativePlatform p;          // uniprocessor flavour: busy_wait yields
+  p.yield();
+  p.busy_wait(srv());
+  p.poll_queue(srv());
+  NativePlatform::Config mp_cfg;
+  mp_cfg.multiprocessor = true;
+  mp_cfg.poll_slice_ns = 10'000;
+  NativePlatform mp(mp_cfg);  // multiprocessor flavour: delay loop
+  const std::int64_t t0 = now_ns();
+  mp.busy_wait(srv());
+  EXPECT_GE(now_ns() - t0, 2'000);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,79 @@
+#include "runtime/sysv_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class SysvTransportTest : public ::testing::Test {
+ protected:
+  SysvTransportTest() {
+    ShmChannel::Config cfg;
+    cfg.max_clients = 2;
+    cfg.queue_capacity = 16;
+    cfg.create_sysv_queues = true;
+    region_ = ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+    channel_.emplace(ShmChannel::create(region_, cfg));
+  }
+
+  ShmRegion region_;
+  std::optional<ShmChannel> channel_;
+};
+
+TEST_F(SysvTransportTest, SingleClientEcho) {
+  constexpr std::uint64_t kMessages = 1'000;
+  ChildProcess server = ChildProcess::spawn([&] {
+    SysvTransport t(*channel_);
+    const ServerResult r = t.run_server(1);
+    return r.echo_messages == kMessages ? 0 : 1;
+  });
+  SysvTransport t(*channel_);
+  t.client_connect(0);
+  const std::uint64_t verified = t.client_echo_loop(0, kMessages);
+  t.client_disconnect(0);
+  EXPECT_EQ(verified, kMessages);
+  EXPECT_EQ(server.join(), 0);
+}
+
+TEST_F(SysvTransportTest, TwoClientsInterleave) {
+  constexpr std::uint64_t kMessages = 500;
+  ChildProcess server = ChildProcess::spawn([&] {
+    SysvTransport t(*channel_);
+    const ServerResult r = t.run_server(2);
+    return r.echo_messages == 2 * kMessages ? 0 : 1;
+  });
+  ChildProcess other = ChildProcess::spawn([&] {
+    SysvTransport t(*channel_);
+    t.client_connect(1);
+    const std::uint64_t ok = t.client_echo_loop(1, kMessages);
+    t.client_disconnect(1);
+    return ok == kMessages ? 0 : 1;
+  });
+  SysvTransport t(*channel_);
+  t.client_connect(0);
+  EXPECT_EQ(t.client_echo_loop(0, kMessages), kMessages);
+  t.client_disconnect(0);
+  EXPECT_EQ(other.join(), 0);
+  EXPECT_EQ(server.join(), 0);
+}
+
+TEST_F(SysvTransportTest, ServerMeasurementWindowPopulated) {
+  ChildProcess server = ChildProcess::spawn([&] {
+    SysvTransport t(*channel_);
+    const ServerResult r = t.run_server(1);
+    const bool ok = r.echo_messages == 100 && r.control_messages == 2 &&
+                    r.last_disconnect_ns > r.first_request_ns;
+    return ok ? 0 : 1;
+  });
+  SysvTransport t(*channel_);
+  t.client_connect(0);
+  t.client_echo_loop(0, 100);
+  t.client_disconnect(0);
+  EXPECT_EQ(server.join(), 0);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,122 @@
+#include "shm/futex_semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(FutexSemaphore, InitialValue) {
+  FutexSemaphore s(3);
+  EXPECT_EQ(s.value(), 3u);
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(FutexSemaphore, PostIncrementsCount) {
+  FutexSemaphore s;
+  s.post();
+  s.post();
+  EXPECT_EQ(s.value(), 2u);
+  s.wait();  // must not block
+  EXPECT_EQ(s.value(), 1u);
+}
+
+TEST(FutexSemaphore, CountingAccumulatesBeyondOne) {
+  // The protocols depend on true counting semantics (a V with no waiter
+  // must remain pending).
+  FutexSemaphore s;
+  for (int i = 0; i < 100; ++i) s.post();
+  EXPECT_EQ(s.value(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.try_wait());
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(FutexSemaphore, WaitBlocksUntilPost) {
+  FutexSemaphore s;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    s.wait();
+    woke.store(true);
+  });
+  // Give the waiter a chance to block; it must not wake on its own.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(woke.load());
+  s.post();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(FutexSemaphore, PingPongBetweenThreads) {
+  FutexSemaphore ping;
+  FutexSemaphore pong;
+  constexpr int kRounds = 2'000;
+  std::thread other([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ping.wait();
+      pong.post();
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    ping.post();
+    pong.wait();
+  }
+  other.join();
+  EXPECT_EQ(ping.value(), 0u);
+  EXPECT_EQ(pong.value(), 0u);
+}
+
+TEST(FutexSemaphore, ManyProducersOneConsumer) {
+  FutexSemaphore s;
+  constexpr int kProducers = 4;
+  constexpr int kPostsEach = 1'000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPostsEach; ++i) s.post();
+    });
+  }
+  for (int i = 0; i < kProducers * kPostsEach; ++i) s.wait();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(s.value(), 0u);
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(FutexSemaphore, SharedAcrossProcesses) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  auto* sems = new (region.base()) FutexSemaphore[2];
+  constexpr int kRounds = 500;
+  ChildProcess child = ChildProcess::spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      sems[0].wait();
+      sems[1].post();
+    }
+    return 0;
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    sems[0].post();
+    sems[1].wait();
+  }
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(sems[0].value(), 0u);
+  EXPECT_EQ(sems[1].value(), 0u);
+}
+
+TEST(FutexSemaphore, WaiterCountReturnsToZero) {
+  FutexSemaphore s;
+  std::thread waiter([&] { s.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  s.post();
+  waiter.join();
+  EXPECT_EQ(s.waiter_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,92 @@
+#include "shm/offset_ptr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace ulipc {
+namespace {
+
+struct Node {
+  int value = 0;
+  OffsetPtr<Node> next;
+};
+
+TEST(OffsetPtr, NullByDefault) {
+  OffsetPtr<int> p;
+  EXPECT_EQ(p.get(), nullptr);
+  EXPECT_FALSE(p);
+  EXPECT_TRUE(p == nullptr);
+}
+
+TEST(OffsetPtr, SetAndGet) {
+  int x = 5;
+  OffsetPtr<int> p;
+  p = &x;
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p.get(), &x);
+  EXPECT_EQ(*p, 5);
+  p = nullptr;
+  EXPECT_FALSE(p);
+}
+
+TEST(OffsetPtr, SurvivesBlockRelocation) {
+  // The core property: an offset pointer copied byte-for-byte together with
+  // its target remains valid at the new address.
+  std::vector<char> block_a(1024);
+  std::vector<char> block_b(1024);
+  auto* node = new (block_a.data()) Node{41, {}};
+  auto* ptr = new (block_a.data() + 512) OffsetPtr<Node>();
+  ptr->set(node);
+  std::memcpy(block_b.data(), block_a.data(), block_a.size());
+  auto* moved_ptr = reinterpret_cast<OffsetPtr<Node>*>(block_b.data() + 512);
+  ASSERT_TRUE(*moved_ptr);
+  EXPECT_EQ(moved_ptr->get(), reinterpret_cast<Node*>(block_b.data()));
+  EXPECT_EQ((*moved_ptr)->value, 41);
+}
+
+TEST(OffsetPtr, CopySemanticsPreserveTarget) {
+  int x = 1;
+  OffsetPtr<int> a;
+  a = &x;
+  OffsetPtr<int> b(a);  // b at a different address must still point at x
+  EXPECT_EQ(b.get(), &x);
+  OffsetPtr<int> c;
+  c = a;
+  EXPECT_EQ(c.get(), &x);
+}
+
+TEST(OffsetPtr, EqualityComparesTargets) {
+  int x = 1;
+  int y = 2;
+  OffsetPtr<int> a;
+  OffsetPtr<int> b;
+  a = &x;
+  b = &x;
+  EXPECT_TRUE(a == b);
+  b = &y;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == &x);
+}
+
+TEST(OffsetPtr, IntrusiveListTraversal) {
+  std::vector<char> block(sizeof(Node) * 3);
+  auto* n0 = new (block.data()) Node{0, {}};
+  auto* n1 = new (block.data() + sizeof(Node)) Node{1, {}};
+  auto* n2 = new (block.data() + 2 * sizeof(Node)) Node{2, {}};
+  n0->next = n1;
+  n1->next = n2;
+  int sum = 0;
+  for (Node* n = n0; n != nullptr; n = n->next.get()) sum += n->value;
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(ShmIndexConstants, NullIndexDistinct) {
+  EXPECT_EQ(kNullIndex, 0xFFFFFFFFu);
+  const ShmIndex idx = 0;
+  EXPECT_NE(idx, kNullIndex);
+}
+
+}  // namespace
+}  // namespace ulipc

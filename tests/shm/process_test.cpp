@@ -1,0 +1,83 @@
+#include "shm/process.hpp"
+
+#include <gtest/gtest.h>
+#include <sched.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace ulipc {
+namespace {
+
+TEST(ChildProcess, ExitCodePropagates) {
+  ChildProcess c = ChildProcess::spawn([] { return 7; });
+  EXPECT_EQ(c.join(), 7);
+}
+
+TEST(ChildProcess, ZeroExit) {
+  ChildProcess c = ChildProcess::spawn([] { return 0; });
+  EXPECT_EQ(c.join(), 0);
+}
+
+TEST(ChildProcess, UncaughtExceptionExits42) {
+  ChildProcess c = ChildProcess::spawn(
+      []() -> int { throw std::runtime_error("child boom"); });
+  EXPECT_EQ(c.join(), 42);
+}
+
+TEST(ChildProcess, PidIsChildNotParent) {
+  ChildProcess c = ChildProcess::spawn([] { return 0; });
+  EXPECT_GT(c.pid(), 0);
+  EXPECT_NE(c.pid(), getpid());
+  c.join();
+}
+
+TEST(ChildProcess, JoinableLifecycle) {
+  ChildProcess c = ChildProcess::spawn([] { return 0; });
+  EXPECT_TRUE(c.joinable());
+  c.join();
+  EXPECT_FALSE(c.joinable());
+}
+
+TEST(ChildProcess, KillReportsSignal) {
+  ChildProcess c = ChildProcess::spawn([] {
+    pause();  // wait for a signal forever
+    return 0;
+  });
+  c.kill();
+  EXPECT_EQ(c.join(), -SIGKILL);
+}
+
+TEST(ChildProcess, MoveTransfersChild) {
+  ChildProcess a = ChildProcess::spawn([] { return 3; });
+  ChildProcess b = std::move(a);
+  EXPECT_FALSE(a.joinable());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.join(), 3);
+}
+
+TEST(ChildProcess, JoinAllPreservesOrder) {
+  std::vector<ChildProcess> children;
+  for (int i = 0; i < 5; ++i) {
+    children.push_back(ChildProcess::spawn([i] { return i; }));
+  }
+  const std::vector<int> codes = join_all(children);
+  ASSERT_EQ(codes.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(codes[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CtxSwitches, SelfCountsNonNegativeAndMonotonic) {
+  const CtxSwitches a = ctx_switches_self();
+  EXPECT_GE(a.voluntary, 0);
+  EXPECT_GE(a.involuntary, 0);
+  // Force at least one voluntary switch.
+  for (int i = 0; i < 100; ++i) sched_yield();
+  usleep(1000);
+  const CtxSwitches b = ctx_switches_self();
+  EXPECT_GE(b.voluntary, a.voluntary);
+  const CtxSwitches d = b - a;
+  EXPECT_GE(d.voluntary, 0);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,109 @@
+#include "shm/shm_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+class ArenaTest : public ::testing::Test {
+ protected:
+  ArenaTest() : region_(ShmRegion::create_anonymous(64 * 1024)) {}
+  ShmRegion region_;
+};
+
+TEST_F(ArenaTest, FormatAndAttach) {
+  ShmArena a = ShmArena::format(region_);
+  EXPECT_EQ(a.capacity(), region_.size());
+  EXPECT_GT(a.used(), 0u);
+  ShmArena b = ShmArena::attach(region_);
+  EXPECT_EQ(b.capacity(), a.capacity());
+  EXPECT_EQ(b.used(), a.used());
+}
+
+TEST_F(ArenaTest, AttachUnformattedThrows) {
+  // Region is zero-filled: no valid magic.
+  EXPECT_THROW(ShmArena::attach(region_), InvariantError);
+}
+
+TEST_F(ArenaTest, AllocationsAreAligned) {
+  ShmArena a = ShmArena::format(region_);
+  for (const std::uint64_t align : {8ull, 16ull, 64ull, 256ull}) {
+    void* p = a.allocate(10, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+  }
+}
+
+TEST_F(ArenaTest, AllocationsDisjoint) {
+  ShmArena a = ShmArena::format(region_);
+  char* p1 = static_cast<char*>(a.allocate(100));
+  char* p2 = static_cast<char*>(a.allocate(100));
+  EXPECT_GE(p2, p1 + 100);
+}
+
+TEST_F(ArenaTest, ExhaustionThrowsBadAlloc) {
+  ShmArena a = ShmArena::format(region_);
+  EXPECT_THROW(a.allocate(region_.size() * 2), std::bad_alloc);
+  // A small allocation still succeeds afterwards (cursor unchanged by the
+  // failed attempt).
+  EXPECT_NE(a.allocate(16), nullptr);
+}
+
+TEST_F(ArenaTest, ConstructRunsConstructor) {
+  ShmArena a = ShmArena::format(region_);
+  struct Pair {
+    int x;
+    int y;
+    Pair(int a_, int b_) : x(a_), y(b_) {}
+  };
+  Pair* p = a.construct<Pair>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST_F(ArenaTest, ConstructArrayValueInitializes) {
+  ShmArena a = ShmArena::format(region_);
+  int* arr = a.construct_array<int>(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(arr[i], 0);
+}
+
+TEST_F(ArenaTest, OffsetRoundTrip) {
+  ShmArena a = ShmArena::format(region_);
+  int* p = a.construct<int>(7);
+  const std::uint64_t off = a.to_offset(p);
+  EXPECT_EQ(a.from_offset<int>(off), p);
+  EXPECT_EQ(*a.from_offset<int>(off), 7);
+}
+
+TEST_F(ArenaTest, ConcurrentAllocationsDoNotOverlap) {
+  ShmArena a = ShmArena::format(region_);
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 50;
+  std::vector<std::vector<char*>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        results[static_cast<std::size_t>(t)].push_back(
+            static_cast<char*>(a.allocate(64, 64)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<char*> all;
+  for (const auto& v : results) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i], all[i - 1] + 64) << "allocations overlap";
+  }
+}
+
+}  // namespace
+}  // namespace ulipc

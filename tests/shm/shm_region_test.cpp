@@ -1,0 +1,80 @@
+#include "shm/shm_region.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "shm/process.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(ShmRegion, AnonymousCreateAndWrite) {
+  ShmRegion r = ShmRegion::create_anonymous(4096);
+  ASSERT_TRUE(r.valid());
+  EXPECT_EQ(r.size(), 4096u);
+  std::memset(r.base(), 0xAB, r.size());
+  EXPECT_EQ(*r.at<unsigned char>(100), 0xAB);
+}
+
+TEST(ShmRegion, AnonymousSharedAcrossFork) {
+  ShmRegion r = ShmRegion::create_anonymous(4096);
+  auto* flag = new (r.base()) std::atomic<int>(0);
+  ChildProcess child = ChildProcess::spawn([&] {
+    flag->store(77);
+    return 0;
+  });
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(flag->load(), 77);
+}
+
+TEST(ShmRegion, NamedCreateOpenRoundTrip) {
+  const std::string name = "/ulipc_test_" + std::to_string(getpid());
+  {
+    ShmRegion creator = ShmRegion::create_named(name, 8192);
+    *creator.at<int>(0) = 1234;
+    ShmRegion opener = ShmRegion::open_named(name);
+    EXPECT_EQ(opener.size(), 8192u);
+    EXPECT_EQ(*opener.at<int>(0), 1234);
+    *opener.at<int>(4) = 99;
+    EXPECT_EQ(*creator.at<int>(4), 99);
+  }
+  // Creator destroyed -> name unlinked.
+  EXPECT_THROW(ShmRegion::open_named(name), SysError);
+}
+
+TEST(ShmRegion, CreateNamedRefusesDuplicate) {
+  const std::string name = "/ulipc_dup_" + std::to_string(getpid());
+  ShmRegion first = ShmRegion::create_named(name, 4096);
+  EXPECT_THROW(ShmRegion::create_named(name, 4096), SysError);
+}
+
+TEST(ShmRegion, OpenMissingThrows) {
+  EXPECT_THROW(ShmRegion::open_named("/ulipc_definitely_missing_xyz"),
+               SysError);
+}
+
+TEST(ShmRegion, MoveTransfersOwnership) {
+  ShmRegion a = ShmRegion::create_anonymous(4096);
+  void* base = a.base();
+  ShmRegion b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base(), base);
+  ShmRegion c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.base(), base);
+}
+
+TEST(ShmRegion, DefaultIsInvalid) {
+  ShmRegion r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,178 @@
+// AwakeFlag, Spinlock, ShmBarrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "shm/process.hpp"
+#include "shm/shm_barrier.hpp"
+#include "shm/shm_region.hpp"
+#include "shm/spinlock.hpp"
+#include "shm/tas_flag.hpp"
+
+namespace ulipc {
+namespace {
+
+// ---------------------------------------------------------------- AwakeFlag
+
+TEST(AwakeFlag, StartsAwake) {
+  AwakeFlag f;
+  EXPECT_TRUE(f.is_set());
+}
+
+TEST(AwakeFlag, TasReturnsPrevious) {
+  AwakeFlag f;
+  EXPECT_TRUE(f.tas());  // was set
+  f.clear();
+  EXPECT_FALSE(f.is_set());
+  EXPECT_FALSE(f.tas());  // was clear -> "I should wake the consumer"
+  EXPECT_TRUE(f.is_set()) << "tas must set the flag";
+  EXPECT_TRUE(f.tas());  // second producer sees it already set
+}
+
+TEST(AwakeFlag, OnlyOneThreadWinsTas) {
+  // Interleaving 2's fix: of N producers racing on a cleared flag, exactly
+  // one observes 0.
+  for (int round = 0; round < 50; ++round) {
+    AwakeFlag f;
+    f.clear();
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        if (!f.tas()) winners.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1);
+  }
+}
+
+TEST(AwakeFlag, ExplicitInitialState) {
+  AwakeFlag asleep(false);
+  EXPECT_FALSE(asleep.is_set());
+  AwakeFlag awake(true);
+  EXPECT_TRUE(awake.is_set());
+}
+
+// ----------------------------------------------------------------- Spinlock
+
+TEST(Spinlock, BasicLockUnlock) {
+  Spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, MutualExclusionCounters) {
+  Spinlock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        SpinGuard g(lock);
+        ++counter;  // data race iff the lock is broken
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(Spinlock, CrossProcessMutualExclusion) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  struct Shared {
+    Spinlock lock;
+    long counter;
+  };
+  auto* shared = new (region.base()) Shared{};
+  constexpr int kIncrements = 20'000;
+  ChildProcess child = ChildProcess::spawn([&] {
+    for (int i = 0; i < kIncrements; ++i) {
+      SpinGuard g(shared->lock);
+      ++shared->counter;
+    }
+    return 0;
+  });
+  for (int i = 0; i < kIncrements; ++i) {
+    SpinGuard g(shared->lock);
+    ++shared->counter;
+  }
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(shared->counter, 2L * kIncrements);
+}
+
+// --------------------------------------------------------------- ShmBarrier
+
+TEST(ShmBarrier, ThreadsMeet) {
+  ShmBarrier barrier;
+  barrier.init(4);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Every arrival must observe all 4 pre-barrier increments.
+      EXPECT_EQ(before.load(), 4);
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ShmBarrier, ReusableAcrossRounds) {
+  ShmBarrier barrier;
+  barrier.init(2);
+  std::atomic<int> phase{0};
+  std::thread other([&] {
+    for (int round = 0; round < 10; ++round) {
+      barrier.arrive_and_wait();
+      phase.fetch_add(1);
+      barrier.arrive_and_wait();
+    }
+  });
+  for (int round = 0; round < 10; ++round) {
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+    EXPECT_GE(phase.load(), round + 1);
+  }
+  other.join();
+  EXPECT_EQ(phase.load(), 10);
+}
+
+TEST(ShmBarrier, AcrossProcesses) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  struct Shared {
+    ShmBarrier barrier;
+    std::atomic<int> stage;
+  };
+  auto* shared = new (region.base()) Shared{};
+  shared->barrier.init(2);
+  ChildProcess child = ChildProcess::spawn([&] {
+    shared->stage.store(1);
+    shared->barrier.arrive_and_wait();
+    return shared->stage.load() == 1 ? 0 : 1;
+  });
+  shared->barrier.arrive_and_wait();
+  EXPECT_EQ(shared->stage.load(), 1);
+  EXPECT_EQ(child.join(), 0);
+}
+
+TEST(ShmBarrier, SinglePartyNeverBlocks) {
+  ShmBarrier barrier;
+  barrier.init(1);
+  for (int i = 0; i < 5; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,98 @@
+#include "shm/sysv_msg_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "queue/message.hpp"
+#include "shm/process.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(SysvMsgQueue, SendReceiveRoundTrip) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  const Message out(Op::kEcho, 3, 1.5);
+  q.send(1, &out, sizeof(out));
+  Message in;
+  const std::size_t n = q.receive(0, &in, sizeof(in));
+  EXPECT_EQ(n, sizeof(Message));
+  EXPECT_EQ(in.opcode, Op::kEcho);
+  EXPECT_EQ(in.channel, 3u);
+  EXPECT_DOUBLE_EQ(in.value, 1.5);
+}
+
+TEST(SysvMsgQueue, FifoWithinType) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  for (int i = 0; i < 10; ++i) {
+    const Message m(Op::kEcho, 0, static_cast<double>(i));
+    q.send(1, &m, sizeof(m));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    q.receive(1, &m, sizeof(m));
+    EXPECT_DOUBLE_EQ(m.value, static_cast<double>(i));
+  }
+}
+
+TEST(SysvMsgQueue, TypeSelection) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  const Message a(Op::kEcho, 0, 1.0);
+  const Message b(Op::kEcho, 0, 2.0);
+  q.send(5, &a, sizeof(a));
+  q.send(9, &b, sizeof(b));
+  Message got;
+  q.receive(9, &got, sizeof(got));  // select type 9 first
+  EXPECT_DOUBLE_EQ(got.value, 2.0);
+  q.receive(0, &got, sizeof(got));
+  EXPECT_DOUBLE_EQ(got.value, 1.0);
+}
+
+TEST(SysvMsgQueue, TryReceiveOnEmpty) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  Message m;
+  std::size_t n = 0;
+  EXPECT_FALSE(q.try_receive(0, &m, sizeof(m), &n));
+  const Message out(Op::kEcho, 0, 7.0);
+  q.send(1, &out, sizeof(out));
+  EXPECT_TRUE(q.try_receive(0, &m, sizeof(m), &n));
+  EXPECT_EQ(n, sizeof(Message));
+  EXPECT_DOUBLE_EQ(m.value, 7.0);
+}
+
+TEST(SysvMsgQueue, VariableLengthPayloads) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  const std::string payload = "hello sysv";
+  q.send(1, payload.data(), payload.size());
+  char buf[64] = {};
+  const std::size_t n = q.receive(0, buf, sizeof(buf));
+  EXPECT_EQ(n, payload.size());
+  EXPECT_EQ(std::string(buf, n), payload);
+}
+
+TEST(SysvMsgQueue, BlockingReceiveAcrossProcesses) {
+  SysvMsgQueue q = SysvMsgQueue::create();
+  ChildProcess child = ChildProcess::spawn([&] {
+    SysvMsgQueue attached = SysvMsgQueue::attach(q.id());
+    Message m;
+    attached.receive(0, &m, sizeof(m));  // blocks until parent sends
+    return m.value == 42.0 ? 0 : 1;
+  });
+  const Message m(Op::kEcho, 0, 42.0);
+  q.send(1, &m, sizeof(m));
+  EXPECT_EQ(child.join(), 0);
+}
+
+TEST(SysvMsgQueue, AttachDoesNotOwn) {
+  SysvMsgQueue owner = SysvMsgQueue::create();
+  {
+    SysvMsgQueue borrowed = SysvMsgQueue::attach(owner.id());
+    EXPECT_EQ(borrowed.id(), owner.id());
+  }  // borrowed destroyed: must NOT remove the queue
+  const Message m(Op::kEcho, 0, 1.0);
+  EXPECT_NO_THROW(owner.send(1, &m, sizeof(m)));
+}
+
+}  // namespace
+}  // namespace ulipc

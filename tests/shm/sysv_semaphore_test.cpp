@@ -1,0 +1,79 @@
+#include "shm/sysv_semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shm/process.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(SysvSemaphore, CreateWithInitialValues) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(3, 2);
+  EXPECT_GE(set.id(), 0);
+  EXPECT_EQ(set.count(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(SysvSemaphoreSet::value(set.handle(i)), 2);
+  }
+}
+
+TEST(SysvSemaphore, PostAndWait) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  EXPECT_EQ(SysvSemaphoreSet::value(h), 0);
+  SysvSemaphoreSet::post(h);
+  SysvSemaphoreSet::post(h);
+  EXPECT_EQ(SysvSemaphoreSet::value(h), 2);
+  SysvSemaphoreSet::wait(h);
+  EXPECT_EQ(SysvSemaphoreSet::value(h), 1);
+}
+
+TEST(SysvSemaphore, TryWaitNonBlocking) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  EXPECT_FALSE(SysvSemaphoreSet::try_wait(h));
+  SysvSemaphoreSet::post(h);
+  EXPECT_TRUE(SysvSemaphoreSet::try_wait(h));
+  EXPECT_FALSE(SysvSemaphoreSet::try_wait(h));
+}
+
+TEST(SysvSemaphore, IndependentSemaphoresInSet) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(2);
+  SysvSemaphoreSet::post(set.handle(0));
+  EXPECT_EQ(SysvSemaphoreSet::value(set.handle(0)), 1);
+  EXPECT_EQ(SysvSemaphoreSet::value(set.handle(1)), 0);
+}
+
+TEST(SysvSemaphore, CrossProcessPingPong) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(2);
+  const SysvSemHandle ping = set.handle(0);
+  const SysvSemHandle pong = set.handle(1);
+  constexpr int kRounds = 300;
+  ChildProcess child = ChildProcess::spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      SysvSemaphoreSet::wait(ping);
+      SysvSemaphoreSet::post(pong);
+    }
+    return 0;
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    SysvSemaphoreSet::post(ping);
+    SysvSemaphoreSet::wait(pong);
+  }
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(SysvSemaphoreSet::value(ping), 0);
+  EXPECT_EQ(SysvSemaphoreSet::value(pong), 0);
+}
+
+TEST(SysvSemaphore, MoveTransfersOwnership) {
+  SysvSemaphoreSet a = SysvSemaphoreSet::create(1);
+  const int id = a.id();
+  SysvSemaphoreSet b = std::move(a);
+  EXPECT_EQ(b.id(), id);
+  EXPECT_EQ(a.id(), -1);  // NOLINT(bugprone-use-after-move)
+  // The set must still be usable through b.
+  SysvSemaphoreSet::post(b.handle(0));
+  EXPECT_EQ(SysvSemaphoreSet::value(b.handle(0)), 1);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,120 @@
+// Figure-shape regression tests: quick versions of the paper's qualitative
+// claims, pinned down as unit tests so calibration regressions in
+// src/sim/machine.cpp fail CI rather than silently bending the benches.
+// (The bench binaries check the same claims at full scale.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/sim_experiment.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+double thr(const Machine& m, PolicyKind pol, ProtocolKind proto, int clients,
+           std::uint32_t max_spin = 20, double work = 0.0,
+           bool handoff = false) {
+  SimExperimentConfig cfg;
+  cfg.machine = m;
+  cfg.policy = pol;
+  cfg.protocol = proto;
+  cfg.clients = static_cast<std::uint32_t>(clients);
+  cfg.messages_per_client = 400;
+  cfg.max_spin = max_spin;
+  cfg.server_work_us = work;
+  cfg.use_handoff = handoff;
+  return run_sim_experiment(cfg).throughput_msgs_per_ms;
+}
+
+TEST(FigureShapes, Fig2SgiBssRisesWithClients) {
+  const Machine m = Machine::sgi_indy();
+  const double t1 = thr(m, PolicyKind::kAging, ProtocolKind::kBss, 1);
+  const double t6 = thr(m, PolicyKind::kAging, ProtocolKind::kBss, 6);
+  EXPECT_GT(t6, t1 * 1.1);
+}
+
+TEST(FigureShapes, Fig2IbmBssFallsWithClients) {
+  const Machine m = Machine::ibm_p4();
+  const double t1 = thr(m, PolicyKind::kAging, ProtocolKind::kBss, 1);
+  const double t6 = thr(m, PolicyKind::kAging, ProtocolKind::kBss, 6);
+  EXPECT_LT(t6, t1 * 0.75);
+}
+
+TEST(FigureShapes, Fig2UserLevelBeatsKernelMediated) {
+  for (const Machine& m : {Machine::sgi_indy(), Machine::ibm_p4()}) {
+    const double bss = thr(m, PolicyKind::kAging, ProtocolKind::kBss, 1);
+    const double sysv = thr(m, PolicyKind::kAging, ProtocolKind::kSysv, 1);
+    EXPECT_GT(bss, sysv * 1.4) << m.name;
+  }
+}
+
+TEST(FigureShapes, Fig3FixedPriorityGains) {
+  const Machine sgi = Machine::sgi_indy();
+  const double gain_sgi = thr(sgi, PolicyKind::kFixed, ProtocolKind::kBss, 1) /
+                          thr(sgi, PolicyKind::kAging, ProtocolKind::kBss, 1);
+  EXPECT_GT(gain_sgi, 1.25);  // paper: +50%
+  EXPECT_LT(gain_sgi, 1.80);
+  const Machine ibm = Machine::ibm_p4();
+  const double gain_ibm = thr(ibm, PolicyKind::kFixed, ProtocolKind::kBss, 1) /
+                          thr(ibm, PolicyKind::kAging, ProtocolKind::kBss, 1);
+  EXPECT_GT(gain_ibm, 1.15);  // paper: +30%
+  EXPECT_LT(gain_ibm, 1.50);
+}
+
+TEST(FigureShapes, Fig6BswMatchesSysv) {
+  const Machine m = Machine::sgi_indy();
+  const double bsw = thr(m, PolicyKind::kAging, ProtocolKind::kBsw, 1);
+  const double sysv = thr(m, PolicyKind::kAging, ProtocolKind::kSysv, 1);
+  EXPECT_GT(bsw / sysv, 0.8);
+  EXPECT_LT(bsw / sysv, 1.3);
+}
+
+TEST(FigureShapes, Fig8BswyHelpsThenDegrades) {
+  const Machine m = Machine::sgi_indy();
+  EXPECT_GT(thr(m, PolicyKind::kAging, ProtocolKind::kBswy, 1),
+            thr(m, PolicyKind::kAging, ProtocolKind::kBsw, 1) * 1.1);
+  EXPECT_LT(thr(m, PolicyKind::kAging, ProtocolKind::kBswy, 6),
+            thr(m, PolicyKind::kAging, ProtocolKind::kBss, 6));
+}
+
+TEST(FigureShapes, Fig10MoreSpinNeverMuchWorse) {
+  const Machine m = Machine::sgi_indy();
+  const double spin1 = thr(m, PolicyKind::kAging, ProtocolKind::kBsls, 1, 1);
+  const double spin20 = thr(m, PolicyKind::kAging, ProtocolKind::kBsls, 1, 20);
+  EXPECT_GT(spin20, spin1 * 0.98);
+}
+
+TEST(FigureShapes, Fig11BslsCollapsesBeyondCliff) {
+  const Machine m = Machine::sgi_challenge(8);
+  const double pre = thr(m, m.default_policy, ProtocolKind::kBsls, 3, 5, 25.0);
+  const double post = thr(m, m.default_policy, ProtocolKind::kBsls, 8, 5, 25.0);
+  const double bss_post =
+      thr(m, m.default_policy, ProtocolKind::kBss, 8, 20, 25.0);
+  EXPECT_LT(post, pre * 0.6) << "collapse missing";
+  EXPECT_LT(post, bss_post * 0.75) << "BSS must stay healthy";
+}
+
+TEST(FigureShapes, Fig12ModYieldMakesBswyMatchBss) {
+  const Machine m = Machine::linux_486();
+  const double bss = thr(m, PolicyKind::kModYield, ProtocolKind::kBss, 1);
+  const double bswy = thr(m, PolicyKind::kModYield, ProtocolKind::kBswy, 1);
+  EXPECT_GT(bswy, bss * 0.9);
+  const double handoff =
+      thr(m, PolicyKind::kModYield, ProtocolKind::kBswy, 1, 20, 0.0, true);
+  EXPECT_GT(handoff / bswy, 0.85);
+  EXPECT_LT(handoff / bswy, 1.15) << "handoff matches, does not improve";
+}
+
+TEST(FigureShapes, Fig12TickOnlyIsMilliseconds) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::linux_486();
+  cfg.policy = PolicyKind::kTickOnly;
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 1;
+  cfg.messages_per_client = 30;
+  EXPECT_GT(run_sim_experiment(cfg).round_trip_us, 10'000.0);
+}
+
+}  // namespace
+}  // namespace ulipc::sim

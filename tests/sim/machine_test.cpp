@@ -1,0 +1,82 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulipc::sim {
+namespace {
+
+TEST(YieldCostCurve, InterpolatesBetweenPoints) {
+  Machine m;
+  m.yield_cost_points = {{1, 10'000}, {3, 30'000}};
+  EXPECT_EQ(m.yield_cost(1), 10'000);
+  EXPECT_EQ(m.yield_cost(2), 20'000);
+  EXPECT_EQ(m.yield_cost(3), 30'000);
+}
+
+TEST(YieldCostCurve, ClampsBelowFirstPoint) {
+  Machine m;
+  m.yield_cost_points = {{2, 8'000}, {4, 16'000}};
+  EXPECT_EQ(m.yield_cost(0), 8'000);
+  EXPECT_EQ(m.yield_cost(1), 8'000);
+}
+
+TEST(YieldCostCurve, ExtrapolatesWithLastSlope) {
+  Machine m;
+  m.yield_cost_points = {{1, 10'000}, {2, 12'000}, {4, 16'000}};
+  // Last slope: (16000-12000)/(4-2) = 2000 per process.
+  EXPECT_EQ(m.yield_cost(6), 20'000);
+  EXPECT_EQ(m.yield_cost(10), 28'000);
+}
+
+TEST(YieldCostCurve, EmptyCurveFallsBack) {
+  Machine m;
+  m.yield_cost_points.clear();
+  EXPECT_GT(m.yield_cost(1), 0);
+}
+
+TEST(MachinePresets, SgiMatchesTable1) {
+  const Machine m = Machine::sgi_indy();
+  EXPECT_EQ(m.cpus, 1);
+  // Table 1: enqueue/dequeue pair = 3 us.
+  EXPECT_EQ(m.costs.enqueue + m.costs.dequeue, 3'000);
+  // Table 1: single-process yield loop trip = 16 us.
+  EXPECT_EQ(m.yield_cost(1), 16'000);
+  EXPECT_EQ(m.default_policy, PolicyKind::kAging);
+  EXPECT_FALSE(m.defer_scaled_by_ready);
+}
+
+TEST(MachinePresets, IbmIsDerivedButSane) {
+  const Machine m = Machine::ibm_p4();
+  EXPECT_EQ(m.cpus, 1);
+  // Faster machine than the Indy on the paper's numbers.
+  EXPECT_LT(m.costs.ctx_switch, Machine::sgi_indy().costs.ctx_switch);
+  // Steep scan growth is the roll-off mechanism.
+  EXPECT_GT(m.yield_cost(7), 5 * m.yield_cost(2));
+  EXPECT_TRUE(m.defer_scaled_by_ready);
+  EXPECT_GT(m.fixed_yield_cost_ns, 0);
+}
+
+TEST(MachinePresets, LinuxDefaultsToPatchedYield) {
+  const Machine m = Machine::linux_486();
+  EXPECT_EQ(m.default_policy, PolicyKind::kModYield);
+  // Slower CPU than the 133 MHz machines.
+  EXPECT_GT(m.costs.enqueue, Machine::sgi_indy().costs.enqueue);
+}
+
+TEST(MachinePresets, ChallengeIsMultiprocessor) {
+  const Machine m = Machine::sgi_challenge(8);
+  EXPECT_EQ(m.cpus, 8);
+  EXPECT_EQ(m.costs.poll_slice, 25'000) << "paper 5: 25 us poll slices";
+  // Cross-CPU queue ops are dearer than the uniprocessor's.
+  EXPECT_GT(m.costs.enqueue, Machine::sgi_indy().costs.enqueue);
+}
+
+TEST(PolicyNames, AllDistinct) {
+  EXPECT_STREQ(policy_name(PolicyKind::kAging), "aging");
+  EXPECT_STREQ(policy_name(PolicyKind::kFixed), "fixed-priority");
+  EXPECT_STREQ(policy_name(PolicyKind::kTickOnly), "tick-only");
+  EXPECT_STREQ(policy_name(PolicyKind::kModYield), "modified-yield");
+}
+
+}  // namespace
+}  // namespace ulipc::sim

@@ -1,0 +1,218 @@
+#include "sim/sim_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ulipc::sim {
+namespace {
+
+struct ExpParam {
+  ProtocolKind protocol;
+  std::uint32_t clients;
+};
+
+class EchoExperimentTest : public ::testing::TestWithParam<ExpParam> {};
+
+TEST_P(EchoExperimentTest, AllRepliesVerifiedOnSgi) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::sgi_indy();
+  cfg.policy = cfg.machine.default_policy;
+  cfg.protocol = GetParam().protocol;
+  cfg.clients = GetParam().clients;
+  cfg.messages_per_client = 300;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies,
+            static_cast<std::uint64_t>(cfg.clients) * cfg.messages_per_client);
+  EXPECT_EQ(r.server.echo_messages,
+            static_cast<std::uint64_t>(cfg.clients) * cfg.messages_per_client);
+  EXPECT_GT(r.throughput_msgs_per_ms, 0.0);
+  EXPECT_GT(r.end_time_ns, 0);
+}
+
+TEST_P(EchoExperimentTest, AllRepliesVerifiedOnIbm) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::ibm_p4();
+  cfg.policy = cfg.machine.default_policy;
+  cfg.protocol = GetParam().protocol;
+  cfg.clients = GetParam().clients;
+  cfg.messages_per_client = 300;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies,
+            static_cast<std::uint64_t>(cfg.clients) * cfg.messages_per_client);
+}
+
+TEST_P(EchoExperimentTest, AllRepliesVerifiedOnMultiprocessor) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::sgi_challenge(4);
+  cfg.policy = cfg.machine.default_policy;
+  cfg.protocol = GetParam().protocol;
+  cfg.clients = GetParam().clients;
+  cfg.messages_per_client = 200;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies,
+            static_cast<std::uint64_t>(cfg.clients) * cfg.messages_per_client);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsTimesClients, EchoExperimentTest,
+    ::testing::Values(ExpParam{ProtocolKind::kBss, 1},
+                      ExpParam{ProtocolKind::kBss, 3},
+                      ExpParam{ProtocolKind::kBsw, 1},
+                      ExpParam{ProtocolKind::kBsw, 3},
+                      ExpParam{ProtocolKind::kBswy, 1},
+                      ExpParam{ProtocolKind::kBswy, 3},
+                      ExpParam{ProtocolKind::kBsls, 1},
+                      ExpParam{ProtocolKind::kBsls, 3},
+                      ExpParam{ProtocolKind::kSysv, 1},
+                      ExpParam{ProtocolKind::kSysv, 3}),
+    [](const ::testing::TestParamInfo<ExpParam>& pinfo) {
+      return std::string(protocol_name(pinfo.param.protocol)) +
+             std::to_string(pinfo.param.clients);
+    });
+
+TEST(SimExperiment, DeterministicAcrossRuns) {
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBsls;
+  cfg.clients = 3;
+  cfg.messages_per_client = 200;
+  const SimExperimentResult a = run_sim_experiment(cfg);
+  const SimExperimentResult b = run_sim_experiment(cfg);
+  EXPECT_EQ(a.end_time_ns, b.end_time_ns);
+  EXPECT_DOUBLE_EQ(a.throughput_msgs_per_ms, b.throughput_msgs_per_ms);
+  EXPECT_EQ(a.client_stats_total.yields, b.client_stats_total.yields);
+  EXPECT_EQ(a.server_counters.blocks, b.server_counters.blocks);
+}
+
+TEST(SimExperiment, BssNeverBlocks) {
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 2;
+  cfg.messages_per_client = 200;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.server_counters.blocks, 0u);
+  EXPECT_EQ(r.client_counters_total.blocks, 0u);
+  EXPECT_EQ(r.server_counters.wakeups, 0u);
+}
+
+TEST(SimExperiment, BswBlocksOnUniprocessor) {
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBsw;
+  cfg.clients = 1;
+  cfg.messages_per_client = 200;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  // Synchronous single-client BSW: client and server block every round trip
+  // (the 4-syscall regime of paper 3.1).
+  EXPECT_GT(r.client_counters_total.blocks, cfg.messages_per_client / 2);
+  EXPECT_GT(r.server_counters.blocks, cfg.messages_per_client / 2);
+  EXPECT_GT(r.client_counters_total.wakeups, 0u);
+}
+
+TEST(SimExperiment, BslsSpinCountersPopulated) {
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBsls;
+  cfg.clients = 1;
+  cfg.messages_per_client = 300;
+  cfg.max_spin = 20;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_GT(r.client_counters_total.spin_entries, 0u);
+  EXPECT_GT(r.client_counters_total.spin_iters, 0u);
+  // Paper: at MAX_SPIN=20 a single client blocks only ~3% of the time.
+  const double fallthrough_rate =
+      static_cast<double>(r.client_counters_total.spin_fallthroughs) /
+      static_cast<double>(r.client_counters_total.spin_entries);
+  EXPECT_LT(fallthrough_rate, 0.10);
+}
+
+TEST(SimExperiment, BslsMaxSpinZeroActsLikeBswy) {
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBsls;
+  cfg.clients = 1;
+  cfg.messages_per_client = 200;
+  cfg.max_spin = 0;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies, cfg.messages_per_client);
+  EXPECT_EQ(r.client_counters_total.polls, 0u);
+}
+
+TEST(SimExperiment, HandoffModeCompletes) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::linux_486();
+  cfg.policy = PolicyKind::kModYield;
+  cfg.protocol = ProtocolKind::kBswy;
+  cfg.clients = 2;
+  cfg.messages_per_client = 200;
+  cfg.use_handoff = true;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies, 400u);
+  EXPECT_GT(r.client_stats_total.handoffs, 0u);
+}
+
+TEST(SimExperiment, ServerWorkReducesThroughput) {
+  SimExperimentConfig base;
+  base.protocol = ProtocolKind::kBss;
+  base.clients = 1;
+  base.messages_per_client = 200;
+  SimExperimentConfig loaded = base;
+  loaded.server_work_us = 200.0;
+  const double fast = run_sim_experiment(base).throughput_msgs_per_ms;
+  const double slow = run_sim_experiment(loaded).throughput_msgs_per_ms;
+  EXPECT_LT(slow, fast * 0.8);
+}
+
+TEST(SimExperiment, TickOnlyLinuxReproduces33msLatency) {
+  // Paper 6: unpatched Linux 1.0.32 showed ~33 ms BSS response instead of
+  // the expected ~120 us.
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::linux_486();
+  cfg.policy = PolicyKind::kTickOnly;
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 1;
+  cfg.messages_per_client = 50;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_GT(r.round_trip_us, 10'000.0) << "expected multi-ms round trips";
+  EXPECT_LT(r.round_trip_us, 100'000.0);
+}
+
+TEST(SimExperiment, ModYieldLinuxRestores120usLatency) {
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::linux_486();
+  cfg.policy = PolicyKind::kModYield;
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 1;
+  cfg.messages_per_client = 300;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_GT(r.round_trip_us, 60.0);
+  EXPECT_LT(r.round_trip_us, 240.0) << "paper: ~120 us on the 486";
+}
+
+TEST(SimExperiment, SgiSingleClientMatchesPaperLatency) {
+  // Figure 2a: ~119 us round trip at one client.
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::sgi_indy();
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 1;
+  cfg.messages_per_client = 500;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_GT(r.round_trip_us, 95.0);
+  EXPECT_LT(r.round_trip_us, 145.0);
+  // ~2-3 yields per round trip per process (paper reports ~2.5).
+  const double ypm = r.client_yields_per_message(cfg.messages_per_client);
+  EXPECT_GE(ypm, 1.5);
+  EXPECT_LE(ypm, 3.5);
+}
+
+TEST(SimExperiment, IbmSingleClientMatchesPaperThroughput) {
+  // Figure 2b: ~32 msgs/ms at one client.
+  SimExperimentConfig cfg;
+  cfg.machine = Machine::ibm_p4();
+  cfg.protocol = ProtocolKind::kBss;
+  cfg.clients = 1;
+  cfg.messages_per_client = 500;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_GT(r.throughput_msgs_per_ms, 25.0);
+  EXPECT_LT(r.throughput_msgs_per_ms, 40.0);
+}
+
+}  // namespace
+}  // namespace ulipc::sim

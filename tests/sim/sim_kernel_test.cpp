@@ -1,0 +1,508 @@
+#include "sim/sim_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+/// Machine with round numbers for precise accounting tests.
+Machine test_machine(int cpus = 1) {
+  Machine m;
+  m.name = "test";
+  m.cpus = cpus;
+  m.costs = Costs{};
+  m.costs.ctx_switch = 1'000;
+  m.costs.semop = 2'000;
+  m.costs.wake = 500;
+  m.costs.msgsnd = 3'000;
+  m.costs.msgrcv = 3'000;
+  m.costs.handoff = 800;
+  m.costs.quantum = 100'000;
+  m.costs.poll_slice = 25'000;
+  m.yield_cost_points = {{1, 4'000}};  // flat 4 us
+  m.default_policy = PolicyKind::kFixed;
+  m.defer_base_ns = 10'000;
+  return m;
+}
+
+TEST(SimKernel, RunsSingleProcessToCompletion) {
+  SimKernel k(test_machine());
+  int ran = 0;
+  k.spawn("solo", [&] {
+    k.op_sync();
+    k.op_finish(OpKind::kCharge, 5'000);
+    ran = 1;
+  });
+  k.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(k.process(0).state, ProcState::kDone);
+  // ctx_switch (dispatch) + 5 us of work.
+  EXPECT_EQ(k.now(), 6'000);
+  EXPECT_EQ(k.process(0).stats.cpu_ns, 5'000);
+}
+
+TEST(SimKernel, ChargeAccumulatesTime) {
+  SimKernel k(test_machine());
+  k.spawn("p", [&] {
+    for (int i = 0; i < 10; ++i) {
+      k.op_sync();
+      k.op_finish(OpKind::kCharge, 1'000);
+    }
+  });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.cpu_ns, 10'000);
+}
+
+TEST(SimKernel, FixedPolicyYieldRotates) {
+  SimKernel k(test_machine());
+  std::vector<int> order;
+  for (int pid = 0; pid < 2; ++pid) {
+    k.spawn("p" + std::to_string(pid), [&, pid] {
+      for (int i = 0; i < 3; ++i) {
+        order.push_back(pid);
+        k.yield_syscall();
+      }
+    });
+  }
+  k.run();
+  // Round-robin: 0 1 0 1 0 1.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(k.process(0).stats.yields, 3u);
+  EXPECT_GE(k.process(0).stats.voluntary_switches, 2u);
+}
+
+TEST(SimKernel, TickOnlyPolicyIgnoresYield) {
+  Machine m = test_machine();
+  m.default_policy = PolicyKind::kTickOnly;
+  SimKernel k(m);
+  std::vector<int> order;
+  for (int pid = 0; pid < 2; ++pid) {
+    k.spawn("p", [&, pid] {
+      for (int i = 0; i < 3; ++i) {
+        order.push_back(pid);
+        k.yield_syscall();
+      }
+    });
+  }
+  k.run();
+  // All of p0 first (yields are no-ops; total work < quantum).
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(SimKernel, AgingPolicyDefersThenSwitches) {
+  Machine m = test_machine();
+  m.default_policy = PolicyKind::kAging;
+  m.defer_base_ns = 10'000;  // flat (defer_scaled_by_ready defaults true;
+  m.defer_scaled_by_ready = false;  // with 1 other ready it is the same)
+  SimKernel k(m);
+  std::vector<int> order;
+  for (int pid = 0; pid < 2; ++pid) {
+    k.spawn("p", [&, pid] {
+      for (int i = 0; i < 6; ++i) {
+        order.push_back(pid);
+        k.yield_syscall();
+      }
+    });
+  }
+  k.run();
+  // Each yield costs 4 us; the slice threshold is 10 us, so the third yield
+  // of each slice switches: runs of 3 per process.
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}));
+}
+
+TEST(SimKernel, QuantumPreemptsAtOpBoundary) {
+  Machine m = test_machine();
+  m.default_policy = PolicyKind::kTickOnly;
+  m.costs.quantum = 10'000;
+  SimKernel k(m);
+  std::vector<int> order;
+  for (int pid = 0; pid < 2; ++pid) {
+    k.spawn("p", [&, pid] {
+      for (int i = 0; i < 4; ++i) {
+        order.push_back(pid);
+        k.op_sync();
+        k.op_finish(OpKind::kCharge, 6'000);  // two ops exceed the quantum
+      }
+    });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1, 1, 0, 0, 1, 1}));
+  EXPECT_GE(k.process(0).stats.involuntary_switches, 1u);
+}
+
+TEST(SimKernel, SemaphoreTransfersCount) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  std::vector<std::string> events;
+  k.spawn("consumer", [&] {
+    events.push_back("c:wait");
+    k.sem_p(sem);
+    events.push_back("c:woke");
+  });
+  k.spawn("producer", [&] {
+    events.push_back("p:post");
+    k.sem_v(sem);
+    events.push_back("p:after-post");
+  });
+  k.run();
+  // V readies the consumer but does NOT force a reschedule: the producer
+  // continues to its next line first.
+  EXPECT_EQ(events, (std::vector<std::string>{"c:wait", "p:post",
+                                              "p:after-post", "c:woke"}));
+  EXPECT_EQ(sem.count, 0);
+  EXPECT_EQ(sem.total_posts, 1u);
+  EXPECT_EQ(sem.total_waits, 1u);
+}
+
+TEST(SimKernel, SemaphoreCountsAccumulate) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  k.spawn("p", [&] {
+    for (int i = 0; i < 5; ++i) k.sem_v(sem);
+    for (int i = 0; i < 5; ++i) k.sem_p(sem);  // none may block
+  });
+  k.run();
+  EXPECT_EQ(sem.count, 0);
+  EXPECT_EQ(sem.max_count_seen, 5);
+  EXPECT_EQ(k.process(0).stats.blocks, 0u);
+}
+
+TEST(SimKernel, SemaphoreWakesInFifoOrder) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  std::vector<int> wake_order;
+  for (int pid = 0; pid < 3; ++pid) {
+    k.spawn("w", [&, pid] {
+      k.sem_p(sem);
+      wake_order.push_back(pid);
+    });
+  }
+  k.spawn("poster", [&] {
+    for (int i = 0; i < 3; ++i) k.sem_v(sem);
+  });
+  k.run();
+  EXPECT_EQ(wake_order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimKernel, SleepAdvancesVirtualTime) {
+  SimKernel k(test_machine());
+  k.spawn("sleeper", [&] { k.sleep_ns(1'000'000'000); });
+  k.run();
+  EXPECT_GE(k.now(), 1'000'000'000);
+  // Real time was obviously far less; virtual sleep is free.
+}
+
+TEST(SimKernel, SleepersWakeInTimeOrder) {
+  SimKernel k(test_machine());
+  std::vector<int> wake_order;
+  k.spawn("late", [&] {
+    k.sleep_ns(2'000'000);
+    wake_order.push_back(1);
+  });
+  k.spawn("early", [&] {
+    k.sleep_ns(1'000'000);
+    wake_order.push_back(0);
+  });
+  k.run();
+  EXPECT_EQ(wake_order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimKernel, DeadlockDetected) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  k.spawn("stuck", [&] { k.sem_p(sem); });
+  EXPECT_THROW(k.run(), SimDeadlock);
+}
+
+TEST(SimKernel, DeadlockMessageNamesProcesses) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  k.spawn("alice", [&] { k.sem_p(sem); });
+  try {
+    k.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& e) {
+    EXPECT_NE(std::string(e.what()).find("alice"), std::string::npos);
+  }
+}
+
+TEST(SimKernel, OpGuardTripsAsTimeout) {
+  SimKernel k(test_machine());
+  k.set_max_ops(100);
+  k.spawn("spinner", [&] {
+    for (;;) {
+      k.op_sync();
+      k.op_finish(OpKind::kCharge, 10);
+    }
+  });
+  EXPECT_THROW(k.run(), SimTimeout);
+}
+
+TEST(SimKernel, VirtualTimeGuardTrips) {
+  SimKernel k(test_machine());
+  k.set_max_virtual_ns(1'000'000);
+  k.spawn("spinner", [&] {
+    for (;;) {
+      k.op_sync();
+      k.op_finish(OpKind::kCharge, 100'000);
+    }
+  });
+  EXPECT_THROW(k.run(), SimTimeout);
+}
+
+// ------------------------------------------------------------------ handoff
+
+TEST(SimKernel, HandoffToSpecificPid) {
+  SimKernel k(test_machine());
+  std::vector<int> order;
+  k.spawn("a", [&] {
+    order.push_back(0);
+    k.handoff_syscall(2);  // jump the queue: c runs next, not b
+    order.push_back(0);
+  });
+  k.spawn("b", [&] { order.push_back(1); });
+  k.spawn("c", [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 0}));
+  EXPECT_EQ(k.process(0).stats.handoffs, 1u);
+}
+
+TEST(SimKernel, HandoffAnyRotates) {
+  SimKernel k(test_machine());
+  std::vector<int> order;
+  k.spawn("a", [&] {
+    order.push_back(0);
+    k.handoff_syscall(kPidAny);
+    order.push_back(0);
+  });
+  k.spawn("b", [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(SimKernel, HandoffToBlockedTargetIsNoop) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  std::vector<std::string> events;
+  k.spawn("blocked", [&] {
+    k.sem_p(sem);
+    events.push_back("blocked:woke");
+  });
+  k.spawn("caller", [&] {
+    k.handoff_syscall(0);  // target is blocked: costly no-op, caller keeps CPU
+    events.push_back("caller:after");
+    k.sem_v(sem);
+  });
+  k.run();
+  EXPECT_EQ(events[0], "caller:after");
+}
+
+TEST(SimKernel, HandoffSelfActsLikeYield) {
+  SimKernel k(test_machine());  // kFixed: yield switches
+  std::vector<int> order;
+  k.spawn("a", [&] {
+    order.push_back(0);
+    k.handoff_syscall(kPidSelf);
+    order.push_back(0);
+  });
+  k.spawn("b", [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0}));
+}
+
+// ------------------------------------------------------------ message queue
+
+TEST(SimKernel, MsgQueueDeliversInOrder) {
+  SimKernel k(test_machine());
+  SimMsgQueue q;
+  std::vector<double> got;
+  k.spawn("recv", [&] {
+    for (int i = 0; i < 3; ++i) {
+      Message m;
+      k.msgq_rcv(q, 0, &m);
+      got.push_back(m.value);
+    }
+  });
+  k.spawn("send", [&] {
+    for (int i = 0; i < 3; ++i) {
+      k.msgq_snd(q, 1, Message(Op::kEcho, 0, static_cast<double>(i)));
+    }
+  });
+  k.run();
+  EXPECT_EQ(got, (std::vector<double>{0.0, 1.0, 2.0}));
+}
+
+TEST(SimKernel, MsgQueueMtypeSelection) {
+  SimKernel k(test_machine());
+  SimMsgQueue q;
+  double got = 0.0;
+  k.spawn("main", [&] {
+    k.msgq_snd(q, 7, Message(Op::kEcho, 0, 7.0));
+    k.msgq_snd(q, 9, Message(Op::kEcho, 0, 9.0));
+    Message m;
+    k.msgq_rcv(q, 9, &m);
+    got = m.value;
+  });
+  k.run();
+  EXPECT_DOUBLE_EQ(got, 9.0);
+  EXPECT_EQ(q.messages.size(), 1u);  // the mtype-7 message remains
+}
+
+// ------------------------------------------------------------ multiprocessor
+
+TEST(SimKernel, MultiprocessorRunsInParallelVirtualTime) {
+  SimKernel k(test_machine(2));
+  for (int i = 0; i < 2; ++i) {
+    k.spawn("w", [&] {
+      k.op_sync();
+      k.op_finish(OpKind::kCharge, 50'000);
+    });
+  }
+  k.run();
+  // Both ran concurrently: final time ~ one ctx switch + 50 us, not 100 us.
+  EXPECT_LT(k.now(), 60'000);
+}
+
+TEST(SimKernel, MultiprocessorCausalOrdering) {
+  // A cross-CPU producer/consumer via shared plain state, touched only at
+  // op boundaries: the consumer must observe the producer's writes in
+  // virtual-time order.
+  SimKernel k(test_machine(2));
+  int shared = 0;
+  std::vector<int> seen;
+  k.spawn("producer", [&] {
+    for (int i = 1; i <= 5; ++i) {
+      k.op_sync();
+      shared = i;
+      k.op_finish(OpKind::kCharge, 10'000);
+    }
+  });
+  k.spawn("observer", [&] {
+    for (int i = 0; i < 5; ++i) {
+      k.op_sync();
+      seen.push_back(shared);
+      k.op_finish(OpKind::kCharge, 10'000);
+    }
+  });
+  k.run();
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LE(seen[i - 1], seen[i]) << "observer saw time run backwards";
+  }
+}
+
+TEST(SimKernel, WakeDispatchesToIdleCpu) {
+  SimKernel k(test_machine(2));
+  SimSemaphore sem;
+  std::int64_t woke_at = 0;
+  k.spawn("sleeper", [&] {
+    k.sem_p(sem);
+    woke_at = k.now();
+    k.op_sync();
+    k.op_finish(OpKind::kCharge, 1'000);
+  });
+  k.spawn("worker", [&] {
+    k.op_sync();
+    k.op_finish(OpKind::kCharge, 30'000);
+    k.sem_v(sem);
+    k.op_sync();
+    k.op_finish(OpKind::kCharge, 30'000);  // keeps its own CPU busy
+  });
+  k.run();
+  // The sleeper was re-dispatched to the idle CPU immediately after the V,
+  // not after the worker finished.
+  EXPECT_LT(woke_at, 50'000);
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(SimKernel, IdenticalRunsProduceIdenticalTraces) {
+  auto build_and_run = [](std::vector<TraceEvent>* out) {
+    SimKernel k(test_machine());
+    k.enable_trace(true);
+    SimSemaphore sem;
+    k.spawn("a", [&] {
+      for (int i = 0; i < 10; ++i) {
+        k.yield_syscall();
+        k.sem_v(sem);
+      }
+    });
+    k.spawn("b", [&] {
+      for (int i = 0; i < 10; ++i) {
+        k.sem_p(sem);
+        k.yield_syscall();
+      }
+    });
+    k.run();
+    *out = k.trace();
+  };
+  std::vector<TraceEvent> t1;
+  std::vector<TraceEvent> t2;
+  build_and_run(&t1);
+  build_and_run(&t2);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+}
+
+// ------------------------------------------------------------------ op hook
+
+TEST(SimKernel, OpHookForcesPreemption) {
+  SimKernel k(test_machine());
+  std::vector<int> order;
+  int charges = 0;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    if (kind == OpKind::kCharge && pid == 0 && ++charges == 2) {
+      return kPidAny;  // preempt pid 0 after its second charge
+    }
+    return std::nullopt;
+  });
+  k.spawn("a", [&] {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(0);
+      k.op_sync();
+      k.op_finish(OpKind::kCharge, 100);
+    }
+  });
+  k.spawn("b", [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1, 0}));
+}
+
+TEST(SimKernel, OpHookDirectedSwitch) {
+  SimKernel k(test_machine());
+  std::vector<int> order;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    if (kind == OpKind::kCharge && pid == 0) return 2;  // run pid 2 next
+    return std::nullopt;
+  });
+  k.spawn("a", [&] {
+    order.push_back(0);
+    k.op_sync();
+    k.op_finish(OpKind::kCharge, 100);
+    order.push_back(0);
+  });
+  k.spawn("b", [&] { order.push_back(1); });
+  k.spawn("c", [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2) << "hook must route control to pid 2";
+}
+
+TEST(SimKernel, StatsCountSyscalls) {
+  SimKernel k(test_machine());
+  SimSemaphore sem;
+  k.spawn("p", [&] {
+    k.yield_syscall();
+    k.sem_v(sem);
+    k.sem_p(sem);
+    k.sleep_ns(1'000);
+  });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.syscalls, 4u);
+}
+
+}  // namespace
+}  // namespace ulipc::sim

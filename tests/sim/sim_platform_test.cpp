@@ -1,0 +1,143 @@
+// SimPlatform: cost accounting, per-process counters, and the platform
+// split of busy_wait/poll_queue (yield on uniprocessor, delay slice on
+// multiprocessor, handoff when enabled).
+#include "sim/sim_platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+Machine cost_machine(int cpus = 1) {
+  Machine m;
+  m.name = "cost-test";
+  m.cpus = cpus;
+  m.costs = Costs{};
+  m.costs.enqueue = 100;
+  m.costs.dequeue = 200;
+  m.costs.empty_check = 10;
+  m.costs.tas = 5;
+  m.costs.ctx_switch = 1'000;
+  m.costs.semop = 400;
+  m.costs.wake = 50;
+  m.costs.poll_slice = 7'000;
+  m.costs.quantum = 1'000'000'000;
+  m.yield_cost_points = {{1, 3'000}};
+  m.default_policy = PolicyKind::kFixed;
+  return m;
+}
+
+TEST(SimPlatform, ChargesConfiguredCosts) {
+  SimKernel k(cost_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  k.spawn("p", [&] {
+    Message m;
+    plat.enqueue(ep, Message(Op::kEcho, 0, 1.0));  // 100
+    plat.dequeue(ep, &m);                          // 200
+    plat.queue_empty(ep);                          // 10
+    plat.tas_awake(ep);                            // 5
+    plat.clear_awake(ep);                          // 5
+    plat.set_awake(ep);                            // 5
+    plat.work_us(2.0);                             // 2000
+  });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.cpu_ns, 100 + 200 + 10 + 3 * 5 + 2'000);
+}
+
+TEST(SimPlatform, FailedOpsStillCharge) {
+  SimKernel k(cost_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep(1);  // capacity 1
+  k.spawn("p", [&] {
+    Message m;
+    EXPECT_FALSE(plat.dequeue(ep, &m));                          // 200
+    EXPECT_TRUE(plat.enqueue(ep, Message(Op::kEcho, 0, 1.0)));   // 100
+    EXPECT_FALSE(plat.enqueue(ep, Message(Op::kEcho, 0, 2.0)));  // 100 (full)
+  });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.cpu_ns, 200 + 100 + 100);
+}
+
+TEST(SimPlatform, UniprocessorBusyWaitIsYield) {
+  SimKernel k(cost_machine(1));
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  k.spawn("p", [&] { plat.busy_wait(ep); });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.yields, 1u);
+}
+
+TEST(SimPlatform, MultiprocessorBusyWaitIsPollSlice) {
+  SimKernel k(cost_machine(2));
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  k.spawn("p", [&] { plat.busy_wait(ep); });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.yields, 0u) << "no syscall on MP busy-wait";
+  EXPECT_EQ(k.process(0).stats.cpu_ns, 7'000);
+}
+
+TEST(SimPlatform, HandoffModeRoutesBusyWait) {
+  SimKernel k(cost_machine(1));
+  SimPlatform plat(k);
+  plat.use_handoff(true);
+  SimEndpoint ep;
+  int partner_ran = 0;
+  k.spawn("caller", [&] { plat.busy_wait(ep); });
+  ep.partner_pid = k.spawn("partner", [&] { partner_ran = 1; });
+  k.run();
+  EXPECT_EQ(k.process(0).stats.handoffs, 1u);
+  EXPECT_EQ(k.process(0).stats.yields, 0u);
+  EXPECT_EQ(partner_ran, 1);
+}
+
+TEST(SimPlatform, CountersBelongToCurrentProcess) {
+  SimKernel k(cost_machine());
+  SimPlatform plat(k);  // one platform shared by both fibers
+  k.spawn("a", [&] { plat.counters().sends = 11; });
+  k.spawn("b", [&] { plat.counters().sends = 22; });
+  k.run();
+  EXPECT_EQ(k.process(0).counters.sends, 11u);
+  EXPECT_EQ(k.process(1).counters.sends, 22u);
+}
+
+TEST(SimPlatform, TimeNsIsVirtual) {
+  SimKernel k(cost_machine());
+  SimPlatform plat(k);
+  std::int64_t before = -1;
+  std::int64_t after = -1;
+  k.spawn("p", [&] {
+    before = plat.time_ns();
+    plat.work_us(1'000.0);  // 1 ms virtual
+    after = plat.time_ns();
+  });
+  k.run();
+  EXPECT_EQ(after - before, 1'000'000);
+}
+
+TEST(SimPlatform, SleepSecondsIsVirtual) {
+  SimKernel k(cost_machine());
+  SimPlatform plat(k);
+  k.spawn("p", [&] { plat.sleep_seconds(2); });
+  const auto wall0 = std::chrono::steady_clock::now();
+  k.run();
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall0)
+                           .count();
+  EXPECT_GE(k.now(), 2'000'000'000);
+  EXPECT_LT(wall_ms, 1'000) << "virtual sleep must not consume wall time";
+}
+
+TEST(SimPlatform, SatisfiesPlatformConcept) {
+  static_assert(Platform<SimPlatform>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ulipc::sim

@@ -1,0 +1,107 @@
+// Schedule tracing: event recording, ordering, formatting, and the
+// enable/disable switch.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+Machine tiny_machine() {
+  Machine m;
+  m.name = "trace-test";
+  m.cpus = 1;
+  m.costs = Costs{};
+  m.costs.quantum = 1'000'000'000;
+  m.yield_cost_points = {{1, 1'000}};
+  m.default_policy = PolicyKind::kFixed;
+  return m;
+}
+
+TEST(Trace, DisabledByDefault) {
+  SimKernel k(tiny_machine());
+  k.spawn("p", [&] { k.yield_syscall(); });
+  k.run();
+  EXPECT_TRUE(k.trace().empty());
+}
+
+TEST(Trace, RecordsLifecycleEvents) {
+  SimKernel k(tiny_machine());
+  k.enable_trace(true);
+  SimSemaphore sem;
+  k.spawn("a", [&] { k.sem_p(sem); });
+  k.spawn("b", [&] { k.sem_v(sem); });
+  k.run();
+  const auto& t = k.trace();
+  ASSERT_FALSE(t.empty());
+
+  auto count = [&](TraceKind kind) {
+    return std::count_if(t.begin(), t.end(),
+                         [&](const TraceEvent& e) { return e.kind == kind; });
+  };
+  EXPECT_EQ(count(TraceKind::kDispatch), 3) << "a, b, a-again";
+  EXPECT_EQ(count(TraceKind::kBlock), 1);
+  EXPECT_EQ(count(TraceKind::kWake), 1);
+  EXPECT_EQ(count(TraceKind::kExit), 2);
+}
+
+TEST(Trace, TimesNonDecreasingPerCpu) {
+  SimKernel k(tiny_machine());
+  k.enable_trace(true);
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("p", [&] {
+      for (int j = 0; j < 5; ++j) k.yield_syscall();
+    });
+  }
+  k.run();
+  std::int64_t prev = 0;
+  for (const TraceEvent& e : k.trace()) {
+    if (e.cpu != 0) continue;  // single CPU anyway
+    EXPECT_GE(e.time_ns, prev);
+    prev = e.time_ns;
+  }
+}
+
+TEST(Trace, BlockEventNamesPid) {
+  SimKernel k(tiny_machine());
+  k.enable_trace(true);
+  SimSemaphore sem;
+  k.spawn("waiter", [&] { k.sem_p(sem); });
+  k.spawn("poster", [&] { k.sem_v(sem); });
+  k.run();
+  const auto it =
+      std::find_if(k.trace().begin(), k.trace().end(), [](const TraceEvent& e) {
+        return e.kind == TraceKind::kBlock;
+      });
+  ASSERT_NE(it, k.trace().end());
+  EXPECT_EQ(it->pid, 0);
+}
+
+TEST(Trace, FormatContainsKindAndPid) {
+  const TraceEvent e{1234, 7, 0, TraceKind::kYieldSwitch, 2};
+  const std::string s = format_trace_event(e);
+  EXPECT_NE(s.find("1234"), std::string::npos);
+  EXPECT_NE(s.find("pid7"), std::string::npos);
+  EXPECT_NE(s.find("yield-switch"), std::string::npos);
+}
+
+TEST(Trace, AllKindNamesDistinct) {
+  const TraceKind kinds[] = {
+      TraceKind::kDispatch, TraceKind::kYieldNoop, TraceKind::kYieldSwitch,
+      TraceKind::kPreempt,  TraceKind::kBlock,     TraceKind::kWake,
+      TraceKind::kSleep,    TraceKind::kTimerFire, TraceKind::kHandoff,
+      TraceKind::kExit};
+  std::set<std::string> names;
+  for (const TraceKind kind : kinds) {
+    EXPECT_TRUE(names.insert(trace_kind_name(kind)).second);
+  }
+}
+
+}  // namespace
+}  // namespace ulipc::sim
