@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_async_window.dir/abl_async_window.cpp.o"
+  "CMakeFiles/abl_async_window.dir/abl_async_window.cpp.o.d"
+  "abl_async_window"
+  "abl_async_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_duplex.dir/abl_duplex.cpp.o"
+  "CMakeFiles/abl_duplex.dir/abl_duplex.cpp.o.d"
+  "abl_duplex"
+  "abl_duplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

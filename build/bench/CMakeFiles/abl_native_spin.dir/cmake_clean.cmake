@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_native_spin.dir/abl_native_spin.cpp.o"
+  "CMakeFiles/abl_native_spin.dir/abl_native_spin.cpp.o.d"
+  "abl_native_spin"
+  "abl_native_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_native_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_native_spin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_throttle.dir/abl_throttle.cpp.o"
+  "CMakeFiles/abl_throttle.dir/abl_throttle.cpp.o.d"
+  "abl_throttle"
+  "abl_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

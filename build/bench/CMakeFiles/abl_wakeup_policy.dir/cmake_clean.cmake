@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wakeup_policy.dir/abl_wakeup_policy.cpp.o"
+  "CMakeFiles/abl_wakeup_policy.dir/abl_wakeup_policy.cpp.o.d"
+  "abl_wakeup_policy"
+  "abl_wakeup_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wakeup_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_wakeup_policy.
+# This may be replaced when dependencies are built.

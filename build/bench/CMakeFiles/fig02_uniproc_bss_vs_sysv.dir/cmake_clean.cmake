@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_uniproc_bss_vs_sysv.dir/fig02_uniproc_bss_vs_sysv.cpp.o"
+  "CMakeFiles/fig02_uniproc_bss_vs_sysv.dir/fig02_uniproc_bss_vs_sysv.cpp.o.d"
+  "fig02_uniproc_bss_vs_sysv"
+  "fig02_uniproc_bss_vs_sysv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_uniproc_bss_vs_sysv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

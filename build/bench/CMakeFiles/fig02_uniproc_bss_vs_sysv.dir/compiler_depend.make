@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_uniproc_bss_vs_sysv.
+# This may be replaced when dependencies are built.

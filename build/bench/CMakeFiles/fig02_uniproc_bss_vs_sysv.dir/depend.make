@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_uniproc_bss_vs_sysv.
+# This may be replaced when dependencies are built.

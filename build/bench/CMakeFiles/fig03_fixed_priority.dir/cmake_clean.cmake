@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fixed_priority.dir/fig03_fixed_priority.cpp.o"
+  "CMakeFiles/fig03_fixed_priority.dir/fig03_fixed_priority.cpp.o.d"
+  "fig03_fixed_priority"
+  "fig03_fixed_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fixed_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bsw.dir/fig06_bsw.cpp.o"
+  "CMakeFiles/fig06_bsw.dir/fig06_bsw.cpp.o.d"
+  "fig06_bsw"
+  "fig06_bsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

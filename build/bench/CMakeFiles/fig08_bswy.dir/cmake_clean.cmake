@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bswy.dir/fig08_bswy.cpp.o"
+  "CMakeFiles/fig08_bswy.dir/fig08_bswy.cpp.o.d"
+  "fig08_bswy"
+  "fig08_bswy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bswy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bsls_maxspin.dir/fig10_bsls_maxspin.cpp.o"
+  "CMakeFiles/fig10_bsls_maxspin.dir/fig10_bsls_maxspin.cpp.o.d"
+  "fig10_bsls_maxspin"
+  "fig10_bsls_maxspin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bsls_maxspin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multiprocessor.dir/fig11_multiprocessor.cpp.o"
+  "CMakeFiles/fig11_multiprocessor.dir/fig11_multiprocessor.cpp.o.d"
+  "fig11_multiprocessor"
+  "fig11_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

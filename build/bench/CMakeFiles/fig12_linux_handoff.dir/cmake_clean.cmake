@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_linux_handoff.dir/fig12_linux_handoff.cpp.o"
+  "CMakeFiles/fig12_linux_handoff.dir/fig12_linux_handoff.cpp.o.d"
+  "fig12_linux_handoff"
+  "fig12_linux_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_linux_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

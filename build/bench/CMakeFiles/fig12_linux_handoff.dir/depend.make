@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_linux_handoff.
+# This may be replaced when dependencies are built.

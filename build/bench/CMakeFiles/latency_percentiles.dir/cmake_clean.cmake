@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_percentiles.dir/latency_percentiles.cpp.o"
+  "CMakeFiles/latency_percentiles.dir/latency_percentiles.cpp.o.d"
+  "latency_percentiles"
+  "latency_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

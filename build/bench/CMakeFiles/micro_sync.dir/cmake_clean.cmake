@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sync.dir/micro_sync.cpp.o"
+  "CMakeFiles/micro_sync.dir/micro_sync.cpp.o.d"
+  "micro_sync"
+  "micro_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

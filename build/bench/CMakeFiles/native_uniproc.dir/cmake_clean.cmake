@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_uniproc.dir/native_uniproc.cpp.o"
+  "CMakeFiles/native_uniproc.dir/native_uniproc.cpp.o.d"
+  "native_uniproc"
+  "native_uniproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_uniproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

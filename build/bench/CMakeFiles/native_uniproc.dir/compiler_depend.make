@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for native_uniproc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_primitives.dir/table1_primitives.cpp.o"
+  "CMakeFiles/table1_primitives.dir/table1_primitives.cpp.o.d"
+  "table1_primitives"
+  "table1_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

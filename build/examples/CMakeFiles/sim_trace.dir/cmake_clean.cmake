@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trace.dir/sim_trace.cpp.o"
+  "CMakeFiles/sim_trace.dir/sim_trace.cpp.o.d"
+  "sim_trace"
+  "sim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_farm.dir/task_farm.cpp.o"
+  "CMakeFiles/task_farm.dir/task_farm.cpp.o.d"
+  "task_farm"
+  "task_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

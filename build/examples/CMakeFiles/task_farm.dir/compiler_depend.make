@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for task_farm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulipc_benchsupport.dir/figure.cpp.o"
+  "CMakeFiles/ulipc_benchsupport.dir/figure.cpp.o.d"
+  "libulipc_benchsupport.a"
+  "libulipc_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulipc_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulipc_benchsupport.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ulipc_benchsupport.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ulipc_benchsupport.
+# This may be replaced when dependencies are built.

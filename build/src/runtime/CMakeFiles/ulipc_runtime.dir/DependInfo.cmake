@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/harness.cpp" "src/runtime/CMakeFiles/ulipc_runtime.dir/harness.cpp.o" "gcc" "src/runtime/CMakeFiles/ulipc_runtime.dir/harness.cpp.o.d"
+  "/root/repo/src/runtime/shm_channel.cpp" "src/runtime/CMakeFiles/ulipc_runtime.dir/shm_channel.cpp.o" "gcc" "src/runtime/CMakeFiles/ulipc_runtime.dir/shm_channel.cpp.o.d"
+  "/root/repo/src/runtime/sysv_transport.cpp" "src/runtime/CMakeFiles/ulipc_runtime.dir/sysv_transport.cpp.o" "gcc" "src/runtime/CMakeFiles/ulipc_runtime.dir/sysv_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shm/CMakeFiles/ulipc_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

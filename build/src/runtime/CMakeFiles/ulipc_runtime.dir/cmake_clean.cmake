@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulipc_runtime.dir/harness.cpp.o"
+  "CMakeFiles/ulipc_runtime.dir/harness.cpp.o.d"
+  "CMakeFiles/ulipc_runtime.dir/shm_channel.cpp.o"
+  "CMakeFiles/ulipc_runtime.dir/shm_channel.cpp.o.d"
+  "CMakeFiles/ulipc_runtime.dir/sysv_transport.cpp.o"
+  "CMakeFiles/ulipc_runtime.dir/sysv_transport.cpp.o.d"
+  "libulipc_runtime.a"
+  "libulipc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulipc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/process.cpp" "src/shm/CMakeFiles/ulipc_shm.dir/process.cpp.o" "gcc" "src/shm/CMakeFiles/ulipc_shm.dir/process.cpp.o.d"
+  "/root/repo/src/shm/shm_region.cpp" "src/shm/CMakeFiles/ulipc_shm.dir/shm_region.cpp.o" "gcc" "src/shm/CMakeFiles/ulipc_shm.dir/shm_region.cpp.o.d"
+  "/root/repo/src/shm/sysv_msg_queue.cpp" "src/shm/CMakeFiles/ulipc_shm.dir/sysv_msg_queue.cpp.o" "gcc" "src/shm/CMakeFiles/ulipc_shm.dir/sysv_msg_queue.cpp.o.d"
+  "/root/repo/src/shm/sysv_semaphore.cpp" "src/shm/CMakeFiles/ulipc_shm.dir/sysv_semaphore.cpp.o" "gcc" "src/shm/CMakeFiles/ulipc_shm.dir/sysv_semaphore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulipc_shm.dir/process.cpp.o"
+  "CMakeFiles/ulipc_shm.dir/process.cpp.o.d"
+  "CMakeFiles/ulipc_shm.dir/shm_region.cpp.o"
+  "CMakeFiles/ulipc_shm.dir/shm_region.cpp.o.d"
+  "CMakeFiles/ulipc_shm.dir/sysv_msg_queue.cpp.o"
+  "CMakeFiles/ulipc_shm.dir/sysv_msg_queue.cpp.o.d"
+  "CMakeFiles/ulipc_shm.dir/sysv_semaphore.cpp.o"
+  "CMakeFiles/ulipc_shm.dir/sysv_semaphore.cpp.o.d"
+  "libulipc_shm.a"
+  "libulipc_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulipc_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ulipc_shm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ulipc_shm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/ulipc_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/ulipc_sim.dir/fiber.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/ulipc_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/ulipc_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/sim_experiment.cpp" "src/sim/CMakeFiles/ulipc_sim.dir/sim_experiment.cpp.o" "gcc" "src/sim/CMakeFiles/ulipc_sim.dir/sim_experiment.cpp.o.d"
+  "/root/repo/src/sim/sim_kernel.cpp" "src/sim/CMakeFiles/ulipc_sim.dir/sim_kernel.cpp.o" "gcc" "src/sim/CMakeFiles/ulipc_sim.dir/sim_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shm/CMakeFiles/ulipc_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

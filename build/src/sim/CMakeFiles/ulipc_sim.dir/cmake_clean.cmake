@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulipc_sim.dir/fiber.cpp.o"
+  "CMakeFiles/ulipc_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/ulipc_sim.dir/machine.cpp.o"
+  "CMakeFiles/ulipc_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ulipc_sim.dir/sim_experiment.cpp.o"
+  "CMakeFiles/ulipc_sim.dir/sim_experiment.cpp.o.d"
+  "CMakeFiles/ulipc_sim.dir/sim_kernel.cpp.o"
+  "CMakeFiles/ulipc_sim.dir/sim_kernel.cpp.o.d"
+  "libulipc_sim.a"
+  "libulipc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulipc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

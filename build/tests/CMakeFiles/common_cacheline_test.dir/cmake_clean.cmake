@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_cacheline_test.dir/common/cacheline_test.cpp.o"
+  "CMakeFiles/common_cacheline_test.dir/common/cacheline_test.cpp.o.d"
+  "common_cacheline_test"
+  "common_cacheline_test.pdb"
+  "common_cacheline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_cacheline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_clock_test.dir/common/clock_test.cpp.o"
+  "CMakeFiles/common_clock_test.dir/common/clock_test.cpp.o.d"
+  "common_clock_test"
+  "common_clock_test.pdb"
+  "common_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

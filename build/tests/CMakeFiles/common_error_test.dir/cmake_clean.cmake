@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_error_test.dir/common/error_test.cpp.o"
+  "CMakeFiles/common_error_test.dir/common/error_test.cpp.o.d"
+  "common_error_test"
+  "common_error_test.pdb"
+  "common_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_figure_args_test.dir/common/figure_args_test.cpp.o"
+  "CMakeFiles/common_figure_args_test.dir/common/figure_args_test.cpp.o.d"
+  "common_figure_args_test"
+  "common_figure_args_test.pdb"
+  "common_figure_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_figure_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

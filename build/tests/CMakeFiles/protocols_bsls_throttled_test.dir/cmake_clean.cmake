@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_bsls_throttled_test.dir/protocols/bsls_throttled_test.cpp.o"
+  "CMakeFiles/protocols_bsls_throttled_test.dir/protocols/bsls_throttled_test.cpp.o.d"
+  "protocols_bsls_throttled_test"
+  "protocols_bsls_throttled_test.pdb"
+  "protocols_bsls_throttled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_bsls_throttled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

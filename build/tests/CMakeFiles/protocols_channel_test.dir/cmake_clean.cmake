@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_channel_test.dir/protocols/channel_test.cpp.o"
+  "CMakeFiles/protocols_channel_test.dir/protocols/channel_test.cpp.o.d"
+  "protocols_channel_test"
+  "protocols_channel_test.pdb"
+  "protocols_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_detail_test.dir/protocols/detail_test.cpp.o"
+  "CMakeFiles/protocols_detail_test.dir/protocols/detail_test.cpp.o.d"
+  "protocols_detail_test"
+  "protocols_detail_test.pdb"
+  "protocols_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_native_threads_test.dir/protocols/native_threads_test.cpp.o"
+  "CMakeFiles/protocols_native_threads_test.dir/protocols/native_threads_test.cpp.o.d"
+  "protocols_native_threads_test"
+  "protocols_native_threads_test.pdb"
+  "protocols_native_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_native_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

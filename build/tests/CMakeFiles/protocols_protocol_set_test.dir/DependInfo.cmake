@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/protocol_set_test.cpp" "tests/CMakeFiles/protocols_protocol_set_test.dir/protocols/protocol_set_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_protocol_set_test.dir/protocols/protocol_set_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shm/CMakeFiles/ulipc_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulipc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ulipc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchsupport/CMakeFiles/ulipc_benchsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

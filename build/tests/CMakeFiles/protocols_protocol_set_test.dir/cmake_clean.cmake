@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_protocol_set_test.dir/protocols/protocol_set_test.cpp.o"
+  "CMakeFiles/protocols_protocol_set_test.dir/protocols/protocol_set_test.cpp.o.d"
+  "protocols_protocol_set_test"
+  "protocols_protocol_set_test.pdb"
+  "protocols_protocol_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_protocol_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_race_interleavings_test.dir/protocols/race_interleavings_test.cpp.o"
+  "CMakeFiles/protocols_race_interleavings_test.dir/protocols/race_interleavings_test.cpp.o.d"
+  "protocols_race_interleavings_test"
+  "protocols_race_interleavings_test.pdb"
+  "protocols_race_interleavings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_race_interleavings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

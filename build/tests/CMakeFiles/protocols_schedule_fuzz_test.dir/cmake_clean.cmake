@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_schedule_fuzz_test.dir/protocols/schedule_fuzz_test.cpp.o"
+  "CMakeFiles/protocols_schedule_fuzz_test.dir/protocols/schedule_fuzz_test.cpp.o.d"
+  "protocols_schedule_fuzz_test"
+  "protocols_schedule_fuzz_test.pdb"
+  "protocols_schedule_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_schedule_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_model_based_test.dir/queue/model_based_test.cpp.o"
+  "CMakeFiles/queue_model_based_test.dir/queue/model_based_test.cpp.o.d"
+  "queue_model_based_test"
+  "queue_model_based_test.pdb"
+  "queue_model_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_model_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

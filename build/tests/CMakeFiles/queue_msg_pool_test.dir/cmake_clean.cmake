@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_msg_pool_test.dir/queue/msg_pool_test.cpp.o"
+  "CMakeFiles/queue_msg_pool_test.dir/queue/msg_pool_test.cpp.o.d"
+  "queue_msg_pool_test"
+  "queue_msg_pool_test.pdb"
+  "queue_msg_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_msg_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_queue_concurrent_test.dir/queue/queue_concurrent_test.cpp.o"
+  "CMakeFiles/queue_queue_concurrent_test.dir/queue/queue_concurrent_test.cpp.o.d"
+  "queue_queue_concurrent_test"
+  "queue_queue_concurrent_test.pdb"
+  "queue_queue_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_queue_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

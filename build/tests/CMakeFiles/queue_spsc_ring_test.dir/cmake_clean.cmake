@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_spsc_ring_test.dir/queue/spsc_ring_test.cpp.o"
+  "CMakeFiles/queue_spsc_ring_test.dir/queue/spsc_ring_test.cpp.o.d"
+  "queue_spsc_ring_test"
+  "queue_spsc_ring_test.pdb"
+  "queue_spsc_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_spsc_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

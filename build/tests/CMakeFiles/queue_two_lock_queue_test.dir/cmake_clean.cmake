@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_two_lock_queue_test.dir/queue/two_lock_queue_test.cpp.o"
+  "CMakeFiles/queue_two_lock_queue_test.dir/queue/two_lock_queue_test.cpp.o.d"
+  "queue_two_lock_queue_test"
+  "queue_two_lock_queue_test.pdb"
+  "queue_two_lock_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_two_lock_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

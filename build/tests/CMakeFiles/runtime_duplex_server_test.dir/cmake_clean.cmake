@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_duplex_server_test.dir/runtime/duplex_server_test.cpp.o"
+  "CMakeFiles/runtime_duplex_server_test.dir/runtime/duplex_server_test.cpp.o.d"
+  "runtime_duplex_server_test"
+  "runtime_duplex_server_test.pdb"
+  "runtime_duplex_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_duplex_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

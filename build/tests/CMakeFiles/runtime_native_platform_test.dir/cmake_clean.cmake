@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_native_platform_test.dir/runtime/native_platform_test.cpp.o"
+  "CMakeFiles/runtime_native_platform_test.dir/runtime/native_platform_test.cpp.o.d"
+  "runtime_native_platform_test"
+  "runtime_native_platform_test.pdb"
+  "runtime_native_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_native_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_shm_channel_test.dir/runtime/shm_channel_test.cpp.o"
+  "CMakeFiles/runtime_shm_channel_test.dir/runtime/shm_channel_test.cpp.o.d"
+  "runtime_shm_channel_test"
+  "runtime_shm_channel_test.pdb"
+  "runtime_shm_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_shm_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_sysv_transport_test.dir/runtime/sysv_transport_test.cpp.o"
+  "CMakeFiles/runtime_sysv_transport_test.dir/runtime/sysv_transport_test.cpp.o.d"
+  "runtime_sysv_transport_test"
+  "runtime_sysv_transport_test.pdb"
+  "runtime_sysv_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_sysv_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_futex_semaphore_test.dir/shm/futex_semaphore_test.cpp.o"
+  "CMakeFiles/shm_futex_semaphore_test.dir/shm/futex_semaphore_test.cpp.o.d"
+  "shm_futex_semaphore_test"
+  "shm_futex_semaphore_test.pdb"
+  "shm_futex_semaphore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_futex_semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shm_futex_semaphore_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_offset_ptr_test.dir/shm/offset_ptr_test.cpp.o"
+  "CMakeFiles/shm_offset_ptr_test.dir/shm/offset_ptr_test.cpp.o.d"
+  "shm_offset_ptr_test"
+  "shm_offset_ptr_test.pdb"
+  "shm_offset_ptr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_offset_ptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_process_test.dir/shm/process_test.cpp.o"
+  "CMakeFiles/shm_process_test.dir/shm/process_test.cpp.o.d"
+  "shm_process_test"
+  "shm_process_test.pdb"
+  "shm_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

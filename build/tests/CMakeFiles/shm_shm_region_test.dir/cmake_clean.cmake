@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_shm_region_test.dir/shm/shm_region_test.cpp.o"
+  "CMakeFiles/shm_shm_region_test.dir/shm/shm_region_test.cpp.o.d"
+  "shm_shm_region_test"
+  "shm_shm_region_test.pdb"
+  "shm_shm_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_shm_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shm_shm_region_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_sync_primitives_test.dir/shm/sync_primitives_test.cpp.o"
+  "CMakeFiles/shm_sync_primitives_test.dir/shm/sync_primitives_test.cpp.o.d"
+  "shm_sync_primitives_test"
+  "shm_sync_primitives_test.pdb"
+  "shm_sync_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_sync_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

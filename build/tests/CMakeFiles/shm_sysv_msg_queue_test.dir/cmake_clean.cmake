@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_sysv_msg_queue_test.dir/shm/sysv_msg_queue_test.cpp.o"
+  "CMakeFiles/shm_sysv_msg_queue_test.dir/shm/sysv_msg_queue_test.cpp.o.d"
+  "shm_sysv_msg_queue_test"
+  "shm_sysv_msg_queue_test.pdb"
+  "shm_sysv_msg_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_sysv_msg_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shm_sysv_msg_queue_test.
+# This may be replaced when dependencies are built.

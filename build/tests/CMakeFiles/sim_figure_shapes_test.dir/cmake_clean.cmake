@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_figure_shapes_test.dir/sim/figure_shapes_test.cpp.o"
+  "CMakeFiles/sim_figure_shapes_test.dir/sim/figure_shapes_test.cpp.o.d"
+  "sim_figure_shapes_test"
+  "sim_figure_shapes_test.pdb"
+  "sim_figure_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_figure_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_machine_test.dir/sim/machine_test.cpp.o"
+  "CMakeFiles/sim_machine_test.dir/sim/machine_test.cpp.o.d"
+  "sim_machine_test"
+  "sim_machine_test.pdb"
+  "sim_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trace_test.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/sim_trace_test.dir/sim/trace_test.cpp.o.d"
+  "sim_trace_test"
+  "sim_trace_test.pdb"
+  "sim_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
