@@ -20,33 +20,66 @@ class Bss {
   /// Synchronous Send: enqueue the request, then busy-wait for the reply.
   void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
             Message* ans) {
+    (void)send_until(p, srv, clnt, msg, ans, kNoDeadline);
+  }
+
+  /// Server-side Receive: busy-wait for the next request.
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    (void)receive_until(p, srv, msg, kNoDeadline);
+  }
+
+  /// Server-side Reply: enqueue the response on the client's queue.
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    (void)reply_until(p, clnt, msg, kNoDeadline);
+  }
+
+  // Deadline-aware variants: the spin loops check the deadline between
+  // busy-wait slices (absolute deadlines on p.time_ns(); kNoDeadline
+  // reproduces the paper's unbounded spin).
+
+  Status send_until(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+                    Message* ans, std::int64_t deadline_ns) {
     while (!p.enqueue(srv, msg)) {
+      if (expired(p, deadline_ns)) return Status::kTimeout;
       ++p.counters().busy_waits;
       p.busy_wait(srv);  // queue full: spin until the server drains it
     }
     ++p.counters().sends;
     while (!p.dequeue(clnt, ans)) {
+      if (expired(p, deadline_ns)) return Status::kTimeout;
       ++p.counters().busy_waits;
       p.busy_wait(clnt);
     }
+    return Status::kOk;
   }
 
-  /// Server-side Receive: busy-wait for the next request.
-  void receive(P& p, Endpoint& srv, Message* msg) {
+  Status receive_until(P& p, Endpoint& srv, Message* msg,
+                       std::int64_t deadline_ns) {
     while (!p.dequeue(srv, msg)) {
+      if (expired(p, deadline_ns)) return Status::kTimeout;
       ++p.counters().busy_waits;
       p.busy_wait(srv);
     }
     ++p.counters().receives;
+    return Status::kOk;
   }
 
-  /// Server-side Reply: enqueue the response on the client's queue.
-  void reply(P& p, Endpoint& clnt, const Message& msg) {
+  Status reply_until(P& p, Endpoint& clnt, const Message& msg,
+                     std::int64_t deadline_ns) {
     while (!p.enqueue(clnt, msg)) {
+      if (expired(p, deadline_ns)) return Status::kTimeout;
       ++p.counters().busy_waits;
       p.busy_wait(clnt);
     }
     ++p.counters().replies;
+    return Status::kOk;
+  }
+
+ private:
+  static bool expired(P& p, std::int64_t deadline_ns) {
+    if (deadline_ns == kNoDeadline || p.time_ns() < deadline_ns) return false;
+    ++p.counters().timeouts;
+    return true;
   }
 };
 

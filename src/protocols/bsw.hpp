@@ -20,19 +20,43 @@ class Bsw {
 
   void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
             Message* ans) {
-    detail::enqueue_and_wake(p, srv, msg);
-    ++p.counters().sends;
-    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/false);
+    (void)send_until(p, srv, clnt, msg, ans, kNoDeadline);
   }
 
   void receive(P& p, Endpoint& srv, Message* msg) {
-    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
-    ++p.counters().receives;
+    (void)receive_until(p, srv, msg, kNoDeadline);
   }
 
   void reply(P& p, Endpoint& clnt, const Message& msg) {
-    detail::enqueue_and_wake(p, clnt, msg);
-    ++p.counters().replies;
+    (void)reply_until(p, clnt, msg, kNoDeadline);
+  }
+
+  // Deadline-aware variants (absolute deadlines on p.time_ns();
+  // kNoDeadline reproduces the paper's blocking behaviour).
+
+  Status send_until(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+                    Message* ans, std::int64_t deadline_ns) {
+    const Status st = detail::enqueue_and_wake_until(p, srv, msg, deadline_ns);
+    if (st != Status::kOk) return st;
+    ++p.counters().sends;
+    return detail::dequeue_or_sleep_until(p, clnt, ans,
+                                          /*pre_busy_wait=*/false,
+                                          deadline_ns);
+  }
+
+  Status receive_until(P& p, Endpoint& srv, Message* msg,
+                       std::int64_t deadline_ns) {
+    const Status st = detail::dequeue_or_sleep_until(
+        p, srv, msg, /*pre_busy_wait=*/false, deadline_ns);
+    if (st == Status::kOk) ++p.counters().receives;
+    return st;
+  }
+
+  Status reply_until(P& p, Endpoint& clnt, const Message& msg,
+                     std::int64_t deadline_ns) {
+    const Status st = detail::enqueue_and_wake_until(p, clnt, msg, deadline_ns);
+    if (st == Status::kOk) ++p.counters().replies;
+    return st;
   }
 };
 

@@ -22,7 +22,27 @@ class Bswy {
 
   void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
             Message* ans) {
+    (void)send_until(p, srv, clnt, msg, ans, kNoDeadline);
+  }
+
+  void receive(P& p, Endpoint& srv, Message* msg) {
+    (void)receive_until(p, srv, msg, kNoDeadline);
+  }
+
+  void reply(P& p, Endpoint& clnt, const Message& msg) {
+    (void)reply_until(p, clnt, msg, kNoDeadline);
+  }
+
+  // Deadline-aware variants (absolute deadlines on p.time_ns();
+  // kNoDeadline reproduces the paper's blocking behaviour).
+
+  Status send_until(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
+                    Message* ans, std::int64_t deadline_ns) {
     while (!p.enqueue(srv, msg)) {
+      if (deadline_ns != kNoDeadline && p.time_ns() >= deadline_ns) {
+        ++p.counters().timeouts;
+        return Status::kTimeout;
+      }
       ++p.counters().full_sleeps;
       p.sleep_seconds(1);
     }
@@ -34,25 +54,32 @@ class Bswy {
       ++p.counters().busy_waits;
       p.busy_wait(srv);    // ... and let it run (hand-off suggestion)
     }
-    detail::dequeue_or_sleep(p, clnt, ans, /*pre_busy_wait=*/true);
+    return detail::dequeue_or_sleep_until(p, clnt, ans,
+                                          /*pre_busy_wait=*/true,
+                                          deadline_ns);
   }
 
-  void receive(P& p, Endpoint& srv, Message* msg) {
+  Status receive_until(P& p, Endpoint& srv, Message* msg,
+                       std::int64_t deadline_ns) {
     // With multiple clients the receive queue often has entries already; it
     // is more productive to keep processing than to yield after every reply.
     if (p.dequeue(srv, msg)) {
       ++p.counters().receives;
-      return;
+      return Status::kOk;
     }
     ++p.counters().yields;
     p.yield();  // let clients run
-    detail::dequeue_or_sleep(p, srv, msg, /*pre_busy_wait=*/false);
-    ++p.counters().receives;
+    const Status st = detail::dequeue_or_sleep_until(
+        p, srv, msg, /*pre_busy_wait=*/false, deadline_ns);
+    if (st == Status::kOk) ++p.counters().receives;
+    return st;
   }
 
-  void reply(P& p, Endpoint& clnt, const Message& msg) {
-    detail::enqueue_and_wake(p, clnt, msg);
-    ++p.counters().replies;
+  Status reply_until(P& p, Endpoint& clnt, const Message& msg,
+                     std::int64_t deadline_ns) {
+    const Status st = detail::enqueue_and_wake_until(p, clnt, msg, deadline_ns);
+    if (st == Status::kOk) ++p.counters().replies;
+    return st;
   }
 };
 

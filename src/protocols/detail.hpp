@@ -17,11 +17,19 @@
 
 namespace ulipc::detail {
 
-/// Producer side: enqueue with queue-full flow control (paper: sleep(1)),
-/// then wake the consumer iff it may be asleep.
+/// Producer side with a deadline: enqueue with queue-full flow control
+/// (paper: sleep(1)), then wake the consumer iff it may be asleep. Returns
+/// kTimeout if the queue stays full past `deadline_ns` (absolute time on
+/// p.time_ns(); kNoDeadline blocks forever). The flow-control sleep may
+/// overshoot the deadline by one sleep quantum.
 template <Platform P>
-void enqueue_and_wake(P& p, typename P::Endpoint& q, const Message& msg) {
+Status enqueue_and_wake_until(P& p, typename P::Endpoint& q,
+                              const Message& msg, std::int64_t deadline_ns) {
   while (!p.enqueue(q, msg)) {
+    if (deadline_ns != kNoDeadline && p.time_ns() >= deadline_ns) {
+      ++p.counters().timeouts;
+      return Status::kTimeout;
+    }
     ++p.counters().full_sleeps;
     p.sleep_seconds(1);  // "waiting a full second should allow the consumer
                          //  to reduce the backlog" (paper §3)
@@ -31,15 +39,34 @@ void enqueue_and_wake(P& p, typename P::Endpoint& q, const Message& msg) {
     ++p.counters().wakeups;
     p.sem_v(q);
   }
+  return Status::kOk;
 }
 
-/// Consumer side: dequeue, sleeping on the endpoint's semaphore while the
-/// queue is empty. `pre_busy_wait` inserts the BSWY hand-off hint at the top
-/// of each retry (paper Figure 7: "busy_wait(); /* Try to handoff */").
+/// Producer side, untimed (the paper's original protocol step).
 template <Platform P>
-void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
-                      bool pre_busy_wait) {
+void enqueue_and_wake(P& p, typename P::Endpoint& q, const Message& msg) {
+  (void)enqueue_and_wake_until(p, q, msg, kNoDeadline);
+}
+
+/// Consumer side with a deadline: dequeue, sleeping on the endpoint's
+/// semaphore while the queue is empty, giving up once `deadline_ns` passes.
+/// `pre_busy_wait` inserts the BSWY hand-off hint at the top of each retry
+/// (paper Figure 7: "busy_wait(); /* Try to handoff */").
+///
+/// Timeout semantics preserve the no-lost-wakeup guarantee: when the timed
+/// sleep expires, the awake flag is restored before returning, so a
+/// producer that raced the expiry either (a) saw awake==0 and V'd — the
+/// count is retained and absorbed by the next sleeper — or (b) sees
+/// awake==1 and skips the V; in both cases its message is already in the
+/// queue and the next (timed or untimed) receive finds it at step C.1.
+template <Platform P>
+Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
+                              bool pre_busy_wait, std::int64_t deadline_ns) {
   while (!p.dequeue(q, out)) {          // C.1
+    if (deadline_ns != kNoDeadline && p.time_ns() >= deadline_ns) {
+      ++p.counters().timeouts;
+      return Status::kTimeout;
+    }
     if (pre_busy_wait) {
       ++p.counters().busy_waits;
       p.busy_wait(q);
@@ -50,7 +77,11 @@ void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
     p.fence();  // order the flag clear before the recheck (SB pattern)
     if (!p.dequeue(q, out)) {           // C.3 -- still empty
       ++p.counters().blocks;
-      p.sem_p(q);                       // C.4 -- sleep
+      if (!p.sem_p_until(q, deadline_ns)) {  // C.4 -- timed sleep
+        p.set_awake(q);  // C.5 on the timeout path too: nobody is sleeping
+        ++p.counters().timeouts;
+        return Status::kTimeout;
+      }
       p.set_awake(q);                   // C.5
       // Loop: the wake-up means a producer enqueued, but with multiple
       // producers the message may already be gone; iterate.
@@ -61,9 +92,17 @@ void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
         ++p.counters().sem_absorbs;
         p.sem_p(q);
       }
-      return;
+      return Status::kOk;
     }
   }
+  return Status::kOk;
+}
+
+/// Consumer side, untimed (the paper's original protocol steps C.1–C.5).
+template <Platform P>
+void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
+                      bool pre_busy_wait) {
+  (void)dequeue_or_sleep_until(p, q, out, pre_busy_wait, kNoDeadline);
 }
 
 }  // namespace ulipc::detail

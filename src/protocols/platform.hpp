@@ -16,10 +16,23 @@
 
 #include <concepts>
 #include <cstdint>
+#include <limits>
 
 #include "queue/message.hpp"
 
 namespace ulipc {
+
+/// Outcome of a protocol-level operation with a deadline.
+enum class Status : std::uint8_t {
+  kOk,       // operation completed
+  kTimeout,  // deadline passed before completion
+  kPeerDead, // runtime layer detected the partner process died
+};
+
+/// Absolute-deadline sentinel meaning "block forever" (the untimed API).
+/// Deadlines are absolute values on the platform's time_ns() clock.
+inline constexpr std::int64_t kNoDeadline =
+    std::numeric_limits<std::int64_t>::max();
 
 /// Event counts a protocol accumulates while running. One instance per
 /// process (client or server); the harness aggregates them.
@@ -37,6 +50,7 @@ struct ProtocolCounters {
   std::uint64_t spin_fallthroughs = 0;  // spin loop exhausted, queue empty
   std::uint64_t sem_absorbs = 0;   // race-fix P() after successful recheck
   std::uint64_t full_sleeps = 0;   // sleep(1) on queue-full flow control
+  std::uint64_t timeouts = 0;      // timed operations that hit the deadline
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -52,6 +66,7 @@ struct ProtocolCounters {
     spin_fallthroughs += o.spin_fallthroughs;
     sem_absorbs += o.sem_absorbs;
     full_sleeps += o.full_sleeps;
+    timeouts += o.timeouts;
     return *this;
   }
 };
@@ -74,6 +89,10 @@ concept Platform = requires(P p, typename P::Endpoint& ep, const Message& cm,
   // Sleep/wake-up primitive (paper: counting semaphores).
   { p.sem_p(ep) };                                  // down; may block
   { p.sem_v(ep) };                                  // up; may wake
+
+  // Timed P: blocks until a unit is acquired (true) or the absolute
+  // time_ns() deadline passes (false). kNoDeadline == plain sem_p.
+  { p.sem_p_until(ep, std::int64_t{}) } -> std::same_as<bool>;
 
   // Scheduling hints.
   { p.yield() };                                    // sched_yield et al.

@@ -14,19 +14,36 @@
 //    pool exhausted or per-queue capacity reached) — the paper's protocols
 //    handle that with sleep(1) flow control;
 //  * a size counter supports the capacity bound and the empty()/size()
-//    probes the BSLS protocol polls.
+//    probes the BSLS protocol polls;
+//  * the head/tail locks are RobustSpinlocks: if a process dies inside a
+//    critical section, the next contender steals the lock after a liveness
+//    probe and runs a repair path. The enqueue critical section orders its
+//    two writes (link node, then advance tail) so the only possible
+//    mid-update state is "tail lags the last linked node". Crucially, a
+//    stale tail_ must never be DEREFERENCED during repair: while the tail
+//    lock sat with the corpse, dequeuers may have drained past the lagging
+//    tail and released the node it names back to the free list (whose next
+//    links are free-list links). repair_tail_from_head() therefore
+//    recomputes the last node by walking from head_ under BOTH locks.
+//    Lock order wherever both are taken: tail, then head (the steal path
+//    already holds tail; dequeue takes head alone and never tail, so the
+//    ordering cannot deadlock). The dequeue critical section is
+//    single-assignment (head_ = next) and needs no structural repair; a
+//    corpse can only leak its detached node and leave size_ stale, both
+//    healed by the recovery sweep (queue/queue_recovery.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/cacheline.hpp"
 #include "queue/message.hpp"
 #include "queue/msg_pool.hpp"
 #include "shm/offset_ptr.hpp"
+#include "shm/robust_spinlock.hpp"
 #include "shm/shm_allocator.hpp"
-#include "shm/spinlock.hpp"
 
 namespace ulipc {
 
@@ -44,6 +61,7 @@ class TwoLockQueue {
     const ShmIndex dummy = pool->allocate();
     ULIPC_INVARIANT(dummy != kNullIndex, "pool exhausted creating queue");
     pool->node(dummy).next = kNullIndex;
+    pool->node(dummy).owner_pid = 0;  // the dummy belongs to the queue
     q->head_ = dummy;
     q->tail_ = dummy;
     return q;
@@ -74,7 +92,8 @@ class TwoLockQueue {
     node.msg = msg;
     node.next = kNullIndex;
     {
-      SpinGuard g(tail_lock_.value);
+      RobustGuard g(tail_lock_.value);
+      if (g.stolen()) repair_tail_from_head(pool);
       pool.node(tail_).next = node_idx;
       tail_ = node_idx;
     }
@@ -86,7 +105,9 @@ class TwoLockQueue {
     NodePool& pool = *pool_;
     ShmIndex old_head;
     {
-      SpinGuard g(head_lock_.value);
+      RobustGuard g(head_lock_.value);
+      // A steal here needs no structural repair: head_ always points at a
+      // valid dummy whose next link is either null or a complete node.
       old_head = head_;
       const ShmIndex next = pool.node(old_head).next;
       if (next == kNullIndex) return false;  // only the dummy remains
@@ -110,14 +131,93 @@ class TwoLockQueue {
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
 
+  // ---- recovery interface (see queue/queue_recovery.hpp) ----
+
+  [[nodiscard]] RobustSpinlock& head_lock() noexcept {
+    return head_lock_.value;
+  }
+  [[nodiscard]] RobustSpinlock& tail_lock() noexcept {
+    return tail_lock_.value;
+  }
+
+  /// Takes both locks (tail first — the process-wide ordering), repairs
+  /// the tail, re-marks every node reachable from head_ (dummy included)
+  /// in `mark` (capacity() entries of the node pool), and reseats size_ to
+  /// the actual element count. Returns the recounted size.
+  std::uint32_t mark_reachable(std::vector<char>& mark) noexcept {
+    NodePool& pool = *pool_;
+    RobustGuard gt(tail_lock_.value);
+    RobustGuard gh(head_lock_.value);
+    repair_tail_under_both_locks(pool);
+    std::uint32_t visited = 0;
+    for (ShmIndex i = head_; i != kNullIndex && visited <= pool.capacity();
+         i = pool.node(i).next) {
+      mark[i] = 1;
+      ++visited;
+    }
+    // Elements = everything reachable minus the dummy itself.
+    const std::uint32_t count = visited > 0 ? visited - 1 : 0;
+    size_.store(count, std::memory_order_release);
+    return count;
+  }
+
+  /// Drains every message currently in the queue (discarding them),
+  /// releasing their nodes back to the pool. Used when reclaiming a dead
+  /// peer's queues. Returns the number of messages discarded.
+  std::uint32_t drain() noexcept {
+    Message scratch;
+    std::uint32_t n = 0;
+    while (dequeue(&scratch)) ++n;
+    return n;
+  }
+
+  /// TEST ONLY: performs the first half of an enqueue — reserves capacity,
+  /// allocates and links the node — then returns with the tail lock STILL
+  /// HELD and tail_ not advanced. Calling process must exit immediately;
+  /// this models a producer dying at the worst possible point of the
+  /// critical section. Returns the linked node index.
+  ShmIndex crash_mid_enqueue_for_test(const Message& msg) noexcept {
+    size_.fetch_add(1, std::memory_order_acquire);
+    NodePool& pool = *pool_;
+    const ShmIndex node_idx = pool.allocate();
+    if (node_idx == kNullIndex) return kNullIndex;
+    MsgNode& node = pool.node(node_idx);
+    node.msg = msg;
+    node.next = kNullIndex;
+    (void)tail_lock_.value.lock();
+    pool.node(tail_).next = node_idx;
+    // Deliberately neither advances tail_ nor unlocks.
+    return node_idx;
+  }
+
  private:
+  /// Fixes the one invariant a dead enqueuer can break: tail_ must point
+  /// at the last linked node. Caller holds the tail lock; this briefly
+  /// takes the head lock too (tail-then-head order) because the stale
+  /// tail_ may name a node that dequeuers already released — it must be
+  /// recomputed from head_, never followed.
+  void repair_tail_from_head(NodePool& pool) noexcept {
+    RobustGuard gh(head_lock_.value);
+    repair_tail_under_both_locks(pool);
+  }
+
+  void repair_tail_under_both_locks(NodePool& pool) noexcept {
+    ShmIndex last = head_;
+    std::uint32_t hops = 0;
+    while (pool.node(last).next != kNullIndex && hops <= pool.capacity()) {
+      last = pool.node(last).next;
+      ++hops;
+    }
+    tail_ = last;
+  }
+
   // Head (consumer) and tail (producer) state live on separate cache lines
   // so a busy producer does not stall the consumer's probe loop.
-  CacheAligned<Spinlock> head_lock_;
+  CacheAligned<RobustSpinlock> head_lock_;
   ShmIndex head_ = kNullIndex;
   char pad0_[kCacheLineSize - sizeof(ShmIndex)]{};
 
-  CacheAligned<Spinlock> tail_lock_;
+  CacheAligned<RobustSpinlock> tail_lock_;
   ShmIndex tail_ = kNullIndex;
   char pad1_[kCacheLineSize - sizeof(ShmIndex)]{};
 

@@ -5,23 +5,35 @@
 // array (see ShmIndex in shm/offset_ptr.hpp); links are indices, never
 // pointers, so the structure is valid at any mapping address.
 //
-// The free list is a spinlock-protected LIFO. Producers allocate, consumers
-// release; both may live in different processes.
+// The free list is a LIFO protected by a RobustSpinlock. Producers
+// allocate, consumers release; both may live in different processes — and
+// may die at any instruction. Crash-safety measures:
+//  * every allocated node is stamped with its allocator's pid, so a
+//    recovery sweep can tell "in flight on a live process" from "orphaned
+//    by a corpse" (see queue/queue_recovery.hpp);
+//  * a stolen free-list lock triggers recount_free_locked(), which repairs
+//    free_count_ after a death inside allocate()/release() (the list links
+//    themselves stay consistent at every intermediate step — the only
+//    damage a corpse can do here is a stale counter or a leaked node, and
+//    leaked nodes are reclaimed by the sweep).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/cacheline.hpp"
 #include "queue/message.hpp"
 #include "shm/offset_ptr.hpp"
+#include "shm/robust_spinlock.hpp"
 #include "shm/shm_allocator.hpp"
-#include "shm/spinlock.hpp"
 
 namespace ulipc {
 
-/// One queue node: an intrusive link plus the message payload.
+/// One queue node: an intrusive link, the allocator's pid (0 while the
+/// node sits on the free list), and the message payload.
 struct MsgNode {
   ShmIndex next = kNullIndex;
+  std::uint32_t owner_pid = 0;
   Message msg;
 };
 
@@ -37,6 +49,7 @@ class NodePool {
     // Thread every node onto the free list.
     for (std::uint32_t i = 0; i < capacity; ++i) {
       nodes[i].next = (i + 1 < capacity) ? i + 1 : kNullIndex;
+      nodes[i].owner_pid = 0;
     }
     pool->free_head_ = 0;
     pool->free_count_ = capacity;
@@ -47,20 +60,25 @@ class NodePool {
   NodePool(const NodePool&) = delete;
   NodePool& operator=(const NodePool&) = delete;
 
-  /// Pops a node; returns kNullIndex when the pool is exhausted.
+  /// Pops a node; returns kNullIndex when the pool is exhausted. The node
+  /// is stamped with the caller's pid until release().
   ShmIndex allocate() noexcept {
-    SpinGuard g(lock_.value);
+    RobustGuard g(lock_.value);
+    if (g.stolen()) recount_free_locked();
     const ShmIndex idx = free_head_;
     if (idx == kNullIndex) return kNullIndex;
     free_head_ = node(idx).next;
     node(idx).next = kNullIndex;
+    node(idx).owner_pid = robust_self_pid();
     --free_count_;
     return idx;
   }
 
   /// Returns a node to the pool.
   void release(ShmIndex idx) noexcept {
-    SpinGuard g(lock_.value);
+    RobustGuard g(lock_.value);
+    if (g.stolen()) recount_free_locked();
+    node(idx).owner_pid = 0;
     node(idx).next = free_head_;
     free_head_ = idx;
     ++free_count_;
@@ -80,8 +98,57 @@ class NodePool {
     return free_count_;
   }
 
+  /// The free-list lock, for recovery tooling and tests.
+  [[nodiscard]] RobustSpinlock& lock() noexcept { return lock_.value; }
+
+  // ---- recovery primitives (see queue/queue_recovery.hpp) ----
+
+  /// Marks every index currently on the free list in `mark` (which must
+  /// have capacity() entries) and repairs free_count_.
+  void mark_free(std::vector<char>& mark) noexcept {
+    RobustGuard g(lock_.value);
+    std::uint32_t count = 0;
+    for (ShmIndex i = free_head_;
+         i != kNullIndex && count < capacity_; i = node(i).next) {
+      mark[i] = 1;
+      ++count;
+    }
+    free_count_ = count;
+  }
+
+  /// Releases every node that is NOT marked (neither free nor reachable
+  /// from a queue) and whose owner is dead per `is_alive`. Returns the
+  /// number reclaimed. Caller must serialize sweeps (one recovery sweep at
+  /// a time) and pass a `mark` freshly produced by mark_free + the queues'
+  /// mark_reachable.
+  template <typename LivenessFn>
+  std::uint32_t reclaim_unmarked_dead(const std::vector<char>& mark,
+                                      LivenessFn&& is_alive) noexcept {
+    std::uint32_t reclaimed = 0;
+    for (ShmIndex i = 0; i < capacity_; ++i) {
+      if (mark[i]) continue;
+      const std::uint32_t owner = node(i).owner_pid;
+      if (owner != 0 && !is_alive(owner)) {
+        release(i);
+        ++reclaimed;
+      }
+    }
+    return reclaimed;
+  }
+
  private:
-  CacheAligned<Spinlock> lock_;
+  /// Walks the free list under the (already held) lock and resets
+  /// free_count_ — the only field a corpse can leave stale.
+  void recount_free_locked() noexcept {
+    std::uint32_t count = 0;
+    for (ShmIndex i = free_head_;
+         i != kNullIndex && count < capacity_; i = node(i).next) {
+      ++count;
+    }
+    free_count_ = count;
+  }
+
+  CacheAligned<RobustSpinlock> lock_;
   ShmIndex free_head_ = kNullIndex;
   std::uint32_t free_count_ = 0;
   std::uint32_t capacity_ = 0;

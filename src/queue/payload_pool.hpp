@@ -11,20 +11,24 @@
 // the receiver reads it and either releases it or reuses it for the reply
 // (the kv_store example replies in place).
 //
-// Slots are cache-line aligned and the free list is spinlock-protected and
-// index-linked (same discipline as NodePool), so the pool works across
-// address spaces.
+// Slots are cache-line aligned and the free list is index-linked under a
+// RobustSpinlock (same discipline as NodePool), so the pool works across
+// address spaces AND survives a slot holder dying mid-operation: every
+// acquired slot is stamped with its holder's pid, a stolen lock triggers a
+// free-count recount, and the recovery sweep (queue/queue_recovery.hpp)
+// returns slots orphaned by corpses.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <string_view>
+#include <vector>
 
 #include "common/cacheline.hpp"
 #include "common/error.hpp"
 #include "shm/offset_ptr.hpp"
+#include "shm/robust_spinlock.hpp"
 #include "shm/shm_allocator.hpp"
-#include "shm/spinlock.hpp"
 
 namespace ulipc {
 
@@ -52,6 +56,7 @@ class PayloadPool {
     for (std::uint32_t i = 0; i < slots; ++i) {
       auto* hdr = reinterpret_cast<SlotHeader*>(base + i * stride);
       hdr->next_free = (i + 1 < slots) ? i + 1 : kNullIndex;
+      hdr->owner_pid = 0;
       hdr->used_bytes = 0;
     }
     pool->free_head_ = 0;
@@ -64,14 +69,17 @@ class PayloadPool {
   PayloadPool& operator=(const PayloadPool&) = delete;
 
   /// Claims a slot; returns its ext_offset token, or kNoPayload if the pool
-  /// is exhausted (callers back off exactly like on a full queue).
+  /// is exhausted (callers back off exactly like on a full queue). The slot
+  /// is stamped with the caller's pid until release().
   std::uint64_t acquire() noexcept {
-    SpinGuard g(lock_.value);
+    RobustGuard g(lock_.value);
+    if (g.stolen()) recount_free_locked();
     if (free_head_ == kNullIndex) return kNoPayload;
     const ShmIndex idx = free_head_;
     SlotHeader* hdr = header(idx);
     free_head_ = hdr->next_free;
     hdr->next_free = kNullIndex;
+    hdr->owner_pid = robust_self_pid();
     hdr->used_bytes = 0;
     --free_count_;
     return token_of(idx);
@@ -80,10 +88,19 @@ class PayloadPool {
   /// Returns a slot to the pool.
   void release(std::uint64_t token) noexcept {
     const ShmIndex idx = index_of(token);
-    SpinGuard g(lock_.value);
+    RobustGuard g(lock_.value);
+    if (g.stolen()) recount_free_locked();
+    header(idx)->owner_pid = 0;
     header(idx)->next_free = free_head_;
     free_head_ = idx;
     ++free_count_;
+  }
+
+  /// Re-stamps the slot with the calling process's pid. The receive side of
+  /// a baton pass calls this so the slot is reclaimed against the *current*
+  /// holder's life, not the (possibly already dead) sender's.
+  void adopt(std::uint64_t token) noexcept {
+    header(index_of(token))->owner_pid = robust_self_pid();
   }
 
   /// Raw data pointer and capacity of a slot.
@@ -120,9 +137,60 @@ class PayloadPool {
     return free_count_;
   }
 
+  // ---- recovery primitives (see queue/queue_recovery.hpp) ----
+
+  /// The free-list lock, for recovery tooling and tests.
+  [[nodiscard]] RobustSpinlock& lock() noexcept { return lock_.value; }
+
+  /// Slot index for a token — lets the recovery sweep mark slots referenced
+  /// by messages still sitting in queues.
+  [[nodiscard]] ShmIndex index_of_token(std::uint64_t token) const noexcept {
+    return index_of(token);
+  }
+
+  /// True if the token plausibly names a slot of this pool (recovery sweeps
+  /// see arbitrary ext_offset values, including kNoPayload).
+  [[nodiscard]] bool owns_token(std::uint64_t token) const noexcept {
+    if (token < arena_base_offset_) return false;
+    const std::uint64_t rel = token - arena_base_offset_;
+    return rel % stride() == 0 && rel / stride() < slot_count_;
+  }
+
+  /// Marks every slot currently on the free list in `mark` (capacity()
+  /// entries) and repairs free_count_.
+  void mark_free(std::vector<char>& mark) noexcept {
+    RobustGuard g(lock_.value);
+    std::uint32_t count = 0;
+    for (ShmIndex i = free_head_;
+         i != kNullIndex && count < slot_count_; i = header(i)->next_free) {
+      mark[i] = 1;
+      ++count;
+    }
+    free_count_ = count;
+  }
+
+  /// Releases every slot that is NOT marked (neither free nor referenced by
+  /// a queued message) and whose holder is dead per `is_alive`. Returns the
+  /// number reclaimed. Caller serializes sweeps.
+  template <typename LivenessFn>
+  std::uint32_t reclaim_unmarked_dead(const std::vector<char>& mark,
+                                      LivenessFn&& is_alive) noexcept {
+    std::uint32_t reclaimed = 0;
+    for (ShmIndex i = 0; i < slot_count_; ++i) {
+      if (mark[i]) continue;
+      const std::uint32_t owner = header(i)->owner_pid;
+      if (owner != 0 && !is_alive(owner)) {
+        release(token_of(i));
+        ++reclaimed;
+      }
+    }
+    return reclaimed;
+  }
+
  private:
   struct SlotHeader {
     ShmIndex next_free;
+    std::uint32_t owner_pid;   // 0 while free; else current holder
     std::uint32_t used_bytes;
   };
 
@@ -131,6 +199,9 @@ class PayloadPool {
   }
   [[nodiscard]] SlotHeader* header(ShmIndex idx) noexcept {
     return reinterpret_cast<SlotHeader*>(slots_.get() + idx * stride());
+  }
+  [[nodiscard]] const SlotHeader* header(ShmIndex idx) const noexcept {
+    return reinterpret_cast<const SlotHeader*>(slots_.get() + idx * stride());
   }
   // Tokens are arena offsets of the slot header, so they are meaningful in
   // every process and 0 stays free for kNoPayload.
@@ -141,7 +212,18 @@ class PayloadPool {
     return static_cast<ShmIndex>((token - arena_base_offset_) / stride());
   }
 
-  CacheAligned<Spinlock> lock_;
+  /// Walks the free list under the (already held) lock and resets
+  /// free_count_ — the only field a corpse can leave stale here.
+  void recount_free_locked() noexcept {
+    std::uint32_t count = 0;
+    for (ShmIndex i = free_head_;
+         i != kNullIndex && count < slot_count_; i = header(i)->next_free) {
+      ++count;
+    }
+    free_count_ = count;
+  }
+
+  CacheAligned<RobustSpinlock> lock_;
   ShmIndex free_head_ = kNullIndex;
   std::uint32_t free_count_ = 0;
   std::uint32_t slot_count_ = 0;

@@ -30,12 +30,35 @@
 
 namespace ulipc {
 
+/// One observed peer-death event: which client seat died, which
+/// registration incarnation it was, and what its reclaim recovered.
+struct ClientCrashEvent {
+  std::uint32_t client_id = 0;
+  std::uint32_t generation = 0;
+  std::uint32_t drained_messages = 0;
+  std::uint32_t nodes_reclaimed = 0;
+};
+
+/// Crash-handling knobs for the duplex server.
+struct DuplexServerOptions {
+  /// 0 = trust peers completely (the seed behavior: block forever on the
+  /// request queue). Nonzero: a server thread that sees no traffic for
+  /// this long probes its client's liveness (via the channel's PeerSlot
+  /// registry) and, if the client died without disconnecting, reclaims its
+  /// queues and leaked pool nodes and retires the connection.
+  std::int64_t liveness_timeout_ns = 0;
+};
+
 /// Aggregate outcome of a duplex-server run.
 struct DuplexServerResult {
   std::uint64_t echo_messages = 0;
   std::int64_t first_request_ns = 0;
   std::int64_t last_disconnect_ns = 0;
   ProtocolCounters counters;  // summed over all threads
+
+  // Crash accounting (liveness_timeout_ns > 0 only).
+  std::uint32_t crashed_clients = 0;
+  std::vector<ClientCrashEvent> crash_events;
 
   [[nodiscard]] double throughput_msgs_per_ms() const noexcept {
     const std::int64_t window = last_disconnect_ns - first_request_ns;
@@ -45,31 +68,56 @@ struct DuplexServerResult {
   }
 };
 
-/// Runs one server thread per client until each client disconnects.
+/// Runs one server thread per client until each client disconnects — or,
+/// with opts.liveness_timeout_ns set, until it disconnects or dies.
 /// `platform_config` is instantiated per thread (counters are thread-local).
 /// Proto must be copyable; each thread gets its own instance.
 template <typename Proto>
 DuplexServerResult run_duplex_server(ShmChannel& channel, Proto proto,
                                      std::uint32_t clients,
-                                     const NativePlatform::Config& pc = {}) {
+                                     const NativePlatform::Config& pc = {},
+                                     const DuplexServerOptions& opts = {}) {
   struct PerThread {
     ServerResult result;
     ProtocolCounters counters;
+    bool crashed = false;
+    ClientCrashEvent event;
   };
   std::vector<PerThread> slots(clients);
   {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::uint32_t i = 0; i < clients; ++i) {
-      threads.emplace_back([&channel, &slots, proto, pc, i]() mutable {
+      threads.emplace_back([&channel, &slots, proto, pc, opts, i]() mutable {
         NativePlatform plat(pc);
         NativeEndpoint& request = channel.client_request_endpoint(i);
         auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
           return channel.client_endpoint(id);
         };
-        // The generic server loop, scoped to exactly one client.
-        slots[i].result =
-            run_echo_server(plat, proto, request, reply_ep, /*clients=*/1);
+        if (opts.liveness_timeout_ns > 0) {
+          // On each quiet period, probe this thread's one client; a corpse
+          // is reclaimed (queues drained, leaked nodes swept — serialized
+          // across threads by the channel's recovery lock) and counted as
+          // its disconnect.
+          auto probe = [&]() -> std::uint32_t {
+            if (!channel.client_crashed(i)) return 0;
+            ClientCrashEvent& ev = slots[i].event;
+            ev.client_id = i;
+            ev.generation = channel.client_generation(i);
+            const ShmChannel::ReclaimStats rs = channel.reclaim_client(i);
+            ev.drained_messages = rs.drained_messages;
+            ev.nodes_reclaimed = rs.nodes_reclaimed;
+            slots[i].crashed = true;
+            return 1;
+          };
+          slots[i].result = run_echo_server_timed(
+              plat, proto, request, reply_ep, /*clients=*/1,
+              opts.liveness_timeout_ns, probe);
+        } else {
+          // The generic server loop, scoped to exactly one client.
+          slots[i].result =
+              run_echo_server(plat, proto, request, reply_ep, /*clients=*/1);
+        }
         slots[i].counters = plat.counters();
       });
     }
@@ -87,6 +135,10 @@ DuplexServerResult run_duplex_server(ShmChannel& channel, Proto proto,
     }
     total.last_disconnect_ns =
         std::max(total.last_disconnect_ns, s.result.last_disconnect_ns);
+    if (s.crashed) {
+      ++total.crashed_clients;
+      total.crash_events.push_back(s.event);
+    }
   }
   return total;
 }

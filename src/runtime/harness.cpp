@@ -32,6 +32,7 @@ void maybe_pin(const NativeRunConfig& cfg, int logical_cpu) {
 
 int server_main(const NativeRunConfig& cfg, ShmChannel& ch) {
   maybe_pin(cfg, 0);
+  ch.register_server();
   ShmReport& report = ch.header().server_report;
   report.ctx_start = ctx_switches_self();
   report.wall_start_ns = now_ns();
@@ -53,6 +54,7 @@ int server_main(const NativeRunConfig& cfg, ShmChannel& ch) {
 
   report.ctx_end = ctx_switches_self();
   report.wall_end_ns = now_ns();
+  ch.deregister_server();
   return 0;
 }
 
@@ -85,6 +87,7 @@ int client_main(const NativeRunConfig& cfg, ShmChannel& ch, std::uint32_t id) {
 
   report.ctx_end = ctx_switches_self();
   report.wall_end_ns = now_ns();
+  ch.deregister_client(id);
   return 0;
 }
 
@@ -113,6 +116,11 @@ NativeRunResult run_native_experiment(const NativeRunConfig& cfg) {
   for (std::uint32_t i = 0; i < cfg.clients; ++i) {
     children.push_back(
         ChildProcess::spawn([&, i] { return client_main(cfg, channel, i); }));
+    // Seat the child pid from the parent: registration is visible before
+    // the client issues its first operation, so a crash at any point of its
+    // life is attributable.
+    channel.register_client_pid(
+        i, static_cast<std::uint32_t>(children.back().pid()));
   }
 
   const std::vector<int> codes = join_all(children);

@@ -95,6 +95,20 @@ class NativePlatform {
     }
   }
 
+  /// Timed P against an absolute time_ns() (CLOCK_MONOTONIC) deadline.
+  /// Returns false iff the deadline passed without acquiring a unit.
+  bool sem_p_until(Endpoint& ep, std::int64_t deadline_ns) {
+    if (deadline_ns == kNoDeadline) {
+      sem_p(ep);
+      return true;
+    }
+    const std::int64_t budget = deadline_ns - time_ns();
+    if (cfg_.sem == SemKind::kFutex) {
+      return ep.fsem.timed_wait(budget);
+    }
+    return SysvSemaphoreSet::timed_wait(ep.vsem, budget);
+  }
+
   // ---- scheduling ----
 
   void yield() noexcept { sched_yield(); }

@@ -1,6 +1,9 @@
 #include "runtime/shm_channel.hpp"
 
+#include <vector>
+
 #include "common/cacheline.hpp"
+#include "queue/queue_recovery.hpp"
 
 namespace ulipc {
 
@@ -38,6 +41,7 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
   const std::uint32_t pool_nodes =
       (cfg.max_clients * (cfg.duplex ? 2u : 1u) + 1) * (cfg.queue_capacity + 2);
   NodePool* pool = NodePool::create(ch.arena_, pool_nodes);
+  ch.header_->node_pool_offset = ch.arena_.to_offset(pool);
 
   auto build_endpoint = [&](std::uint32_t id, int sem_index) {
     auto* ep = ch.arena_.construct<NativeEndpoint>();
@@ -82,6 +86,43 @@ ShmChannel ShmChannel::attach(const ShmRegion& region) {
   ch.header_ = hdr;
   ch.owns_sysv_ = false;
   return ch;
+}
+
+ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
+  ReclaimStats stats;
+  RobustGuard g(header_->recovery_lock);
+  // Re-check under the lock: another recoverer may already have vacated
+  // the seat (e.g. two server threads both timing out on the same corpse).
+  if (header_->client_peer[i].pid.load(std::memory_order_acquire) == 0) {
+    return stats;
+  }
+
+  // Step 1: discard traffic addressed to / queued by the dead client. Its
+  // reply queue holds answers nobody will read; its duplex request queue
+  // holds requests nobody is waiting on.
+  stats.drained_messages += client_endpoint(i).queue->drain();
+  if (header_->client_req_ep_offset[i] != 0) {
+    stats.drained_messages += client_request_endpoint(i).queue->drain();
+  }
+
+  // Step 2: sweep the shared node pool for nodes the corpse leaked between
+  // allocate() and a queue link (or between unlink and release()). Every
+  // queue of the channel participates in the reachability mark — a queue
+  // left out would have its in-flight nodes misread as leaks.
+  std::vector<TwoLockQueue*> queues;
+  queues.push_back(server_endpoint().queue.get());
+  for (std::uint32_t c = 0; c < header_->max_clients; ++c) {
+    queues.push_back(client_endpoint(c).queue.get());
+    if (header_->client_req_ep_offset[c] != 0) {
+      queues.push_back(client_request_endpoint(c).queue.get());
+    }
+  }
+  stats.nodes_reclaimed =
+      sweep_leaked_nodes(node_pool(), queues, nullptr).nodes_reclaimed;
+
+  // Step 3: vacate the seat — the crash has been fully absorbed.
+  header_->client_peer[i].pid.store(0, std::memory_order_release);
+  return stats;
 }
 
 ShmChannel::~ShmChannel() = default;

@@ -13,6 +13,7 @@
 // references are offset-based.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -22,6 +23,7 @@
 #include "queue/ms_two_lock_queue.hpp"
 #include "runtime/native_platform.hpp"
 #include "shm/process.hpp"
+#include "shm/robust_spinlock.hpp"
 #include "shm/shm_allocator.hpp"
 #include "shm/shm_barrier.hpp"
 #include "shm/shm_region.hpp"
@@ -48,12 +50,31 @@ struct ShmReport {
   }
 };
 
+/// Liveness registry entry for one channel participant. `pid` is 0 while
+/// the seat is vacant (never connected, or cleanly deregistered); a nonzero
+/// pid naming a dead process means the participant crashed and its
+/// resources need reclaiming. `generation` bumps on every (re)registration
+/// so a reconnecting client is distinguishable from the incarnation that
+/// crashed in its seat.
+struct PeerSlot {
+  std::atomic<std::uint32_t> pid{0};
+  std::atomic<std::uint32_t> generation{0};
+};
+
 struct ShmChannelHeader {
   static constexpr std::uint64_t kMagic = 0x756c6970'63636831ULL;
   std::uint64_t magic = 0;
   std::uint32_t max_clients = 0;
   std::uint32_t queue_capacity = 0;
   ShmBarrier barrier;
+
+  // Who is (supposed to be) alive on this channel, and the lock that
+  // serializes recovery sweeps (a RobustSpinlock so recovery itself
+  // survives the recoverer dying).
+  PeerSlot server_peer;
+  PeerSlot client_peer[kMaxClients];
+  RobustSpinlock recovery_lock;
+  std::uint64_t node_pool_offset = 0;
 
   std::uint64_t srv_ep_offset = 0;
   std::uint64_t client_ep_offset[kMaxClients] = {};      // reply direction
@@ -114,6 +135,67 @@ class ShmChannel {
   }
   [[nodiscard]] ShmBarrier& barrier() noexcept { return header_->barrier; }
 
+  /// The node pool all of this channel's queues draw from.
+  [[nodiscard]] NodePool& node_pool() noexcept {
+    return *arena_.from_offset<NodePool>(header_->node_pool_offset);
+  }
+
+  // ---- peer liveness registry ----
+
+  /// Registers the calling process in the server seat.
+  void register_server() noexcept { seat(header_->server_peer, robust_self_pid()); }
+  /// Registers the calling process in client seat `i`.
+  void register_client(std::uint32_t i) noexcept {
+    seat(header_->client_peer[i], robust_self_pid());
+  }
+  /// Registers an arbitrary pid in client seat `i` — lets a parent register
+  /// a child right at spawn, with no window where a crash is invisible.
+  void register_client_pid(std::uint32_t i, std::uint32_t pid) noexcept {
+    seat(header_->client_peer[i], pid);
+  }
+  /// Clean departure: vacates the seat so the peer no longer reads as
+  /// crashed once its process exits.
+  void deregister_server() noexcept {
+    header_->server_peer.pid.store(0, std::memory_order_release);
+  }
+  void deregister_client(std::uint32_t i) noexcept {
+    header_->client_peer[i].pid.store(0, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint32_t client_pid(std::uint32_t i) const noexcept {
+    return header_->client_peer[i].pid.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t client_generation(std::uint32_t i) const noexcept {
+    return header_->client_peer[i].generation.load(std::memory_order_acquire);
+  }
+
+  /// True iff client seat `i` is occupied by a process that no longer
+  /// exists — i.e. the client died without deregistering.
+  [[nodiscard]] bool client_crashed(std::uint32_t i) const noexcept {
+    const std::uint32_t pid =
+        header_->client_peer[i].pid.load(std::memory_order_acquire);
+    return pid != 0 && !process_alive(pid);
+  }
+  [[nodiscard]] bool server_crashed() const noexcept {
+    const std::uint32_t pid =
+        header_->server_peer.pid.load(std::memory_order_acquire);
+    return pid != 0 && !process_alive(pid);
+  }
+
+  /// What reclaim_client() recovered.
+  struct ReclaimStats {
+    std::uint32_t drained_messages = 0;  // messages discarded from the dead
+                                         // client's queues
+    std::uint32_t nodes_reclaimed = 0;   // leaked queue nodes swept back
+  };
+
+  /// Reclaims everything a crashed client left behind: drains its reply
+  /// queue (and duplex request queue), sweeps the node pool for nodes the
+  /// corpse leaked mid-operation, and vacates its seat. Serialized against
+  /// concurrent reclaims by the header's recovery lock; safe to run while
+  /// other clients keep trafficking the channel.
+  ReclaimStats reclaim_client(std::uint32_t i) noexcept;
+
   [[nodiscard]] SysvMsgQueue request_queue() const {
     return SysvMsgQueue::attach(header_->sysv_request_qid);
   }
@@ -126,6 +208,11 @@ class ShmChannel {
 
  private:
   ShmChannel() = default;
+
+  static void seat(PeerSlot& slot, std::uint32_t pid) noexcept {
+    slot.generation.fetch_add(1, std::memory_order_acq_rel);
+    slot.pid.store(pid, std::memory_order_release);
+  }
 
   ShmArena arena_;
   ShmChannelHeader* header_ = nullptr;

@@ -3,6 +3,16 @@
 // The futex word must live in memory shared by all participating processes
 // (our arenas are MAP_SHARED, so plain FUTEX_WAIT/WAKE — not the _PRIVATE
 // variants — are used throughout).
+//
+// Error contract: the raw wrappers return the syscall result unchanged.
+// Callers must treat three errno values as *normal* outcomes, not failures:
+//   EAGAIN    — *addr != expected at call time (a wake already happened);
+//   EINTR     — a signal interrupted the wait: retry (for timed waits,
+//               recompute the remaining time from the absolute deadline
+//               first, or the timeout stretches under signal storms);
+//   ETIMEDOUT — the relative timeout of futex_wait_for expired.
+// The higher-level loops in FutexSemaphore implement exactly that retry
+// discipline.
 #pragma once
 
 #include <linux/futex.h>
@@ -17,20 +27,50 @@
 namespace ulipc {
 
 /// Blocks until *addr != expected (or a wake / spurious wakeup occurs).
-/// Returns 0 on wake, -1 with errno EAGAIN if *addr != expected at call time.
+/// Returns 0 on wake, -1 with errno EAGAIN if *addr != expected at call
+/// time, -1/EINTR if interrupted by a signal (caller retries).
 inline long futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
   return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
                  expected, nullptr, nullptr, 0);
 }
 
-/// Same with a relative timeout; returns -1/ETIMEDOUT on expiry.
+/// Same with a relative timeout; returns -1/ETIMEDOUT on expiry. A
+/// non-positive timeout returns immediately with ETIMEDOUT (no syscall).
 inline long futex_wait_for(std::atomic<std::uint32_t>* addr,
                            std::uint32_t expected, std::int64_t timeout_ns) {
+  if (timeout_ns <= 0) {
+    errno = ETIMEDOUT;
+    return -1;
+  }
   timespec ts{};
   ts.tv_sec = timeout_ns / 1'000'000'000LL;
   ts.tv_nsec = timeout_ns % 1'000'000'000LL;
   return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
                  expected, &ts, nullptr, 0);
+}
+
+/// Monotonic clock read for deadline arithmetic in the wait loops (kept
+/// here so shm/ does not depend on common/clock.hpp).
+inline std::int64_t futex_clock_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000LL + ts.tv_nsec;
+}
+
+/// Waits until *addr != expected or the absolute CLOCK_MONOTONIC deadline
+/// passes. Handles EINTR internally by re-arming with the remaining time.
+/// Returns 0 on wake/EAGAIN, -1/ETIMEDOUT on deadline expiry.
+inline long futex_wait_until(std::atomic<std::uint32_t>* addr,
+                             std::uint32_t expected,
+                             std::int64_t deadline_ns) {
+  for (;;) {
+    const std::int64_t remaining = deadline_ns - futex_clock_ns();
+    const long rc = futex_wait_for(addr, expected, remaining);
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;  // signal: retry with recomputed budget
+    if (errno == EAGAIN) return 0;  // value already changed: treat as wake
+    return rc;  // ETIMEDOUT (or a real error, surfaced to the caller)
+  }
 }
 
 /// Wakes up to `count` waiters; returns the number woken.

@@ -44,9 +44,40 @@ class alignas(kCacheLineSize) FutexSemaphore {
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     for (;;) {
       if (try_wait()) break;
+      // EINTR (signal), EAGAIN (count changed under us) and spurious
+      // wakeups all land here and simply retry the acquire.
       futex_wait(&count_, 0);
     }
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Timed P: like wait(), but gives up once `timeout_ns` has elapsed.
+  /// Returns true if a unit was acquired, false on timeout. A non-positive
+  /// timeout degenerates to try_wait(). Signals (EINTR) re-arm the wait
+  /// with the remaining budget, so the deadline is honoured under signal
+  /// storms. A unit posted concurrently with the timeout is never lost:
+  /// either this call absorbs it (returns true) or the count keeps it for
+  /// the next waiter.
+  bool timed_wait(std::int64_t timeout_ns) noexcept {
+    if (try_wait()) return true;
+    if (timeout_ns <= 0) return false;
+    const std::int64_t deadline = futex_clock_ns() + timeout_ns;
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    bool acquired = false;
+    for (;;) {
+      if (try_wait()) {
+        acquired = true;
+        break;
+      }
+      if (futex_wait_until(&count_, 0, deadline) != 0) {
+        // Deadline passed. One final acquire attempt closes the race with
+        // a post() that happened between the last recheck and now.
+        acquired = try_wait();
+        break;
+      }
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    return acquired;
   }
 
   /// Non-blocking P. Returns true if a unit was acquired.

@@ -1,0 +1,39 @@
+#include "shm/robust_spinlock.hpp"
+
+#include <pthread.h>
+#include <unistd.h>
+
+namespace ulipc {
+
+namespace {
+
+std::atomic<std::uint32_t> g_cached_pid{0};
+
+void refresh_cached_pid() {
+  g_cached_pid.store(static_cast<std::uint32_t>(::getpid()),
+                     std::memory_order_relaxed);
+}
+
+// Refresh the cache in every fork child: a stale parent pid in the lock
+// word would let contenders "steal" a lock the child legitimately holds.
+struct PidCacheInit {
+  PidCacheInit() {
+    refresh_cached_pid();
+    pthread_atfork(nullptr, nullptr, refresh_cached_pid);
+  }
+};
+PidCacheInit g_pid_cache_init;
+
+}  // namespace
+
+std::uint32_t robust_self_pid() noexcept {
+  const std::uint32_t cached = g_cached_pid.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Static initialization order fallback (locks taken before g_pid_cache_init
+  // runs) — also covers children created by raw clone/vfork.
+  const auto pid = static_cast<std::uint32_t>(::getpid());
+  g_cached_pid.store(pid, std::memory_order_relaxed);
+  return pid;
+}
+
+}  // namespace ulipc

@@ -3,6 +3,7 @@
 #include <sys/ipc.h>
 #include <sys/sem.h>
 #include <sys/types.h>
+#include <time.h>
 
 #include <cerrno>
 
@@ -63,6 +64,35 @@ void SysvSemaphoreSet::wait(SysvSemHandle h) {
     if (semop(h.sem_id, &op, 1) == 0) return;
     if (errno == EINTR) continue;
     throw_errno("semop(P)");
+  }
+}
+
+bool SysvSemaphoreSet::timed_wait(SysvSemHandle h, std::int64_t timeout_ns) {
+  if (timeout_ns <= 0) return try_wait(h);
+  sembuf op{};
+  op.sem_num = h.index;
+  op.sem_op = -1;
+  op.sem_flg = 0;  // no SEM_UNDO: counting must survive process exit
+  // semtimedop takes a relative timeout; track an absolute monotonic
+  // deadline so EINTR retries do not stretch the total wait.
+  timespec now{};
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  const std::int64_t deadline = static_cast<std::int64_t>(now.tv_sec) *
+                                    1'000'000'000LL +
+                                now.tv_nsec + timeout_ns;
+  for (;;) {
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    const std::int64_t remaining =
+        deadline -
+        (static_cast<std::int64_t>(now.tv_sec) * 1'000'000'000LL + now.tv_nsec);
+    if (remaining <= 0) return try_wait(h);  // last-chance acquire
+    timespec ts{};
+    ts.tv_sec = remaining / 1'000'000'000LL;
+    ts.tv_nsec = remaining % 1'000'000'000LL;
+    if (semtimedop(h.sem_id, &op, 1, &ts) == 0) return true;
+    if (errno == EAGAIN) return false;  // timeout expired inside the kernel
+    if (errno == EINTR) continue;       // signal: retry with remaining time
+    throw_errno("semtimedop(P)");
   }
 }
 

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <utility>
 
+#include <sys/types.h>
+
 namespace ulipc {
 
 /// Identifies one semaphore within a set; trivially shareable via shm.
@@ -45,6 +47,12 @@ class SysvSemaphoreSet {
 
   /// P / down: blocks while the value is zero, then decrements.
   static void wait(SysvSemHandle h);
+
+  /// Timed P via semtimedop(2): blocks for at most `timeout_ns`. Returns
+  /// true if a unit was acquired, false on timeout. EINTR re-arms with the
+  /// remaining budget (deadline honoured under signals). A non-positive
+  /// timeout degenerates to try_wait().
+  static bool timed_wait(SysvSemHandle h, std::int64_t timeout_ns);
 
   /// Non-blocking P; returns true if a unit was acquired.
   static bool try_wait(SysvSemHandle h);

@@ -91,6 +91,14 @@ class SimPlatform {
   void sem_p(Endpoint& ep) { k_->sem_p(ep.sem); }
   void sem_v(Endpoint& ep) { k_->sem_v(ep.sem); }
 
+  /// The simulator models cooperative peers only — simulated processes
+  /// cannot crash, so a V always arrives and the deadline never has to
+  /// fire. Timed P therefore degenerates to plain P (always acquires).
+  bool sem_p_until(Endpoint& ep, std::int64_t /*deadline_ns*/) {
+    k_->sem_p(ep.sem);
+    return true;
+  }
+
   // ---- scheduling ----
 
   void yield() { k_->yield_syscall(); }

@@ -8,8 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "protocols/bss.hpp"
 #include "protocols/bsls.hpp"
 #include "protocols/bsw.hpp"
+#include "protocols/bswy.hpp"
 #include "protocols/channel.hpp"
 #include "protocols/detail.hpp"
 #include "runtime/shm_channel.hpp"
@@ -145,6 +147,86 @@ TEST_F(NativeThreadsTest, QueueFullFlowControlUnderPressure) {
     }
   }
   producer.join();
+}
+
+// ------------------------------------------------------------ timed waits
+
+/// receive_until on a quiet endpoint must come back with kTimeout in
+/// bounded time for every protocol, bumping the timeouts counter.
+template <typename Proto>
+void expect_receive_timeout(NativeEndpoint& ep, Proto proto) {
+  NativePlatform plat;
+  Message m;
+  const std::int64_t t0 = plat.time_ns();
+  const Status st = proto.receive_until(plat, ep, &m, t0 + 20'000'000);
+  EXPECT_EQ(st, Status::kTimeout);
+  const std::int64_t elapsed = plat.time_ns() - t0;
+  EXPECT_GE(elapsed, 20'000'000);
+  EXPECT_LT(elapsed, 2'000'000'000);
+  EXPECT_GE(plat.counters().timeouts, 1u);
+}
+
+TEST_F(NativeThreadsTest, ReceiveUntilTimesOutOnQuietEndpoint) {
+  NativeEndpoint& ep = channel_->server_endpoint();
+  expect_receive_timeout(ep, Bsw<NativePlatform>());
+  expect_receive_timeout(ep, Bswy<NativePlatform>());
+  expect_receive_timeout(ep, Bsls<NativePlatform>(10));
+  expect_receive_timeout(ep, Bss<NativePlatform>());
+}
+
+TEST_F(NativeThreadsTest, TimedOutReceiverStillSeesLateTraffic) {
+  // After a timeout the consumer restored its awake flag, so a producer
+  // arriving later takes the no-wake fast path and the message must still
+  // be found at the next receive — the no-lost-wakeup guarantee holds
+  // across the timeout path.
+  NativeEndpoint& ep = channel_->server_endpoint();
+  NativePlatform plat;
+  Bsw<NativePlatform> proto;
+  Message m;
+  ASSERT_EQ(proto.receive_until(plat, ep, &m, plat.time_ns() + 5'000'000),
+            Status::kTimeout);
+  EXPECT_TRUE(ep.awake.is_set()) << "timeout must leave the flag awake";
+  detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 42.0));
+  ASSERT_EQ(proto.receive_until(plat, ep, &m, plat.time_ns() + 100'000'000),
+            Status::kOk);
+  EXPECT_DOUBLE_EQ(m.value, 42.0);
+  EXPECT_EQ(ep.fsem.value(), 0u) << "no semaphore residue across timeout";
+}
+
+TEST_F(NativeThreadsTest, SendUntilTimesOutWithNoServer) {
+  NativePlatform plat;
+  Bsw<NativePlatform> proto;
+  NativeEndpoint& srv = channel_->server_endpoint();
+  NativeEndpoint& mine = channel_->client_endpoint(0);
+  Message ans;
+  const Status st = proto.send_until(plat, srv, mine,
+                                     Message(Op::kEcho, 0, 1.0), &ans,
+                                     plat.time_ns() + 20'000'000);
+  EXPECT_EQ(st, Status::kTimeout);
+  // The request itself was delivered (sends are enqueue-then-await-reply);
+  // only the reply wait expired.
+  EXPECT_EQ(srv.queue->size(), 1u);
+  Message m;
+  ASSERT_TRUE(srv.queue->dequeue(&m));
+  EXPECT_DOUBLE_EQ(m.value, 1.0);
+}
+
+TEST_F(NativeThreadsTest, ReceiveUntilReturnsOkWhenTrafficArrives) {
+  NativeEndpoint& ep = channel_->server_endpoint();
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    NativePlatform plat;
+    detail::enqueue_and_wake(plat, ep, Message(Op::kEcho, 0, 9.0));
+  });
+  NativePlatform plat;
+  Bsw<NativePlatform> proto;
+  Message m;
+  const Status st =
+      proto.receive_until(plat, ep, &m, plat.time_ns() + 2'000'000'000);
+  producer.join();
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_DOUBLE_EQ(m.value, 9.0);
+  EXPECT_EQ(plat.counters().timeouts, 0u);
 }
 
 TEST_F(NativeThreadsTest, AsyncBatchThenCollect) {

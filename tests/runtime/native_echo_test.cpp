@@ -4,9 +4,15 @@
 // pinned (uniprocessor emulation) and unpinned.
 #include <gtest/gtest.h>
 
+#include <sched.h>
+
+#include <atomic>
 #include <string>
 
+#include "common/affinity.hpp"
 #include "runtime/harness.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
 
 namespace ulipc {
 namespace {
@@ -105,10 +111,43 @@ TEST(NativeEcho, BslsRecordsSpinStatistics) {
   EXPECT_GE(r.client_counters_total.spin_iters, 0u);
 }
 
+/// Some kernels (containers, sandboxes, certain CFS configurations) do not
+/// reflect sched_yield-driven switches in getrusage's ru_nvcsw, which makes
+/// the assertion below vacuous. Probe the exact mechanism the test relies
+/// on: two processes pinned to one CPU, one yielding in a loop against the
+/// other — wherever yield switches are accounted at all, the prober MUST
+/// observe voluntary switches.
+bool kernel_accounts_yield_switches() {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  auto* stop = new (region.base()) std::atomic<int>(0);
+  ChildProcess spinner = ChildProcess::spawn([&] {
+    pin_to_cpu(0);
+    while (stop->load(std::memory_order_acquire) == 0) sched_yield();
+    return 0;
+  });
+  ChildProcess prober = ChildProcess::spawn([&] {
+    pin_to_cpu(0);
+    for (int i = 0; i < 5'000; ++i) sched_yield();
+    const long v = ctx_switches_self().voluntary;
+    stop->store(1, std::memory_order_release);
+    return v > 0 ? 0 : 1;  // exit code carries the probe verdict
+  });
+  const bool accounted = prober.join() == 0;
+  stop->store(1, std::memory_order_release);
+  spinner.join();
+  return accounted;
+}
+
 TEST(NativeEcho, PinnedRunForcesContextSwitches) {
   // The paper confirmed the switch economics via getrusage. On this host
   // only sched_yield-style switches are reflected in ru_nvcsw (futex waits
   // are not counted by the sandbox kernel), so use the yield-based BSS.
+  if (!kernel_accounts_yield_switches()) {
+    GTEST_SKIP() << "this environment does not account sched_yield context "
+                    "switches in getrusage ru_nvcsw (5000 contended yields "
+                    "recorded 0 voluntary switches) — the assertion below "
+                    "cannot be meaningful here";
+  }
   NativeRunConfig cfg;
   cfg.protocol = ProtocolKind::kBss;
   cfg.clients = 1;

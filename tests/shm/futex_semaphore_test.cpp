@@ -109,6 +109,77 @@ TEST(FutexSemaphore, SharedAcrossProcesses) {
   EXPECT_EQ(sems[1].value(), 0u);
 }
 
+TEST(FutexSemaphore, TimedWaitExpiresWithoutPost) {
+  FutexSemaphore s;
+  const std::int64_t t0 = futex_clock_ns();
+  EXPECT_FALSE(s.timed_wait(20'000'000));  // 20 ms
+  const std::int64_t elapsed = futex_clock_ns() - t0;
+  EXPECT_GE(elapsed, 20'000'000);          // honored the full timeout
+  EXPECT_LT(elapsed, 2'000'000'000);       // ...but not wildly more
+  EXPECT_EQ(s.waiter_count(), 0u);
+}
+
+TEST(FutexSemaphore, TimedWaitZeroAndNegativeAreTryWait) {
+  FutexSemaphore s;
+  EXPECT_FALSE(s.timed_wait(0));
+  EXPECT_FALSE(s.timed_wait(-5));
+  s.post();
+  EXPECT_TRUE(s.timed_wait(0));
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(FutexSemaphore, TimedWaitWakesOnPostBeforeDeadline) {
+  FutexSemaphore s;
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    // Deadline far beyond the post; failure here means a lost wake-up.
+    acquired.store(s.timed_wait(2'000'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  s.post();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(s.value(), 0u);
+  EXPECT_EQ(s.waiter_count(), 0u);
+}
+
+TEST(FutexSemaphore, NoLostUnitUnderPostTimeoutRace) {
+  // Hammer the post/expiry race: a waiter with a tiny timeout races a
+  // poster. Whatever interleaving occurs, the unit must never vanish —
+  // either the waiter got it (timed_wait true) or it is still on the
+  // semaphore.
+  FutexSemaphore s;
+  int acquired = 0;
+  int leftover = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::thread poster([&] { s.post(); });
+    const bool got = s.timed_wait(50'000);  // 50 us: expires mid-race often
+    poster.join();
+    if (got) {
+      ++acquired;
+    } else {
+      // Timed out; the posted unit must still be there.
+      ASSERT_TRUE(s.try_wait()) << "post lost in round " << round;
+      ++leftover;
+    }
+    ASSERT_EQ(s.value(), 0u);
+  }
+  EXPECT_EQ(acquired + leftover, 200);
+}
+
+TEST(FutexSemaphore, TimedWaitAcrossProcesses) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  auto* s = new (region.base()) FutexSemaphore();
+  ChildProcess child = ChildProcess::spawn([&] {
+    // Child posts after a short nap; parent's deadline is far longer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    s->post();
+    return 0;
+  });
+  EXPECT_TRUE(s->timed_wait(2'000'000'000));
+  EXPECT_EQ(child.join(), 0);
+}
+
 TEST(FutexSemaphore, WaiterCountReturnsToZero) {
   FutexSemaphore s;
   std::thread waiter([&] { s.wait(); });

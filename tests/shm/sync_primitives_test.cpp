@@ -1,11 +1,15 @@
-// AwakeFlag, Spinlock, ShmBarrier.
+// AwakeFlag, Spinlock, RobustSpinlock, ShmBarrier.
 #include <gtest/gtest.h>
+#include <time.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "shm/process.hpp"
+#include "shm/robust_spinlock.hpp"
 #include "shm/shm_barrier.hpp"
 #include "shm/shm_region.hpp"
 #include "shm/spinlock.hpp"
@@ -106,6 +110,132 @@ TEST(Spinlock, CrossProcessMutualExclusion) {
   }
   EXPECT_EQ(child.join(), 0);
   EXPECT_EQ(shared->counter, 2L * kIncrements);
+}
+
+// --------------------------------------------------------- RobustSpinlock
+
+TEST(RobustSpinlock, BasicLockUnlockStampsOwner) {
+  RobustSpinlock lock;
+  EXPECT_EQ(lock.owner(), 0u);
+  EXPECT_FALSE(lock.lock());  // ordinary acquisition, not a steal
+  EXPECT_EQ(lock.owner(), robust_self_pid());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_EQ(lock.owner(), 0u);
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RobustSpinlock, SelfPidMatchesGetpid) {
+  EXPECT_EQ(robust_self_pid(), static_cast<std::uint32_t>(::getpid()));
+}
+
+TEST(RobustSpinlock, ProcessAliveProbe) {
+  EXPECT_TRUE(process_alive(static_cast<std::uint32_t>(::getpid())));
+  EXPECT_FALSE(process_alive(0));
+  // A freshly reaped child is definitively dead.
+  ChildProcess child = ChildProcess::spawn([] { return 0; });
+  const auto pid = static_cast<std::uint32_t>(child.pid());
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_FALSE(process_alive(pid));
+}
+
+TEST(RobustSpinlock, MutualExclusionCounters) {
+  // Threads of one process share a pid; the steal path must never fire.
+  RobustSpinlock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        RobustGuard g(lock);
+        EXPECT_FALSE(g.stolen());
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+  EXPECT_EQ(lock.steal_count(), 0u);
+}
+
+TEST(RobustSpinlock, StealsFromDeadOwner) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  auto* lock = new (region.base()) RobustSpinlock();
+  ChildProcess victim = ChildProcess::spawn([&] {
+    return lock->lock() ? 1 : 0;  // acquire normally, die holding it
+  });
+  ASSERT_EQ(victim.join(), 0);
+  ASSERT_NE(lock->owner(), 0u);
+  ASSERT_NE(lock->owner(), robust_self_pid());
+
+  EXPECT_TRUE(lock->lock()) << "acquisition from a corpse must report steal";
+  EXPECT_EQ(lock->owner(), robust_self_pid());
+  EXPECT_EQ(lock->steal_count(), 1u);
+  lock->unlock();
+}
+
+TEST(RobustSpinlock, DoesNotStealFromLiveOwner) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  struct Shared {
+    RobustSpinlock lock;
+    std::atomic<int> holder_ready;
+    std::atomic<int> release;
+  };
+  auto* shared = new (region.base()) Shared{};
+  ChildProcess holder = ChildProcess::spawn([&] {
+    if (shared->lock.lock()) return 1;
+    shared->holder_ready.store(1);
+    while (shared->release.load() == 0) {
+      timespec nap{0, 500'000};
+      nanosleep(&nap, nullptr);
+    }
+    shared->lock.unlock();
+    return 0;
+  });
+  while (shared->holder_ready.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The holder is alive and parked on the lock; contenders must spin, not
+  // steal — even well past the probe interval.
+  EXPECT_FALSE(shared->lock.try_lock());
+  std::thread contender([&] {
+    const bool stolen = shared->lock.lock();
+    EXPECT_FALSE(stolen) << "stole a live process's lock";
+    shared->lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(shared->lock.steal_count(), 0u);
+  shared->release.store(1);
+  contender.join();
+  EXPECT_EQ(holder.join(), 0);
+  EXPECT_EQ(shared->lock.steal_count(), 0u);
+}
+
+TEST(RobustSpinlock, CrossProcessMutualExclusion) {
+  ShmRegion region = ShmRegion::create_anonymous(4096);
+  struct Shared {
+    RobustSpinlock lock;
+    long counter;
+  };
+  auto* shared = new (region.base()) Shared{};
+  constexpr int kIncrements = 20'000;
+  ChildProcess child = ChildProcess::spawn([&] {
+    for (int i = 0; i < kIncrements; ++i) {
+      RobustGuard g(shared->lock);
+      ++shared->counter;
+    }
+    return 0;
+  });
+  for (int i = 0; i < kIncrements; ++i) {
+    RobustGuard g(shared->lock);
+    ++shared->counter;
+  }
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(shared->counter, 2L * kIncrements);
+  EXPECT_EQ(shared->lock.steal_count(), 0u);
 }
 
 // --------------------------------------------------------------- ShmBarrier

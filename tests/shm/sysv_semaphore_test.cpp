@@ -1,6 +1,9 @@
 #include "shm/sysv_semaphore.hpp"
 
 #include <gtest/gtest.h>
+#include <time.h>
+
+#include <chrono>
 
 #include "shm/process.hpp"
 
@@ -62,6 +65,40 @@ TEST(SysvSemaphore, CrossProcessPingPong) {
   EXPECT_EQ(child.join(), 0);
   EXPECT_EQ(SysvSemaphoreSet::value(ping), 0);
   EXPECT_EQ(SysvSemaphoreSet::value(pong), 0);
+}
+
+TEST(SysvSemaphore, TimedWaitExpiresWithoutPost) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SysvSemaphoreSet::timed_wait(h, 20'000'000));  // 20 ms
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(19));
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(SysvSemaphore, TimedWaitZeroIsTryWait) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  EXPECT_FALSE(SysvSemaphoreSet::timed_wait(h, 0));
+  EXPECT_FALSE(SysvSemaphoreSet::timed_wait(h, -1));
+  SysvSemaphoreSet::post(h);
+  EXPECT_TRUE(SysvSemaphoreSet::timed_wait(h, 0));
+  EXPECT_EQ(SysvSemaphoreSet::value(h), 0);
+}
+
+TEST(SysvSemaphore, TimedWaitWakesOnCrossProcessPost) {
+  SysvSemaphoreSet set = SysvSemaphoreSet::create(1);
+  const SysvSemHandle h = set.handle(0);
+  ChildProcess child = ChildProcess::spawn([&] {
+    timespec nap{0, 20'000'000};  // 20 ms
+    nanosleep(&nap, nullptr);
+    SysvSemaphoreSet::post(h);
+    return 0;
+  });
+  EXPECT_TRUE(SysvSemaphoreSet::timed_wait(h, 2'000'000'000));
+  EXPECT_EQ(child.join(), 0);
+  EXPECT_EQ(SysvSemaphoreSet::value(h), 0);
 }
 
 TEST(SysvSemaphore, MoveTransfersOwnership) {
