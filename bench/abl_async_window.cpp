@@ -30,6 +30,7 @@ struct WindowResult {
   double us_per_task = 0.0;
   std::uint64_t client_blocks = 0;
   std::uint64_t ok = 0;
+  double wakeups_per_task = 0.0;  // client V() syscalls per task
 };
 
 WindowResult run_window(std::uint64_t tasks, std::uint64_t window) {
@@ -44,6 +45,7 @@ WindowResult run_window(std::uint64_t tasks, std::uint64_t window) {
     double us_per_task;
     std::uint64_t blocks;
     std::uint64_t ok;
+    std::uint64_t wakeups;
   };
   ShmRegion out_region = ShmRegion::create_anonymous(4096);
   auto* out = new (out_region.base()) Shared{};
@@ -68,25 +70,37 @@ WindowResult run_window(std::uint64_t tasks, std::uint64_t window) {
     std::uint64_t sent = 0;
     std::uint64_t received = 0;
     std::uint64_t ok = 0;
+    Message burst[128];
     while (received < tasks) {
-      while (sent < tasks && sent - received < window) {
-        async_send(plat, srv,
-                   Message(Op::kEcho, 0, static_cast<double>(sent)));
-        ++sent;
+      // Fill the window with one batched enqueue: one queue pass and at
+      // most one wake-up for the whole burst (the coalescing under test).
+      std::uint32_t n = 0;
+      while (sent + n < tasks && (sent + n) - received < window && n < 128) {
+        burst[n] = Message(Op::kEcho, 0, static_cast<double>(sent + n));
+        ++n;
       }
+      if (n == 1) {
+        async_send(plat, srv, burst[0]);
+      } else if (n > 1) {
+        async_send_batch(plat, srv, burst, n);
+      }
+      sent += n;
       const Message ans = collect_reply(plat, mine);
       if (ans.opcode == Op::kEcho) ++ok;
       ++received;
     }
     out->us_per_task = timer.elapsed_us() / static_cast<double>(tasks);
     out->blocks = plat.counters().blocks;
+    out->wakeups = plat.counters().wakeups;
     out->ok = ok;
     return 0;
   });
 
   client.join();
   server.join();
-  return WindowResult{out->us_per_task, out->blocks, out->ok};
+  return WindowResult{out->us_per_task, out->blocks, out->ok,
+                      static_cast<double>(out->wakeups) /
+                          static_cast<double>(tasks)};
 }
 
 }  // namespace
@@ -103,7 +117,8 @@ int main(int argc, char** argv) {
                       "window", "us/task");
   Series& series = report.add_series("us per task");
   std::vector<double> costs;
-  TextTable table({"window", "us/task", "client sleeps", "verified"});
+  TextTable table(
+      {"window", "us/task", "client sleeps", "wk/task", "verified"});
   for (const std::uint64_t w : windows) {
     const WindowResult r = run_window(tasks, w);
     costs.push_back(r.us_per_task);
@@ -111,6 +126,7 @@ int main(int argc, char** argv) {
     series.y.push_back(r.us_per_task);
     table.add_row({std::to_string(w), TextTable::num(r.us_per_task, 2),
                    std::to_string(r.client_blocks),
+                   TextTable::num(r.wakeups_per_task, 3),
                    std::to_string(r.ok) + "/" + std::to_string(tasks)});
   }
   table.render(std::cout);

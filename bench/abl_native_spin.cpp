@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     std::vector<double> curve;
     for (const std::uint32_t spin : max_spins) {
       NativeRunConfig cfg;
-      cfg.protocol = ProtocolKind::kBsls;
+      cfg.protocol = ProtocolKind::kBslsFixed;  // the sweep needs the fixed bound
       cfg.sem = sem;
       cfg.clients = 1;
       cfg.messages_per_client = messages;

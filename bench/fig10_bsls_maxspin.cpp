@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                       "clients", "msgs/ms");
   std::vector<std::vector<double>> curves;
   for (const std::uint32_t spin : max_spins) {
-    cfg.protocol = ProtocolKind::kBsls;
+    cfg.protocol = ProtocolKind::kBslsFixed;  // the sweep needs the fixed bound
     cfg.max_spin = spin;
     curves.push_back(sim_sweep(cfg, clients));
     fill_series(report.add_series("MAX_SPIN=" + std::to_string(spin)),
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
   // The paper's fall-through statistics at MAX_SPIN=20.
   std::cout << "bounded-spin statistics at MAX_SPIN=20 (client side):\n";
-  cfg.protocol = ProtocolKind::kBsls;
+  cfg.protocol = ProtocolKind::kBslsFixed;  // the sweep needs the fixed bound
   cfg.max_spin = 20;
   for (const int n : {1, 6}) {
     cfg.clients = static_cast<std::uint32_t>(n);

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const std::vector<double> bss = sim_sweep(cfg, clients);
   fill_series(report.add_series("BSS"), clients, bss);
 
-  cfg.protocol = ProtocolKind::kBsls;
+  cfg.protocol = ProtocolKind::kBslsFixed;  // paper-faithful MAX_SPIN
   std::vector<std::vector<double>> bsls;
   const std::vector<std::uint32_t> max_spins = {5, 10, 20};
   for (const std::uint32_t spin : max_spins) {
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
 
   // Show the feedback mechanism: server wake-ups per message before/after a
   // collapse point for MAX_SPIN=5.
-  cfg.protocol = ProtocolKind::kBsls;
+  cfg.protocol = ProtocolKind::kBslsFixed;  // paper-faithful MAX_SPIN
   cfg.max_spin = 5;
   for (const int n : {3, 8}) {
     cfg.clients = static_cast<std::uint32_t>(n);

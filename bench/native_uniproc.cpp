@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       {"BSS", ProtocolKind::kBss},
       {"BSW", ProtocolKind::kBsw},
       {"BSWY", ProtocolKind::kBswy},
-      {"BSLS(20)", ProtocolKind::kBsls},
+      {"BSLS(20)", ProtocolKind::kBslsFixed},  // paper-faithful row
       {"SYSV", ProtocolKind::kSysv},
   };
 

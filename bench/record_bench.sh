@@ -1,0 +1,129 @@
+#!/bin/sh
+# Records a machine-tagged perf snapshot so PRs can track the trajectory.
+#
+#   bench/record_bench.sh [build-dir] [out.json]
+#
+# Runs the three perf anchors (micro_queue, micro_sync, latency_percentiles)
+# from a Release build tree and writes one JSON document: a machine tag, the
+# google-benchmark ns/op numbers, and the per-protocol round-trip latency
+# percentiles (plus the derived single-client round-trip throughput in
+# msgs/ms). The first snapshot is committed as BENCH_baseline.json; every run
+# also appends a one-line summary to BENCH_trajectory.jsonl next to the
+# output file, so later PRs accumulate comparable points.
+#
+# Requires python3 (parsing) and a build tree with the bench binaries built.
+set -eu
+
+BUILD_DIR="${1:-build-rel}"
+OUT="${2:-BENCH_baseline.json}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH_DIR="$BUILD_DIR/bench"
+for bin in micro_queue micro_sync latency_percentiles; do
+  if [ ! -x "$BENCH_DIR/$bin" ]; then
+    echo "error: $BENCH_DIR/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+MESSAGES="${ULIPC_BENCH_MESSAGES:-20000}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BENCH_DIR/micro_queue" --benchmark_format=json \
+  > "$TMP/micro_queue.json" 2>"$TMP/micro_queue.err"
+"$BENCH_DIR/micro_sync" --benchmark_format=json \
+  > "$TMP/micro_sync.json" 2>"$TMP/micro_sync.err"
+# || true: the bench's shape checks are advisory here; the numbers matter.
+"$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" \
+  > "$TMP/latency.txt" 2>&1 || true
+# Binaries from before the batched fast path ignore --batched (it then
+# produces the same scalar table, which the parser records under the same
+# keys — harmless).
+"$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --batched \
+  > "$TMP/latency_batched.txt" 2>&1 || true
+
+python3 - "$TMP" "$OUT" "$MESSAGES" <<'EOF'
+import json, os, platform, re, subprocess, sys, datetime
+
+tmp, out, messages = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+def bench_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: round(b["real_time"], 2)
+            for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+def latency_table(path):
+    # Rows look like: "| BSLS | 1.84 | 2.1 | ... |" (TextTable output).
+    rows = {}
+    if not os.path.exists(path):
+        return rows
+    with open(path) as f:
+        for line in f:
+            cells = [c.strip() for c in line.split("|") if c.strip()]
+            if len(cells) < 5 or cells[0] not in (
+                    "BSS", "BSW", "BSWY", "BSLS", "SYSV"):
+                continue
+            try:
+                p50, p95, p99, mx = (float(c) for c in cells[1:5])
+            except ValueError:
+                continue
+            rows[cells[0]] = {
+                "p50_us": p50, "p95_us": p95, "p99_us": p99, "max_us": mx,
+                # One synchronous round trip per message: msgs/ms = 1000/p50.
+                "rt_throughput_msgs_per_ms": round(1000.0 / p50, 2) if p50 else 0.0,
+            }
+    return rows
+
+def git(*args):
+    try:
+        return subprocess.check_output(("git",) + args, text=True).strip()
+    except Exception:
+        return "unknown"
+
+doc = {
+    "schema": "ulipc-bench-v1",
+    "recorded_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "machine": {
+        "hostname": platform.node(),
+        "kernel": platform.release(),
+        "arch": platform.machine(),
+        "cpus": os.cpu_count(),
+    },
+    "git_rev": git("rev-parse", "--short", "HEAD"),
+    "messages_per_protocol": messages,
+    "micro_queue_ns": bench_json(os.path.join(tmp, "micro_queue.json")),
+    "micro_sync_ns": bench_json(os.path.join(tmp, "micro_sync.json")),
+    "latency_percentiles": latency_table(os.path.join(tmp, "latency.txt")),
+}
+batched = latency_table(os.path.join(tmp, "latency_batched.txt"))
+if batched:
+    doc["latency_percentiles_batched"] = batched
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+# Trajectory: one compact line per snapshot, append-only.
+point = {
+    "recorded_utc": doc["recorded_utc"],
+    "git_rev": doc["git_rev"],
+    "cpus": doc["machine"]["cpus"],
+    "rt_msgs_per_ms": {k: v["rt_throughput_msgs_per_ms"]
+                       for k, v in doc["latency_percentiles"].items()},
+}
+if batched:
+    point["rt_msgs_per_ms_batched"] = {
+        k: v["rt_throughput_msgs_per_ms"] for k, v in batched.items()}
+traj = os.path.join(os.path.dirname(os.path.abspath(out)) or ".",
+                    "BENCH_trajectory.jsonl")
+with open(traj, "a") as f:
+    f.write(json.dumps(point) + "\n")
+
+print(f"wrote {out} and appended {traj}")
+EOF

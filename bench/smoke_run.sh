@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench_smoke wrapper: runs one bench binary briefly and decides pass/fail.
+#
+#   smoke_run.sh <binary> [args...]
+#
+# Purpose: keep perf binaries from rotting (crashes, aborts, hangs caught by
+# the ctest timeout) without making their *statistical* shape checks a CI
+# gate — at smoke-sized message counts those checks are noise. Bench mains
+# return the number of failed shape checks (small, < 64); crashes surface as
+# 126/127 (unrunnable) or 128+signal. So: exit codes below 64 pass, the rest
+# fail.
+set -u
+
+"$@"
+code=$?
+if [ "$code" -ge 64 ]; then
+  echo "smoke_run: '$*' exited with $code (crash/abort)" >&2
+  exit 1
+fi
+if [ "$code" -ne 0 ]; then
+  echo "smoke_run: '$*' exited with $code (shape checks only; ignored at smoke scale)" >&2
+fi
+exit 0

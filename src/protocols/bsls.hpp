@@ -9,8 +9,18 @@
 // time (getting its answer within ~2 iterations on average), rising to 10%
 // fall-through / ~4 iterations with six clients. The spin counters needed to
 // verify those numbers are recorded in ProtocolCounters.
+//
+// The paper also concedes MAX_SPIN is machine-dependent ("the value of
+// MAX_SPIN ... must be chosen with the characteristics of the hardware in
+// mind"). SpinMode::kAdaptive removes the hand-tuning: the protocol keeps
+// an EWMA of what one poll iteration costs and of what an actual
+// block-and-wake costs, and sets the spin bound to their ratio — the
+// classic competitive rule "spin for about as long as a block would take".
+// SpinMode::kFixed preserves the paper's constant for the figure
+// reproductions (dispatched as BSLS_FIXED in the protocol set).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "protocols/detail.hpp"
@@ -18,15 +28,35 @@
 
 namespace ulipc {
 
+/// How Bsls chooses its spin bound.
+enum class SpinMode : std::uint8_t {
+  kFixed,     // paper-faithful: bound == max_spin forever
+  kAdaptive,  // online: bound == EWMA(wake latency) / EWMA(poll cost)
+};
+
 template <Platform P>
 class Bsls {
  public:
   static constexpr const char* kName = "BSLS";
   using Endpoint = typename P::Endpoint;
 
-  explicit Bsls(std::uint32_t max_spin = 20) : max_spin_(max_spin) {}
+  // The adaptive bound's clamp range: never below 2 (a token hand-off
+  // attempt costs less than the sleep protocol it may skip), never above
+  // 1024 (past that, spinning burns more than the worst observed wake).
+  static constexpr std::uint32_t kMinSpinBound = 2;
+  static constexpr std::uint32_t kMaxSpinBound = 1024;
+
+  explicit Bsls(std::uint32_t max_spin = 20,
+                SpinMode mode = SpinMode::kFixed)
+      : max_spin_(max_spin), spin_bound_(max_spin), mode_(mode) {}
 
   [[nodiscard]] std::uint32_t max_spin() const noexcept { return max_spin_; }
+  [[nodiscard]] SpinMode mode() const noexcept { return mode_; }
+
+  /// The bound the next bounded_spin will use (== max_spin() when fixed).
+  [[nodiscard]] std::uint32_t spin_bound() const noexcept {
+    return spin_bound_;
+  }
 
   void send(P& p, Endpoint& srv, Endpoint& clnt, const Message& msg,
             Message* ans) {
@@ -50,16 +80,14 @@ class Bsls {
     if (st != Status::kOk) return st;
     ++p.counters().sends;
     bounded_spin(p, clnt);
-    return detail::dequeue_or_sleep_until(p, clnt, ans,
-                                          /*pre_busy_wait=*/true,
-                                          deadline_ns);
+    return dequeue_tuned(p, clnt, ans, /*pre_busy_wait=*/true, deadline_ns);
   }
 
   Status receive_until(P& p, Endpoint& srv, Message* msg,
                        std::int64_t deadline_ns) {
     bounded_spin(p, srv);
-    const Status st = detail::dequeue_or_sleep_until(
-        p, srv, msg, /*pre_busy_wait=*/false, deadline_ns);
+    const Status st =
+        dequeue_tuned(p, srv, msg, /*pre_busy_wait=*/false, deadline_ns);
     if (st == Status::kOk) ++p.counters().receives;
     return st;
   }
@@ -71,21 +99,124 @@ class Bsls {
     return st;
   }
 
+  // Batched variants: one lock pass and at most one wake-up per burst.
+
+  /// Sends `n` requests with one coalesced wake, then collects all `n`
+  /// replies (spinning before each potential sleep, as scalar send does).
+  void send_batch(P& p, Endpoint& srv, Endpoint& clnt, const Message* msgs,
+                  std::uint32_t n, Message* answers) {
+    detail::enqueue_batch_and_wake(p, srv, msgs, n);
+    p.counters().sends += n;
+    std::uint32_t got = 0;
+    while (got < n) {
+      bounded_spin(p, clnt);
+      got += dequeue_batch_tuned(p, clnt, answers + got, n - got,
+                                 /*pre_busy_wait=*/true);
+    }
+  }
+
+  /// Receives between 1 and `max` requests (blocking while empty).
+  std::uint32_t receive_batch(P& p, Endpoint& srv, Message* out,
+                              std::uint32_t max) {
+    bounded_spin(p, srv);
+    const std::uint32_t got =
+        dequeue_batch_tuned(p, srv, out, max, /*pre_busy_wait=*/false);
+    p.counters().receives += got;
+    return got;
+  }
+
+  /// Replies with `n` messages and at most one wake-up.
+  void reply_batch(P& p, Endpoint& clnt, const Message* msgs,
+                   std::uint32_t n) {
+    detail::enqueue_batch_and_wake(p, clnt, msgs, n);
+    p.counters().replies += n;
+  }
+
+  /// TEST ONLY: seeds both EWMAs and retunes, so unit tests can verify the
+  /// bound math and its clamps without staging real wake-ups.
+  void seed_ewmas_for_test(P& p, std::int64_t wake_ns, std::int64_t poll_ns) {
+    ewma_wake_ns_ = wake_ns;
+    ewma_poll_ns_ = poll_ns;
+    retune(p);
+  }
+
  private:
   void bounded_spin(P& p, Endpoint& q) {
     auto& c = p.counters();
     ++c.spin_entries;
+    const bool adaptive = mode_ == SpinMode::kAdaptive;
+    const std::int64_t t0 = adaptive ? p.time_ns() : 0;
+    const std::uint32_t bound = spin_bound_;
     std::uint32_t spincnt = 0;
-    while (p.queue_empty(q) && spincnt < max_spin_) {
+    while (p.queue_empty(q) && spincnt < bound) {
       p.poll_queue(q);  // try to hand off
       ++spincnt;
       ++c.polls;
     }
     c.spin_iters += spincnt;
+    if (adaptive && spincnt > 0) {
+      ewma_update(ewma_poll_ns_, (p.time_ns() - t0) / spincnt);
+    }
     if (p.queue_empty(q)) ++c.spin_fallthroughs;
   }
 
+  /// Scalar blocking dequeue that, in adaptive mode, times any call that
+  /// actually blocked (detected via the blocks counter) and feeds the wake
+  /// latency EWMA.
+  Status dequeue_tuned(P& p, Endpoint& q, Message* out, bool pre_busy_wait,
+                       std::int64_t deadline_ns) {
+    if (mode_ == SpinMode::kFixed) {
+      return detail::dequeue_or_sleep_until(p, q, out, pre_busy_wait,
+                                            deadline_ns);
+    }
+    auto& c = p.counters();
+    const std::uint64_t blocks_before = c.blocks;
+    const std::int64_t t0 = p.time_ns();
+    const Status st =
+        detail::dequeue_or_sleep_until(p, q, out, pre_busy_wait, deadline_ns);
+    if (st == Status::kOk && c.blocks != blocks_before) {
+      ewma_update(ewma_wake_ns_, p.time_ns() - t0);
+      retune(p);
+    }
+    return st;
+  }
+
+  std::uint32_t dequeue_batch_tuned(P& p, Endpoint& q, Message* out,
+                                    std::uint32_t max, bool pre_busy_wait) {
+    if (mode_ == SpinMode::kFixed) {
+      return detail::dequeue_batch_or_sleep(p, q, out, max, pre_busy_wait);
+    }
+    auto& c = p.counters();
+    const std::uint64_t blocks_before = c.blocks;
+    const std::int64_t t0 = p.time_ns();
+    const std::uint32_t got =
+        detail::dequeue_batch_or_sleep(p, q, out, max, pre_busy_wait);
+    if (got > 0 && c.blocks != blocks_before) {
+      ewma_update(ewma_wake_ns_, p.time_ns() - t0);
+      retune(p);
+    }
+    return got;
+  }
+
+  /// alpha = 1/8; the first sample seeds the average directly.
+  static void ewma_update(std::int64_t& ewma, std::int64_t sample) noexcept {
+    if (sample < 0) sample = 0;
+    ewma = ewma == 0 ? sample : ewma + ((sample - ewma) >> 3);
+  }
+
+  void retune(P& p) noexcept {
+    if (mode_ != SpinMode::kAdaptive || ewma_wake_ns_ == 0) return;
+    const std::int64_t poll = std::max<std::int64_t>(ewma_poll_ns_, 1);
+    spin_bound_ = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+        ewma_wake_ns_ / poll, kMinSpinBound, kMaxSpinBound));
+    ++p.counters().adaptive_updates;
+  }
+
   std::uint32_t max_spin_;
+  std::uint32_t spin_bound_;
+  SpinMode mode_;
+  std::int64_t ewma_poll_ns_ = 0;  // cost of one poll_queue iteration
+  std::int64_t ewma_wake_ns_ = 0;  // cost of one block + wake round trip
 };
 
 }  // namespace ulipc

@@ -75,7 +75,63 @@ class Bss {
     return Status::kOk;
   }
 
+  // Batched variants: one queue-lock pass per burst; BSS still never
+  // sleeps, so there is no wake-up to coalesce — the win is the lock
+  // amortization (and the SPSC ring underneath).
+
+  void send_batch(P& p, Endpoint& srv, Endpoint& clnt, const Message* msgs,
+                  std::uint32_t n, Message* answers) {
+    spin_enqueue_batch(p, srv, msgs, n);
+    p.counters().sends += n;
+    std::uint32_t got = 0;
+    while (got < n) {
+      const std::uint32_t k = p.dequeue_batch(clnt, answers + got, n - got);
+      if (k > 0) {
+        got += k;
+        ++p.counters().batch_dequeues;
+      } else {
+        ++p.counters().busy_waits;
+        p.busy_wait(clnt);
+      }
+    }
+  }
+
+  std::uint32_t receive_batch(P& p, Endpoint& srv, Message* out,
+                              std::uint32_t max) {
+    for (;;) {
+      const std::uint32_t got = p.dequeue_batch(srv, out, max);
+      if (got > 0) {
+        ++p.counters().batch_dequeues;
+        p.counters().receives += got;
+        return got;
+      }
+      ++p.counters().busy_waits;
+      p.busy_wait(srv);
+    }
+  }
+
+  void reply_batch(P& p, Endpoint& clnt, const Message* msgs,
+                   std::uint32_t n) {
+    spin_enqueue_batch(p, clnt, msgs, n);
+    p.counters().replies += n;
+  }
+
  private:
+  void spin_enqueue_batch(P& p, Endpoint& q, const Message* msgs,
+                          std::uint32_t n) {
+    std::uint32_t done = 0;
+    while (done < n) {
+      const std::uint32_t k = p.enqueue_batch(q, msgs + done, n - done);
+      if (k > 0) {
+        done += k;
+        ++p.counters().batch_enqueues;
+      } else {
+        ++p.counters().busy_waits;
+        p.busy_wait(q);  // queue full: spin until the consumer drains it
+      }
+    }
+  }
+
   static bool expired(P& p, std::int64_t deadline_ns) {
     if (deadline_ns == kNoDeadline || p.time_ns() < deadline_ns) return false;
     ++p.counters().timeouts;

@@ -58,6 +58,34 @@ class Bsw {
     if (st == Status::kOk) ++p.counters().replies;
     return st;
   }
+
+  // Batched variants: one lock pass and at most one V() per burst, where
+  // the scalar protocol pays per message.
+
+  void send_batch(P& p, Endpoint& srv, Endpoint& clnt, const Message* msgs,
+                  std::uint32_t n, Message* answers) {
+    detail::enqueue_batch_and_wake(p, srv, msgs, n);
+    p.counters().sends += n;
+    std::uint32_t got = 0;
+    while (got < n) {
+      got += detail::dequeue_batch_or_sleep(p, clnt, answers + got, n - got,
+                                            /*pre_busy_wait=*/false);
+    }
+  }
+
+  std::uint32_t receive_batch(P& p, Endpoint& srv, Message* out,
+                              std::uint32_t max) {
+    const std::uint32_t got = detail::dequeue_batch_or_sleep(
+        p, srv, out, max, /*pre_busy_wait=*/false);
+    p.counters().receives += got;
+    return got;
+  }
+
+  void reply_batch(P& p, Endpoint& clnt, const Message* msgs,
+                   std::uint32_t n) {
+    detail::enqueue_batch_and_wake(p, clnt, msgs, n);
+    p.counters().replies += n;
+  }
 };
 
 }  // namespace ulipc

@@ -81,6 +81,48 @@ class Bswy {
     if (st == Status::kOk) ++p.counters().replies;
     return st;
   }
+
+  // Batched variants. The hand-off hints survive batching: the client
+  // busy_waits once after the (single, coalesced) wake of the request
+  // burst, and the server yields once before committing to sleep.
+
+  void send_batch(P& p, Endpoint& srv, Endpoint& clnt, const Message* msgs,
+                  std::uint32_t n, Message* answers) {
+    const std::uint64_t wakeups_before = p.counters().wakeups;
+    detail::enqueue_batch_and_wake(p, srv, msgs, n);
+    p.counters().sends += n;
+    if (p.counters().wakeups != wakeups_before) {
+      ++p.counters().busy_waits;
+      p.busy_wait(srv);  // we woke the server: suggest running it now
+    }
+    std::uint32_t got = 0;
+    while (got < n) {
+      got += detail::dequeue_batch_or_sleep(p, clnt, answers + got, n - got,
+                                            /*pre_busy_wait=*/true);
+    }
+  }
+
+  std::uint32_t receive_batch(P& p, Endpoint& srv, Message* out,
+                              std::uint32_t max) {
+    std::uint32_t got = p.dequeue_batch(srv, out, max);
+    if (got > 0) {
+      ++p.counters().batch_dequeues;
+      p.counters().receives += got;
+      return got;
+    }
+    ++p.counters().yields;
+    p.yield();  // let clients run before committing to the sleep protocol
+    got = detail::dequeue_batch_or_sleep(p, srv, out, max,
+                                         /*pre_busy_wait=*/false);
+    p.counters().receives += got;
+    return got;
+  }
+
+  void reply_batch(P& p, Endpoint& clnt, const Message* msgs,
+                   std::uint32_t n) {
+    detail::enqueue_batch_and_wake(p, clnt, msgs, n);
+    p.counters().replies += n;
+  }
 };
 
 }  // namespace ulipc

@@ -105,4 +105,91 @@ void dequeue_or_sleep(P& p, typename P::Endpoint& q, Message* out,
   (void)dequeue_or_sleep_until(p, q, out, pre_busy_wait, kNoDeadline);
 }
 
+/// Producer side, batched: enqueues all `n` messages and issues AT MOST ONE
+/// wake-up per contiguous chunk that lands — in the common case (batch fits)
+/// exactly one tas/V for the whole batch, where the scalar path would pay n.
+///
+/// The Figure-4 producer invariant is per-chunk: publish the messages,
+/// fence, then test-and-set the awake flag and V iff it was clear. Two
+/// subtleties:
+///  * the wake for a chunk MUST be issued before any queue-full
+///    flow-control sleep — a producer that slept first while holding
+///    undelivered wake-ups would deadlock against a consumer already
+///    asleep at step C.4 (mutual sleep, nobody to wake either side);
+///  * coalescing is only safe because one V wakes the consumer into its
+///    C.1 loop, which drains the queue until empty — later messages of the
+///    chunk ride the first one's wake-up (counted as wakeups_coalesced).
+template <Platform P>
+Status enqueue_batch_and_wake_until(P& p, typename P::Endpoint& q,
+                                    const Message* msgs, std::uint32_t n,
+                                    std::int64_t deadline_ns) {
+  std::uint32_t done = 0;
+  while (done < n) {
+    const std::uint32_t k = p.enqueue_batch(q, msgs + done, n - done);
+    if (k > 0) {
+      done += k;
+      ++p.counters().batch_enqueues;
+      p.counters().wakeups_coalesced += k - 1;
+      p.fence();  // order the enqueues before the awake-flag read
+      if (!p.tas_awake(q)) {
+        ++p.counters().wakeups;
+        p.sem_v(q);
+      }
+      continue;  // queue may have drained already; retry before sleeping
+    }
+    if (deadline_ns != kNoDeadline && p.time_ns() >= deadline_ns) {
+      ++p.counters().timeouts;
+      return Status::kTimeout;
+    }
+    ++p.counters().full_sleeps;
+    p.sleep_seconds(1);
+  }
+  return Status::kOk;
+}
+
+/// Producer side, batched and untimed.
+template <Platform P>
+void enqueue_batch_and_wake(P& p, typename P::Endpoint& q,
+                            const Message* msgs, std::uint32_t n) {
+  (void)enqueue_batch_and_wake_until(p, q, msgs, n, kNoDeadline);
+}
+
+/// Consumer side, batched: delivers BETWEEN 1 and `max` messages into
+/// `out`, sleeping (via the full C.1–C.5 protocol) only when the queue is
+/// empty. The sleep path is literally the scalar dequeue_or_sleep_until —
+/// all Figure-4 race fixes apply unchanged — followed by a non-blocking
+/// drain of whatever else already arrived, so batching never adds a place
+/// where a wake-up could be lost. On kTimeout/kPeerDead, *got is 0.
+template <Platform P>
+Status dequeue_batch_or_sleep_until(P& p, typename P::Endpoint& q,
+                                    Message* out, std::uint32_t max,
+                                    std::uint32_t* got, bool pre_busy_wait,
+                                    std::int64_t deadline_ns) {
+  *got = 0;
+  if (max == 0) return Status::kOk;
+  const std::uint32_t k = p.dequeue_batch(q, out, max);
+  if (k > 0) {  // fast path: burst already queued, one lock pass, no sleep
+    *got = k;
+    ++p.counters().batch_dequeues;
+    return Status::kOk;
+  }
+  const Status st =
+      dequeue_or_sleep_until(p, q, out, pre_busy_wait, deadline_ns);
+  if (st != Status::kOk) return st;
+  *got = 1 + p.dequeue_batch(q, out + 1, max - 1);
+  if (*got > 1) ++p.counters().batch_dequeues;
+  return Status::kOk;
+}
+
+/// Consumer side, batched and untimed. Returns the delivered count (>= 1).
+template <Platform P>
+std::uint32_t dequeue_batch_or_sleep(P& p, typename P::Endpoint& q,
+                                     Message* out, std::uint32_t max,
+                                     bool pre_busy_wait) {
+  std::uint32_t got = 0;
+  (void)dequeue_batch_or_sleep_until(p, q, out, max, &got, pre_busy_wait,
+                                     kNoDeadline);
+  return got;
+}
+
 }  // namespace ulipc::detail

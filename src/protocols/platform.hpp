@@ -51,6 +51,10 @@ struct ProtocolCounters {
   std::uint64_t sem_absorbs = 0;   // race-fix P() after successful recheck
   std::uint64_t full_sleeps = 0;   // sleep(1) on queue-full flow control
   std::uint64_t timeouts = 0;      // timed operations that hit the deadline
+  std::uint64_t batch_enqueues = 0;   // enqueue_batch calls that made progress
+  std::uint64_t batch_dequeues = 0;   // dequeue_batch calls that made progress
+  std::uint64_t wakeups_coalesced = 0;  // messages that rode an earlier wake
+  std::uint64_t adaptive_updates = 0;   // adaptive-BSLS spin-bound retunes
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -67,6 +71,10 @@ struct ProtocolCounters {
     sem_absorbs += o.sem_absorbs;
     full_sleeps += o.full_sleeps;
     timeouts += o.timeouts;
+    batch_enqueues += o.batch_enqueues;
+    batch_dequeues += o.batch_dequeues;
+    wakeups_coalesced += o.wakeups_coalesced;
+    adaptive_updates += o.adaptive_updates;
     return *this;
   }
 };
@@ -74,11 +82,18 @@ struct ProtocolCounters {
 // clang-format off
 template <typename P>
 concept Platform = requires(P p, typename P::Endpoint& ep, const Message& cm,
-                            Message* out, int secs, double us) {
+                            const Message* cmsgs, Message* out, int secs,
+                            double us, std::uint32_t n) {
   // Queue operations on an endpoint.
   { p.enqueue(ep, cm) }    -> std::same_as<bool>;   // false == queue full
   { p.dequeue(ep, out) }   -> std::same_as<bool>;   // false == queue empty
   { p.queue_empty(ep) }    -> std::same_as<bool>;
+
+  // Batched queue operations: move up to n messages per call, amortizing
+  // locks (and, one level up, wake-up syscalls) across the batch. Return
+  // how many actually moved; 0 == full/empty.
+  { p.enqueue_batch(ep, cmsgs, n) } -> std::same_as<std::uint32_t>;
+  { p.dequeue_batch(ep, out, n) }   -> std::same_as<std::uint32_t>;
 
   // The awake flag (paper: Q[x]->awake).
   { p.tas_awake(ep) }      -> std::same_as<bool>;   // returns previous value

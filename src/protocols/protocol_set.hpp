@@ -19,12 +19,13 @@
 namespace ulipc {
 
 enum class ProtocolKind : std::uint8_t {
-  kBss,   // Both Sides Spin
-  kBsw,   // Both Sides Wait
-  kBswy,  // Both Sides Wait and Yield
-  kBsls,  // Both Sides Limited Spin
-  kSysv,  // kernel-mediated baseline (not a shared-memory protocol;
-          // handled by the SysV transports, never by with_protocol)
+  kBss,        // Both Sides Spin
+  kBsw,        // Both Sides Wait
+  kBswy,       // Both Sides Wait and Yield
+  kBsls,       // Both Sides Limited Spin, adaptive spin bound
+  kBslsFixed,  // Both Sides Limited Spin, paper-faithful fixed MAX_SPIN
+  kSysv,       // kernel-mediated baseline (not a shared-memory protocol;
+               // handled by the SysV transports, never by with_protocol)
 };
 
 constexpr const char* protocol_name(ProtocolKind k) noexcept {
@@ -33,6 +34,7 @@ constexpr const char* protocol_name(ProtocolKind k) noexcept {
     case ProtocolKind::kBsw: return "BSW";
     case ProtocolKind::kBswy: return "BSWY";
     case ProtocolKind::kBsls: return "BSLS";
+    case ProtocolKind::kBslsFixed: return "BSLS_FIXED";
     case ProtocolKind::kSysv: return "SYSV";
   }
   return "?";
@@ -43,13 +45,16 @@ inline std::optional<ProtocolKind> parse_protocol(std::string_view s) noexcept {
   if (s == "BSW" || s == "bsw") return ProtocolKind::kBsw;
   if (s == "BSWY" || s == "bswy") return ProtocolKind::kBswy;
   if (s == "BSLS" || s == "bsls") return ProtocolKind::kBsls;
+  if (s == "BSLS_FIXED" || s == "bsls_fixed") return ProtocolKind::kBslsFixed;
   if (s == "SYSV" || s == "sysv") return ProtocolKind::kSysv;
   return std::nullopt;
 }
 
 /// Instantiates the protocol named by `kind` for platform P and invokes
-/// f(proto). `max_spin` configures BSLS only. kSysv is rejected: it has no
-/// shared-memory protocol object.
+/// f(proto). `max_spin` configures the two BSLS variants only: it is the
+/// fixed bound for kBslsFixed and the starting bound for kBsls (which then
+/// retunes itself online). kSysv is rejected: it has no shared-memory
+/// protocol object.
 template <typename P, typename F>
 decltype(auto) with_protocol(ProtocolKind kind, std::uint32_t max_spin, F&& f) {
   switch (kind) {
@@ -66,7 +71,11 @@ decltype(auto) with_protocol(ProtocolKind kind, std::uint32_t max_spin, F&& f) {
       return std::forward<F>(f)(proto);
     }
     case ProtocolKind::kBsls: {
-      Bsls<P> proto(max_spin);
+      Bsls<P> proto(max_spin, SpinMode::kAdaptive);
+      return std::forward<F>(f)(proto);
+    }
+    case ProtocolKind::kBslsFixed: {
+      Bsls<P> proto(max_spin, SpinMode::kFixed);
       return std::forward<F>(f)(proto);
     }
     case ProtocolKind::kSysv:

@@ -15,10 +15,23 @@
 //    handle that with sleep(1) flow control;
 //  * a size counter supports the capacity bound and the empty()/size()
 //    probes the BSLS protocol polls;
+//  * batched variants (enqueue_batch/dequeue_batch) amortize one lock
+//    acquisition over a whole burst: the enqueuer pre-links the node chain
+//    outside the lock and splices it with two writes, the dequeuer walks
+//    the list once under the head lock and releases the detached nodes
+//    after dropping it;
+//  * the empty<->nonempty hand-off is the one point where the two critical
+//    sections touch without a common lock: the enqueuer link-publishes
+//    old_tail->next under the TAIL lock while a dequeuer reads it under the
+//    HEAD lock. That store is therefore a release and every dequeue-side
+//    read of a possibly-live next link an acquire (next_ref()), which also
+//    orders the node's msg writes before the consumer's copy-out. Links of
+//    nodes that are private (pre-linked chain, detached run, both locks
+//    held) stay plain accesses;
 //  * the head/tail locks are RobustSpinlocks: if a process dies inside a
 //    critical section, the next contender steals the lock after a liveness
 //    probe and runs a repair path. The enqueue critical section orders its
-//    two writes (link node, then advance tail) so the only possible
+//    two writes (link chain, then advance tail) so the only possible
 //    mid-update state is "tail lags the last linked node". Crucially, a
 //    stale tail_ must never be DEREFERENCED during repair: while the tail
 //    lock sat with the corpse, dequeuers may have drained past the lagging
@@ -28,11 +41,13 @@
 //    Lock order wherever both are taken: tail, then head (the steal path
 //    already holds tail; dequeue takes head alone and never tail, so the
 //    ordering cannot deadlock). The dequeue critical section is
-//    single-assignment (head_ = next) and needs no structural repair; a
-//    corpse can only leak its detached node and leave size_ stale, both
-//    healed by the recovery sweep (queue/queue_recovery.hpp).
+//    single-assignment (head_ = next) — batched or not — and needs no
+//    structural repair; a corpse can only leak its detached nodes and leave
+//    size_ stale, both healed by the recovery sweep
+//    (queue/queue_recovery.hpp).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -62,8 +77,8 @@ class TwoLockQueue {
     ULIPC_INVARIANT(dummy != kNullIndex, "pool exhausted creating queue");
     pool->node(dummy).next = kNullIndex;
     pool->node(dummy).owner_pid = 0;  // the dummy belongs to the queue
-    q->head_ = dummy;
-    q->tail_ = dummy;
+    q->head_.value = dummy;
+    q->tail_.value = dummy;
     return q;
   }
 
@@ -94,10 +109,58 @@ class TwoLockQueue {
     {
       RobustGuard g(tail_lock_.value);
       if (g.stolen()) repair_tail_from_head(pool);
-      pool.node(tail_).next = node_idx;
-      tail_ = node_idx;
+      next_ref(pool.node(tail_.value))
+          .store(node_idx, std::memory_order_release);
+      tail_.value = node_idx;
     }
     return true;
+  }
+
+  /// Appends up to `n` messages with ONE tail-lock acquisition: reserves
+  /// capacity, allocates and pre-links the whole chain outside the lock,
+  /// then splices it in with the same two ordered writes as a scalar
+  /// enqueue (so the crash invariant is unchanged — tail can only lag the
+  /// last linked node). Returns how many were appended; fewer than `n`
+  /// (possibly 0) when the capacity bound or the node pool runs out.
+  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint32_t sz = size_.load(std::memory_order_relaxed);
+    std::uint32_t want;
+    do {
+      if (sz >= capacity_) return 0;
+      want = std::min(n, capacity_ - sz);
+    } while (!size_.compare_exchange_weak(sz, sz + want,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed));
+
+    NodePool& pool = *pool_;
+    ShmIndex first = kNullIndex;
+    ShmIndex last = kNullIndex;
+    std::uint32_t got = 0;
+    for (; got < want; ++got) {
+      const ShmIndex idx = pool.allocate();
+      if (idx == kNullIndex) break;  // pool exhausted: splice what we have
+      MsgNode& node = pool.node(idx);
+      node.msg = msgs[got];
+      node.next = kNullIndex;
+      if (first == kNullIndex) {
+        first = idx;
+      } else {
+        pool.node(last).next = idx;
+      }
+      last = idx;
+    }
+    if (got < want) {
+      size_.fetch_sub(want - got, std::memory_order_release);
+    }
+    if (got == 0) return 0;
+    {
+      RobustGuard g(tail_lock_.value);
+      if (g.stolen()) repair_tail_from_head(pool);
+      next_ref(pool.node(tail_.value)).store(first, std::memory_order_release);
+      tail_.value = last;
+    }
+    return got;
   }
 
   /// Removes the oldest message into *out. Returns false if empty.
@@ -108,15 +171,52 @@ class TwoLockQueue {
       RobustGuard g(head_lock_.value);
       // A steal here needs no structural repair: head_ always points at a
       // valid dummy whose next link is either null or a complete node.
-      old_head = head_;
-      const ShmIndex next = pool.node(old_head).next;
+      old_head = head_.value;
+      const ShmIndex next =
+          next_ref(pool.node(old_head)).load(std::memory_order_acquire);
       if (next == kNullIndex) return false;  // only the dummy remains
       *out = pool.node(next).msg;  // new dummy keeps its (copied-out) msg
-      head_ = next;
+      head_.value = next;
     }
     size_.fetch_sub(1, std::memory_order_release);
     pool.release(old_head);
     return true;
+  }
+
+  /// Removes up to `max` messages with ONE head-lock acquisition. The
+  /// critical section stays a single head_ assignment (after copying the
+  /// messages out), so the crash invariant matches scalar dequeue. The
+  /// detached nodes — unreachable once head_ advances — are released after
+  /// the lock is dropped. Returns how many were removed (0 when empty).
+  std::uint32_t dequeue_batch(Message* out, std::uint32_t max) noexcept {
+    if (max == 0) return 0;
+    NodePool& pool = *pool_;
+    ShmIndex chain;  // old dummy; start of the detached run
+    std::uint32_t got = 0;
+    {
+      RobustGuard g(head_lock_.value);
+      ShmIndex head = head_.value;
+      chain = head;
+      while (got < max) {
+        const ShmIndex next =
+            next_ref(pool.node(head)).load(std::memory_order_acquire);
+        if (next == kNullIndex) break;
+        out[got++] = pool.node(next).msg;
+        head = next;
+      }
+      if (got == 0) return 0;
+      head_.value = head;  // the last dequeued node is the new dummy
+    }
+    size_.fetch_sub(got, std::memory_order_release);
+    // Release the old dummy plus the first got-1 message nodes. Their next
+    // links are still intact (release() may repurpose them, so read each
+    // link before releasing its node); no other process can reach them.
+    for (std::uint32_t i = 0; i < got; ++i) {
+      const ShmIndex next = pool.node(chain).next;
+      pool.release(chain);
+      chain = next;
+    }
+    return got;
   }
 
   /// Cheap emptiness probe (no locks) — what BSLS's poll loop reads.
@@ -150,7 +250,8 @@ class TwoLockQueue {
     RobustGuard gh(head_lock_.value);
     repair_tail_under_both_locks(pool);
     std::uint32_t visited = 0;
-    for (ShmIndex i = head_; i != kNullIndex && visited <= pool.capacity();
+    for (ShmIndex i = head_.value;
+         i != kNullIndex && visited <= pool.capacity();
          i = pool.node(i).next) {
       mark[i] = 1;
       ++visited;
@@ -185,12 +286,18 @@ class TwoLockQueue {
     node.msg = msg;
     node.next = kNullIndex;
     (void)tail_lock_.value.lock();
-    pool.node(tail_).next = node_idx;
+    next_ref(pool.node(tail_.value))
+        .store(node_idx, std::memory_order_release);
     // Deliberately neither advances tail_ nor unlocks.
     return node_idx;
   }
 
  private:
+  /// Atomic view of a node's next link for the enqueue-side publication and
+  /// the dequeue-side reads that may race with it (see the header comment).
+  static std::atomic_ref<ShmIndex> next_ref(MsgNode& n) noexcept {
+    return std::atomic_ref<ShmIndex>(n.next);
+  }
   /// Fixes the one invariant a dead enqueuer can break: tail_ must point
   /// at the last linked node. Caller holds the tail lock; this briefly
   /// takes the head lock too (tail-then-head order) because the stale
@@ -202,28 +309,46 @@ class TwoLockQueue {
   }
 
   void repair_tail_under_both_locks(NodePool& pool) noexcept {
-    ShmIndex last = head_;
+    ShmIndex last = head_.value;
     std::uint32_t hops = 0;
     while (pool.node(last).next != kNullIndex && hops <= pool.capacity()) {
       last = pool.node(last).next;
       ++hops;
     }
-    tail_ = last;
+    tail_.value = last;
   }
 
-  // Head (consumer) and tail (producer) state live on separate cache lines
-  // so a busy producer does not stall the consumer's probe loop.
+  // False-sharing audit: the consumer side (head lock + head offset), the
+  // producer side (tail lock + tail offset), and the shared size counter
+  // each get their own cache line(s). head_/tail_ are CacheAligned too —
+  // the lock and the offset it protects are written by the same role, but
+  // the offsets are also READ by the recovery walker and the repair path,
+  // and sharing a line with a spinlock word that contending processes CAS
+  // on would drag those reads into the contention.
   CacheAligned<RobustSpinlock> head_lock_;
-  ShmIndex head_ = kNullIndex;
-  char pad0_[kCacheLineSize - sizeof(ShmIndex)]{};
+  CacheAligned<ShmIndex> head_{kNullIndex};
 
   CacheAligned<RobustSpinlock> tail_lock_;
-  ShmIndex tail_ = kNullIndex;
-  char pad1_[kCacheLineSize - sizeof(ShmIndex)]{};
+  CacheAligned<ShmIndex> tail_{kNullIndex};
 
   alignas(kCacheLineSize) std::atomic<std::uint32_t> size_{0};
   std::uint32_t capacity_ = 0;
   OffsetPtr<NodePool> pool_;
+
+  // Layout guarantees: every CacheAligned member spans whole lines and the
+  // struct itself is line-aligned, so consecutive members above can never
+  // share a line. (offsetof would be more direct, but CacheAligned is not
+  // standard-layout; whole-line sizes imply the same separation.)
+  static_assert(sizeof(CacheAligned<RobustSpinlock>) % kCacheLineSize == 0,
+                "lock padding must fill whole cache lines");
+  static_assert(sizeof(CacheAligned<ShmIndex>) == kCacheLineSize,
+                "queue offsets must each own a full cache line");
+  static_assert(alignof(CacheAligned<RobustSpinlock>) == kCacheLineSize &&
+                    alignof(CacheAligned<ShmIndex>) == kCacheLineSize,
+                "per-role members must start on a line boundary");
 };
+
+static_assert(alignof(TwoLockQueue) == kCacheLineSize,
+              "queue must be line-aligned for the member asserts to hold");
 
 }  // namespace ulipc

@@ -1,16 +1,20 @@
 // Single-producer / single-consumer ring buffer (Lamport queue).
 //
-// An alternative transport for the common channel topology where exactly one
-// client writes a request queue... no — the request queue is MPSC in the
-// multi-client setup, but every *reply* queue is strictly SPSC (server
-// produces, one client consumes). The ring needs no locks at all: one
-// atomic index per side, each written by exactly one process.
+// The channel topology makes every *reply* queue strictly SPSC: exactly one
+// server (thread) produces replies, and exactly one client consumes them.
+// The same holds for the duplex per-client *request* queues (one client
+// produces, one server thread consumes). Only the shared server receive
+// queue is MPSC and needs the two-lock queue. This ring is therefore the
+// reply-direction fast path: no locks at all — one atomic index per side,
+// each written by exactly one process — with the two-lock queue kept as an
+// overflow fallback (see NativePlatform's endpoint routing).
 //
-// Used by ablation benches to quantify what the two-lock queue costs
+// Also used by ablation benches to quantify what the two-lock queue costs
 // relative to the cheapest possible correct queue, and by the task_farm
 // example for its result channels.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -53,6 +57,26 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, batched: appends up to `n` messages with ONE index
+  /// publication. Returns how many fit (0 when full).
+  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint32_t head = head_.load(std::memory_order_relaxed);
+    std::uint32_t free = mask_ + 1 - (head - tail_cache_);
+    if (free < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (head - tail_cache_);
+      if (free == 0) return 0;
+    }
+    const std::uint32_t k = std::min(n, free);
+    Message* slots = slots_.get();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      slots[(head + i) & mask_] = msgs[i];
+    }
+    head_.store(head + k, std::memory_order_release);
+    return k;
+  }
+
   /// Consumer side. Returns false when empty.
   bool dequeue(Message* out) noexcept {
     const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
@@ -63,6 +87,29 @@ class SpscRing {
     *out = slots_.get()[tail & mask_];
     tail_.store(tail + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, batched: removes up to `max` messages with ONE index
+  /// publication. Returns how many were taken (0 when empty). May return
+  /// fewer than are queued: the producer index is re-read only when the
+  /// cached copy says empty, so a stale cache bounds the batch — callers
+  /// wanting more simply call again.
+  std::uint32_t dequeue_batch(Message* out, std::uint32_t max) noexcept {
+    if (max == 0) return 0;
+    const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint32_t avail = head_cache_ - tail;
+    if (avail == 0) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      avail = head_cache_ - tail;
+      if (avail == 0) return 0;
+    }
+    const std::uint32_t k = std::min(max, avail);
+    const Message* slots = slots_.get();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      out[i] = slots[(tail + i) & mask_];
+    }
+    tail_.store(tail + k, std::memory_order_release);
+    return k;
   }
 
   [[nodiscard]] bool empty() const noexcept {
@@ -76,6 +123,30 @@ class SpscRing {
   }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Recovery only: discards every queued message and resets both per-side
+  /// index caches. Requires BOTH the producer and the consumer to be
+  /// quiesced (dead or stopped) — it writes fields normally owned by each
+  /// side. Returns the number of messages discarded.
+  std::uint32_t drain() noexcept {
+    const std::uint32_t head = head_.load(std::memory_order_acquire);
+    const std::uint32_t tail = tail_.load(std::memory_order_acquire);
+    tail_.store(head, std::memory_order_release);
+    head_cache_ = head;
+    tail_cache_ = head;
+    return head - tail;
+  }
+
+  /// TEST ONLY: repositions both indices of an EMPTY, quiesced ring to
+  /// `base`, so tests can exercise behaviour as the 32-bit indices approach
+  /// and cross the unsigned wrap.
+  void skew_indices_for_test(std::uint32_t base) {
+    ULIPC_INVARIANT(empty(), "skew_indices_for_test requires an empty ring");
+    head_.store(base, std::memory_order_release);
+    tail_.store(base, std::memory_order_release);
+    head_cache_ = base;
+    tail_cache_ = base;
+  }
 
  private:
   // Producer line: head index + consumer-index cache.

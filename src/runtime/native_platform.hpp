@@ -22,6 +22,7 @@
 #include "common/clock.hpp"
 #include "protocols/platform.hpp"
 #include "queue/ms_two_lock_queue.hpp"
+#include "queue/spsc_ring.hpp"
 #include "shm/futex_semaphore.hpp"
 #include "shm/offset_ptr.hpp"
 #include "shm/sysv_semaphore.hpp"
@@ -39,8 +40,18 @@ enum class SemKind : std::uint8_t {
 /// The paper's Q[x], resident in shared memory: a queue, its awake flag,
 /// and the semaphore its consumer sleeps on (both kinds are embedded; the
 /// platform's SemKind selects which one is used).
+///
+/// Endpoints whose traffic is topologically single-producer/single-consumer
+/// (every reply endpoint, and the duplex per-client request endpoints) also
+/// carry a lock-free SpscRing as the fast path; `ring` stays unset on the
+/// MPSC server receive endpoint. Routing (see enqueue/dequeue below) keeps
+/// FIFO order across the two structures: the producer uses the ring only
+/// while the overflow two-lock queue is empty, and the consumer always
+/// drains the ring before the overflow queue, so a message in the overflow
+/// queue is always newer than everything in the ring.
 struct NativeEndpoint {
   OffsetPtr<TwoLockQueue> queue;
+  OffsetPtr<SpscRing> ring;  // null on MPSC endpoints
   AwakeFlag awake;
   FutexSemaphore fsem;
   SysvSemHandle vsem;
@@ -62,14 +73,48 @@ class NativePlatform {
   explicit NativePlatform(const Config& cfg) : cfg_(cfg) {}
 
   // ---- queue ----
+  //
+  // FIFO across ring + overflow queue: only the single producer decides
+  // where a message lands, and it spills to the overflow queue exactly when
+  // the ring is full or the overflow queue is non-empty. Overflow observed
+  // empty (acquire read of its size) means every older message has already
+  // been copied out by the consumer, so a fresh ring enqueue cannot
+  // overtake anything.
 
   bool enqueue(Endpoint& ep, const Message& msg) noexcept {
+    if (SpscRing* r = ep.ring.get();
+        r && ep.queue->empty() && r->enqueue(msg)) {
+      return true;
+    }
     return ep.queue->enqueue(msg);
   }
   bool dequeue(Endpoint& ep, Message* out) noexcept {
+    if (SpscRing* r = ep.ring.get(); r && r->dequeue(out)) return true;
     return ep.queue->dequeue(out);
   }
-  bool queue_empty(Endpoint& ep) noexcept { return ep.queue->empty(); }
+  bool queue_empty(Endpoint& ep) noexcept {
+    SpscRing* r = ep.ring.get();
+    return (!r || r->empty()) && ep.queue->empty();
+  }
+
+  std::uint32_t enqueue_batch(Endpoint& ep, const Message* msgs,
+                              std::uint32_t n) noexcept {
+    std::uint32_t done = 0;
+    if (SpscRing* r = ep.ring.get(); r && ep.queue->empty()) {
+      done = r->enqueue_batch(msgs, n);
+      if (done == n) return done;
+    }
+    return done + ep.queue->enqueue_batch(msgs + done, n - done);
+  }
+  std::uint32_t dequeue_batch(Endpoint& ep, Message* out,
+                              std::uint32_t max) noexcept {
+    std::uint32_t got = 0;
+    if (SpscRing* r = ep.ring.get()) {
+      got = r->dequeue_batch(out, max);
+      if (got == max) return got;
+    }
+    return got + ep.queue->dequeue_batch(out + got, max - got);
+  }
 
   // ---- awake flag ----
 

@@ -16,8 +16,13 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
   std::size_t bytes = sizeof(ArenaHeader) + sizeof(ShmChannelHeader);
   bytes += sizeof(NodePool) + pool_nodes * sizeof(MsgNode);
   bytes += queues * (sizeof(NativeEndpoint) + sizeof(TwoLockQueue));
-  bytes += (queues + 8) * 2 * kCacheLineSize;  // alignment slack
-  return align_up(bytes * 2, 4096);            // 2x safety margin
+  // SPSC rings on every endpoint except the server's (slot count is the
+  // queue capacity rounded up to a power of two).
+  std::size_t ring_slots = 1;
+  while (ring_slots < cfg.queue_capacity) ring_slots <<= 1;
+  bytes += (queues - 1) * (sizeof(SpscRing) + ring_slots * sizeof(Message));
+  bytes += (2 * queues + 8) * 2 * kCacheLineSize;  // alignment slack
+  return align_up(bytes * 2, 4096);                // 2x safety margin
 }
 
 ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
@@ -43,23 +48,32 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
   NodePool* pool = NodePool::create(ch.arena_, pool_nodes);
   ch.header_->node_pool_offset = ch.arena_.to_offset(pool);
 
-  auto build_endpoint = [&](std::uint32_t id, int sem_index) {
+  // `with_ring` marks the endpoint's traffic as topologically SPSC (one
+  // fixed producer process/thread, one fixed consumer), enabling the
+  // lock-free fast path. That holds for every client reply endpoint (the
+  // one server replies, the one owning client reads) and for the duplex
+  // request endpoints (one client writes, one server thread reads) — but
+  // NOT for the shared server receive endpoint, which all clients write.
+  auto build_endpoint = [&](std::uint32_t id, int sem_index, bool with_ring) {
     auto* ep = ch.arena_.construct<NativeEndpoint>();
     ep->queue.set(TwoLockQueue::create(ch.arena_, pool, cfg.queue_capacity));
+    if (with_ring) {
+      ep->ring.set(SpscRing::create(ch.arena_, cfg.queue_capacity));
+    }
     ep->id = id;
     ep->vsem = ch.sem_set_.handle(sem_index);
     return ch.arena_.to_offset(ep);
   };
 
-  ch.header_->srv_ep_offset = build_endpoint(0, 0);
+  ch.header_->srv_ep_offset = build_endpoint(0, 0, /*with_ring=*/false);
   for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
     ch.header_->client_ep_offset[i] =
-        build_endpoint(i, static_cast<int>(i) + 1);
+        build_endpoint(i, static_cast<int>(i) + 1, /*with_ring=*/true);
   }
   if (cfg.duplex) {
     for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
       ch.header_->client_req_ep_offset[i] = build_endpoint(
-          i, static_cast<int>(cfg.max_clients + i) + 1);
+          i, static_cast<int>(cfg.max_clients + i) + 1, /*with_ring=*/true);
     }
   }
 
@@ -99,10 +113,20 @@ ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
 
   // Step 1: discard traffic addressed to / queued by the dead client. Its
   // reply queue holds answers nobody will read; its duplex request queue
-  // holds requests nobody is waiting on.
+  // holds requests nobody is waiting on. Rings drain too — and the ring
+  // drain also resets the per-side index caches, so a reconnecting client
+  // reusing this seat starts from coherent indices (drain() requires both
+  // sides quiesced: the client is dead and the server has stopped serving
+  // this seat before reclaiming it).
   stats.drained_messages += client_endpoint(i).queue->drain();
+  if (SpscRing* r = client_endpoint(i).ring.get()) {
+    stats.drained_messages += r->drain();
+  }
   if (header_->client_req_ep_offset[i] != 0) {
     stats.drained_messages += client_request_endpoint(i).queue->drain();
+    if (SpscRing* r = client_request_endpoint(i).ring.get()) {
+      stats.drained_messages += r->drain();
+    }
   }
 
   // Step 2: sweep the shared node pool for nodes the corpse leaked between

@@ -57,6 +57,23 @@ class SimPlatform {
     return empty;
   }
 
+  // Batched ops decompose into scalar sim ops so every forced-schedule hook
+  // and cost charge still fires per message — the sim models semantics, not
+  // the native lock amortization.
+
+  std::uint32_t enqueue_batch(Endpoint& ep, const Message* msgs,
+                              std::uint32_t n) {
+    std::uint32_t done = 0;
+    while (done < n && enqueue(ep, msgs[done])) ++done;
+    return done;
+  }
+
+  std::uint32_t dequeue_batch(Endpoint& ep, Message* out, std::uint32_t max) {
+    std::uint32_t got = 0;
+    while (got < max && dequeue(ep, out + got)) ++got;
+    return got;
+  }
+
   // ---- awake flag ----
 
   bool tas_awake(Endpoint& ep) {

@@ -1,0 +1,106 @@
+// Adaptive MAX_SPIN (BSLS SpinMode::kAdaptive): the bound follows
+// EWMA(wake latency) / EWMA(poll cost), clamped to [kMinSpinBound,
+// kMaxSpinBound]; fixed mode must never move off the paper's constant.
+#include <gtest/gtest.h>
+
+#include "protocols/bsls.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_experiment.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+Machine fast_machine() {
+  Machine m;
+  m.name = "adaptive-bsls-test";
+  m.cpus = 1;
+  m.costs = Costs{};
+  m.costs.quantum = 1'000'000'000;
+  m.yield_cost_points = {{1, 1'000}};
+  m.default_policy = PolicyKind::kFixed;
+  return m;
+}
+
+using BslsSim = Bsls<SimPlatform>;
+
+TEST(AdaptiveBsls, BoundIsWakeOverPollClamped) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  const int pid = k.spawn("tuner", [&] {
+    // Cheap wake / expensive poll: ratio 0 clamps up to the minimum.
+    BslsSim lo(20, SpinMode::kAdaptive);
+    lo.seed_ewmas_for_test(plat, /*wake_ns=*/1, /*poll_ns=*/1000);
+    EXPECT_EQ(lo.spin_bound(), BslsSim::kMinSpinBound);
+
+    // Expensive wake / cheap poll: ratio 10^7 clamps down to the maximum.
+    BslsSim hi(20, SpinMode::kAdaptive);
+    hi.seed_ewmas_for_test(plat, /*wake_ns=*/10'000'000, /*poll_ns=*/1);
+    EXPECT_EQ(hi.spin_bound(), BslsSim::kMaxSpinBound);
+
+    // In range: exactly the competitive ratio.
+    BslsSim mid(20, SpinMode::kAdaptive);
+    mid.seed_ewmas_for_test(plat, /*wake_ns=*/1000, /*poll_ns=*/10);
+    EXPECT_EQ(mid.spin_bound(), 100u);
+
+    EXPECT_EQ(plat.counters().adaptive_updates, 3u);
+  });
+  k.run();
+  EXPECT_EQ(k.process(pid).counters.adaptive_updates, 3u);
+}
+
+TEST(AdaptiveBsls, FixedModeNeverRetunes) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  k.spawn("tuner", [&] {
+    BslsSim fixed(20);  // plain Bsls(n) defaults to the paper's fixed bound
+    EXPECT_EQ(fixed.mode(), SpinMode::kFixed);
+    fixed.seed_ewmas_for_test(plat, /*wake_ns=*/10'000'000, /*poll_ns=*/1);
+    EXPECT_EQ(fixed.spin_bound(), 20u) << "MAX_SPIN is pinned in fixed mode";
+    EXPECT_EQ(plat.counters().adaptive_updates, 0u);
+  });
+  k.run();
+}
+
+TEST(AdaptiveBsls, ZeroWakeEwmaLeavesBoundUntouched) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  k.spawn("tuner", [&] {
+    // Until a block has actually been observed there is nothing to compare
+    // against; the configured max_spin keeps serving as the bound.
+    BslsSim proto(7, SpinMode::kAdaptive);
+    proto.seed_ewmas_for_test(plat, /*wake_ns=*/0, /*poll_ns=*/50);
+    EXPECT_EQ(proto.spin_bound(), 7u);
+    EXPECT_EQ(plat.counters().adaptive_updates, 0u);
+  });
+  k.run();
+}
+
+TEST(AdaptiveBsls, ZeroBoundRecoversOnline) {
+  // MAX_SPIN = 0 is the worst hand-tuning mistake: every receive falls
+  // straight through to the 4-syscall blocking regime. Fixed mode stays
+  // there (SimExperiment.BslsMaxSpinZeroActsLikeBswy asserts polls == 0);
+  // adaptive mode must observe the wake latency and raise the bound.
+  SimExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kBsls;  // dispatched as SpinMode::kAdaptive
+  cfg.clients = 1;
+  cfg.messages_per_client = 200;
+  cfg.max_spin = 0;
+  const SimExperimentResult r = run_sim_experiment(cfg);
+  EXPECT_EQ(r.verified_replies, cfg.messages_per_client);
+  // On a uniprocessor echo the SERVER is the blocking side (the client's
+  // pre-sleep yield usually hands it the reply before C.3): its blocked
+  // receives feed the wake EWMA and retune the bound.
+  EXPECT_GT(r.server_counters.adaptive_updates, 0u)
+      << "blocked receives must feed the wake EWMA";
+  // The experiment harness shares one protocol instance across processes,
+  // so the retuned bound is visible to every spinner: polls prove it rose
+  // above the configured zero (contrast BslsMaxSpinZeroActsLikeBswy, where
+  // fixed mode keeps polls at exactly 0).
+  EXPECT_GT(r.server_counters.polls + r.client_counters_total.polls, 0u)
+      << "the retuned bound must be above zero";
+}
+
+}  // namespace
+}  // namespace ulipc::sim

@@ -1,0 +1,210 @@
+// The Figure-4 interleavings replayed against the BATCHED producer and
+// consumer helpers (enqueue_batch_and_wake / dequeue_batch_or_sleep).
+//
+// Wake-up coalescing only changes WHO pays the tas/V — once per landed
+// chunk instead of once per message — not the race structure: the producer
+// still publishes, fences, and test-and-sets after every chunk, and the
+// consumer's sleep path is literally the scalar C.1–C.5 protocol. These
+// tests force the same schedules as race_interleavings_test.cpp and assert
+// that (a) a burst costs exactly one V, (b) stray wake-ups are still
+// absorbed, (c) the no-recheck deadlock schedule is still survived, and
+// (d) a partial batch against a full queue wakes the consumer BEFORE the
+// producer's flow-control sleep (the mutual-sleep hazard specific to
+// batching).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "protocols/detail.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_kernel.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace ulipc::sim {
+namespace {
+
+Machine fast_machine() {
+  Machine m;
+  m.name = "batched-race-test";
+  m.cpus = 1;
+  m.costs = Costs{};
+  m.costs.quantum = 1'000'000'000;  // no spurious preemption
+  m.yield_cost_points = {{1, 1'000}};
+  m.default_policy = PolicyKind::kFixed;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 2, batched: a whole burst aimed at a sleeping consumer must
+// post exactly one V — the other n-1 messages ride that wake-up and are
+// accounted as wakeups_coalesced.
+TEST(BatchedFigure4, BurstCoalescesToSingleWakeup) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+  ep.awake = 0;  // consumer is (about to be) asleep
+
+  constexpr std::uint32_t kBurst = 8;
+  const int producer_pid = k.spawn("producer", [&] {
+    Message msgs[kBurst];
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      msgs[i] = Message(Op::kEcho, 0, static_cast<double>(i));
+    }
+    detail::enqueue_batch_and_wake(plat, ep, msgs, kBurst);
+  });
+  k.run();
+
+  EXPECT_EQ(ep.sem.total_posts, 1u)
+      << "one coalesced V for the burst, not " << kBurst;
+  EXPECT_EQ(ep.sem.count, 1) << "the V stays pending for the consumer";
+  const ProtocolCounters& c = k.process(producer_pid).counters;
+  EXPECT_EQ(c.batch_enqueues, 1u);
+  EXPECT_EQ(c.wakeups_coalesced, kBurst - 1);
+  EXPECT_EQ(c.wakeups, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 3, batched: the producer's (single, coalesced) wake-up lands
+// on a consumer whose C.3 recheck succeeded — the success-path tas must
+// still absorb it, and the non-blocking drain after the scalar sleep path
+// must deliver the whole burst.
+TEST(BatchedFigure4, Interleaving3_StrayWakeupAbsorbedOnBatchedPath) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  constexpr std::uint32_t kBurst = 4;
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    // The moment the consumer clears its awake flag (C.2), run the producer
+    // to completion: the burst lands, awake==0, one V — a wake-up for a
+    // consumer that will then find messages at C.3 and never sleep.
+    if (pid == consumer_pid && kind == OpKind::kFlagStore && ep.awake == 0) {
+      return producer_pid;
+    }
+    return std::nullopt;
+  });
+
+  ProtocolCounters* consumer_counters = nullptr;
+  Message got[kBurst];
+  std::uint32_t n_got = 0;
+  consumer_pid = k.spawn("consumer", [&] {
+    consumer_counters = &plat.counters();
+    n_got = detail::dequeue_batch_or_sleep(plat, ep, got, kBurst,
+                                           /*pre_busy_wait=*/false);
+  });
+  producer_pid = k.spawn("producer", [&] {
+    Message msgs[kBurst];
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      msgs[i] = Message(Op::kEcho, 0, static_cast<double>(i));
+    }
+    detail::enqueue_batch_and_wake(plat, ep, msgs, kBurst);
+  });
+
+  k.run();
+  ASSERT_EQ(n_got, kBurst) << "the drain after C.3 collects the full burst";
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    EXPECT_DOUBLE_EQ(got[i].value, static_cast<double>(i));
+  }
+  ASSERT_NE(consumer_counters, nullptr);
+  EXPECT_EQ(consumer_counters->sem_absorbs, 1u)
+      << "consumer must detect and absorb the stray coalesced wake-up";
+  EXPECT_EQ(ep.sem.count, 0) << "no count may be left behind";
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving 4's schedule, batched: producer reads the awake flag before
+// the consumer clears it. The shipped batched consumer keeps the C.3
+// recheck (its sleep path IS the scalar protocol), so the schedule that
+// deadlocks a recheck-less consumer must terminate here with nothing lost.
+TEST(BatchedFigure4, Interleaving4_BatchedPathSurvivesNoRecheckSchedule) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep;
+
+  constexpr std::uint32_t kBurst = 6;
+  int consumer_pid = -1;
+  int producer_pid = -1;
+  bool forced = false;
+  k.set_op_hook([&](OpKind kind, int pid) -> std::optional<int> {
+    // After the consumer's first failed dequeue (C.1) — before it clears
+    // the flag — run the producer: it enqueues the burst, reads awake==1,
+    // and skips the V entirely.
+    if (!forced && pid == consumer_pid && kind == OpKind::kDequeue &&
+        ep.queue.empty()) {
+      forced = true;
+      return producer_pid;
+    }
+    return std::nullopt;
+  });
+
+  std::vector<double> values;
+  consumer_pid = k.spawn("consumer", [&] {
+    Message out[kBurst];
+    while (values.size() < kBurst) {
+      const std::uint32_t n = detail::dequeue_batch_or_sleep(
+          plat, ep, out, kBurst, /*pre_busy_wait=*/false);
+      for (std::uint32_t i = 0; i < n; ++i) values.push_back(out[i].value);
+    }
+  });
+  producer_pid = k.spawn("producer", [&] {
+    Message msgs[kBurst];
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      msgs[i] = Message(Op::kEcho, 0, static_cast<double>(i));
+    }
+    detail::enqueue_batch_and_wake(plat, ep, msgs, kBurst);
+  });
+
+  k.run();  // must terminate: C.3 finds the burst, no sleep happens
+  ASSERT_EQ(values.size(), kBurst);
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    EXPECT_DOUBLE_EQ(values[i], static_cast<double>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The batching-specific hazard: a burst larger than the queue. The producer
+// lands a partial chunk, the queue is full, and the consumer may already be
+// committed to sleeping. The producer MUST issue the chunk's wake-up before
+// its own flow-control sleep — sleeping first leaves both sides asleep with
+// nobody to deliver either wake-up.
+TEST(BatchedFigure4, PartialBatchWakesConsumerBeforeFlowControlSleep) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  SimEndpoint ep(4);  // queue holds only 4 of the 10-message burst
+
+  constexpr std::uint32_t kBurst = 10;
+  std::vector<double> values;
+  k.spawn("consumer", [&] {
+    Message out[kBurst];
+    while (values.size() < kBurst) {
+      const std::uint32_t n = detail::dequeue_batch_or_sleep(
+          plat, ep, out, kBurst, /*pre_busy_wait=*/false);
+      for (std::uint32_t i = 0; i < n; ++i) values.push_back(out[i].value);
+    }
+  });
+  const int producer_pid = k.spawn("producer", [&] {
+    Message msgs[kBurst];
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      msgs[i] = Message(Op::kEcho, 0, static_cast<double>(i));
+    }
+    detail::enqueue_batch_and_wake(plat, ep, msgs, kBurst);
+  });
+
+  k.run();  // would deadlock (or spin forever) if the wake came after the
+            // producer's sleep
+  ASSERT_EQ(values.size(), kBurst);
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    EXPECT_DOUBLE_EQ(values[i], static_cast<double>(i));
+  }
+  // Still coalesced: one V per landed chunk (at most ceil(10/4) = 3 chunks),
+  // never one per message.
+  EXPECT_LE(ep.sem.total_posts, 3u);
+  EXPECT_GE(k.process(producer_pid).counters.wakeups_coalesced,
+            kBurst - 3u);
+}
+
+}  // namespace
+}  // namespace ulipc::sim

@@ -12,7 +12,7 @@ namespace {
 TEST(ProtocolSet, NamesRoundTripThroughParse) {
   for (const ProtocolKind kind :
        {ProtocolKind::kBss, ProtocolKind::kBsw, ProtocolKind::kBswy,
-        ProtocolKind::kBsls, ProtocolKind::kSysv}) {
+        ProtocolKind::kBsls, ProtocolKind::kBslsFixed, ProtocolKind::kSysv}) {
     const auto parsed = parse_protocol(protocol_name(kind));
     ASSERT_TRUE(parsed.has_value()) << protocol_name(kind);
     EXPECT_EQ(*parsed, kind);
@@ -21,7 +21,25 @@ TEST(ProtocolSet, NamesRoundTripThroughParse) {
 
 TEST(ProtocolSet, ParseAcceptsLowercase) {
   EXPECT_EQ(parse_protocol("bsls"), ProtocolKind::kBsls);
+  EXPECT_EQ(parse_protocol("bsls_fixed"), ProtocolKind::kBslsFixed);
   EXPECT_EQ(parse_protocol("sysv"), ProtocolKind::kSysv);
+}
+
+TEST(ProtocolSet, BslsDispatchSelectsSpinMode) {
+  // kBsls is the adaptive variant; kBslsFixed pins the paper's constant
+  // (what the MAX_SPIN-sweep figures need).
+  using P = sim::SimPlatform;
+  const auto mode_of = [](ProtocolKind kind) {
+    return with_protocol<P>(kind, 20, [](auto proto) {
+      if constexpr (requires { proto.mode(); }) {
+        return proto.mode();
+      } else {
+        return SpinMode::kFixed;
+      }
+    });
+  };
+  EXPECT_EQ(mode_of(ProtocolKind::kBsls), SpinMode::kAdaptive);
+  EXPECT_EQ(mode_of(ProtocolKind::kBslsFixed), SpinMode::kFixed);
 }
 
 TEST(ProtocolSet, ParseRejectsUnknown) {

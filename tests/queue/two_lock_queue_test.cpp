@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "shm/shm_region.hpp"
 
 namespace ulipc {
@@ -127,6 +130,116 @@ TEST_F(TwoLockQueueTest, EmptyProbeConsistentWithDequeue) {
   EXPECT_FALSE(q->empty());
   Message m;
   ASSERT_TRUE(q->dequeue(&m));
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_F(TwoLockQueueTest, BatchFifoAcrossBatchBoundaries) {
+  TwoLockQueue* q = make_queue();
+  Message in[15];
+  for (int i = 0; i < 15; ++i) in[i] = Message(Op::kEcho, 0, double(i));
+  EXPECT_EQ(q->enqueue_batch(in, 5), 5u);
+  EXPECT_EQ(q->enqueue_batch(in + 5, 5), 5u);
+  EXPECT_EQ(q->enqueue_batch(in + 10, 5), 5u);
+  EXPECT_EQ(q->size(), 15u);
+  Message out[15];
+  EXPECT_EQ(q->dequeue_batch(out, 7), 7u);
+  EXPECT_EQ(q->dequeue_batch(out + 7, 15), 8u);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].value, double(i))
+        << "order must survive uneven batch boundaries";
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_F(TwoLockQueueTest, BatchPartialOnCapacityBound) {
+  TwoLockQueue* q = make_queue(4);
+  Message in[6];
+  for (int i = 0; i < 6; ++i) in[i] = Message(Op::kEcho, 0, double(i));
+  EXPECT_EQ(q->enqueue_batch(in, 6), 4u) << "capacity caps the batch";
+  EXPECT_EQ(q->enqueue_batch(in + 4, 2), 0u) << "full queue takes nothing";
+  Message out[8];
+  EXPECT_EQ(q->dequeue_batch(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].value, double(i));
+  }
+}
+
+TEST_F(TwoLockQueueTest, BatchPartialOnPoolExhaustion) {
+  // Pool has 64 nodes and the queue consumed one dummy: a 100-message batch
+  // must land exactly the 63 that have nodes and report the short count.
+  TwoLockQueue* q = make_queue();
+  const std::uint32_t free_before = pool_->free_count();
+  Message in[100];
+  for (int i = 0; i < 100; ++i) in[i] = Message(Op::kEcho, 0, double(i));
+  EXPECT_EQ(q->enqueue_batch(in, 100), 63u);
+  EXPECT_EQ(q->size(), 63u);
+  EXPECT_FALSE(q->enqueue(Message(Op::kEcho, 0, 0.0)));
+  Message out[100];
+  EXPECT_EQ(q->dequeue_batch(out, 100), 63u);
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].value, double(i));
+  }
+  EXPECT_EQ(pool_->free_count(), free_before)
+      << "every node (and none of the phantom 37) returned to the pool";
+}
+
+TEST_F(TwoLockQueueTest, BatchDequeueOnEmptyAndZeroCounts) {
+  TwoLockQueue* q = make_queue();
+  Message out[4];
+  EXPECT_EQ(q->dequeue_batch(out, 4), 0u);
+  EXPECT_EQ(q->enqueue_batch(nullptr, 0), 0u);
+  EXPECT_EQ(q->dequeue_batch(nullptr, 0), 0u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_F(TwoLockQueueTest, ScalarAndBatchInterleaveFifo) {
+  TwoLockQueue* q = make_queue();
+  Message in[3] = {Message(Op::kEcho, 0, 1.0), Message(Op::kEcho, 0, 2.0),
+                   Message(Op::kEcho, 0, 3.0)};
+  ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, 0.0)));
+  ASSERT_EQ(q->enqueue_batch(in, 3), 3u);
+  ASSERT_TRUE(q->enqueue(Message(Op::kEcho, 0, 4.0)));
+  Message m;
+  ASSERT_TRUE(q->dequeue(&m));
+  EXPECT_DOUBLE_EQ(m.value, 0.0);
+  Message out[8];
+  ASSERT_EQ(q->dequeue_batch(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].value, double(i + 1));
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_F(TwoLockQueueTest, ThreadedBatchProducerConsumer) {
+  NodePool* pool = NodePool::create(arena_, 256);
+  TwoLockQueue* q = TwoLockQueue::create(arena_, pool, 128);
+  constexpr int kMessages = 50'000;
+  std::thread producer([&] {
+    Message burst[8];
+    int sent = 0;
+    while (sent < kMessages) {
+      const int n = std::min(8, kMessages - sent);
+      for (int i = 0; i < n; ++i) {
+        burst[i] = Message(Op::kEcho, 0, static_cast<double>(sent + i));
+      }
+      std::uint32_t done = 0;
+      while (done < static_cast<std::uint32_t>(n)) {
+        done += q->enqueue_batch(burst + done,
+                                 static_cast<std::uint32_t>(n) - done);
+      }
+      sent += n;
+    }
+  });
+  Message out[16];
+  int received = 0;
+  while (received < kMessages) {
+    const std::uint32_t k = q->dequeue_batch(out, 16);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      ASSERT_DOUBLE_EQ(out[i].value, static_cast<double>(received + i));
+    }
+    received += static_cast<int>(k);
+  }
+  producer.join();
   EXPECT_TRUE(q->empty());
 }
 
