@@ -11,7 +11,13 @@
 // syscall coalescing. SYSV has no batched path and keeps its scalar loop
 // as the kernel-mediated baseline. The scalar mode (no flags) remains the
 // paper-faithful synchronous measurement.
+//
+// Wake-up accounting (wk/msg, coal/msg) is read from the channel's shared
+// metrics registry after the children exit — the same numbers `ulipc-stat`
+// shows on a live run. --registry-dump additionally prints one
+// "[registry] {...}" JSON line per protocol for record_bench.sh.
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 
 #include "benchsupport/args.hpp"
@@ -35,7 +41,13 @@ struct LatencyReport {
   double p95 = 0;
   double p99 = 0;
   double max = 0;
-  double wakeups_per_msg = 0;  // client + server V() syscalls per message
+  double wakeups_per_msg = 0;    // client + server V() syscalls per message
+  double coalesced_per_msg = 0;  // messages that rode an earlier wake
+  // Registry-side view (read by the parent out of the shared metrics
+  // slots after the children exit): the same round trips as sampled above,
+  // but recorded by the protocol hooks into the shm histograms.
+  obs::SlotSnapshot server_slot;
+  obs::SlotSnapshot client_slot;
   bool ok = false;
 };
 
@@ -49,10 +61,17 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
       ShmRegion::create_anonymous(ShmChannel::required_bytes(cc));
   ShmChannel channel = ShmChannel::create(region, cc);
 
+  // Only the child-sampled scalars cross the process boundary; the (large)
+  // registry snapshots are read by the parent directly from the channel's
+  // metrics slots after join.
   struct SharedOut {
-    LatencyReport report;
-    std::uint64_t server_wakeups = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+    bool ok = false;
   };
+  static_assert(sizeof(SharedOut) <= 4096);
   ShmRegion out_region = ShmRegion::create_anonymous(4096);
   auto* out = new (out_region.base()) SharedOut{};
 
@@ -64,13 +83,13 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
       return 0;
     }
     NativePlatform plat;
+    channel.bind_server_obs(plat);
     with_protocol<NativePlatform>(kind, 20, [&](auto proto) {
       auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
         return channel.client_endpoint(id);
       };
       run_echo_server(plat, proto, channel.server_endpoint(), reply_ep, 1);
     });
-    out->server_wakeups = plat.counters().wakeups;
     return 0;
   });
 
@@ -78,7 +97,6 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
     if (pin) pin_to_cpu(0);
     SampleSet samples(messages);
     std::uint64_t expected_samples = messages;
-    std::uint64_t client_wakeups = 0;
     if (kind == ProtocolKind::kSysv) {
       SysvTransport t(channel);
       t.client_connect(0);
@@ -90,6 +108,7 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
       t.client_disconnect(0);
     } else {
       NativePlatform plat;
+      channel.bind_client_obs(plat, 0);
       with_protocol<NativePlatform>(kind, 20, [&](auto proto) {
         NativeEndpoint& srv = channel.server_endpoint();
         NativeEndpoint& mine = channel.client_endpoint(0);
@@ -100,7 +119,13 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
             Stopwatch sw;
             proto.send(plat, srv, mine,
                        Message(Op::kEcho, 0, static_cast<double>(i)), &ans);
-            samples.add(sw.elapsed_us());
+            const std::int64_t ns = sw.elapsed_ns();
+            samples.add(static_cast<double>(ns) / 1e3);
+            // Mirror the sample into the registry histogram: this scalar
+            // loop bypasses client_echo_loop (whose hooks would do it), so
+            // the registry's round-trip series must be fed here for
+            // ulipc-stat to agree with the sampled percentiles.
+            plat.obs_round_trip(ns, 1);
           }
         } else {
           // One sample per window; report per-message time so the columns
@@ -116,24 +141,65 @@ LatencyReport run_protocol(ProtocolKind kind, std::uint64_t messages,
         }
         client_disconnect(plat, proto, srv, mine, 0);
       });
-      client_wakeups = plat.counters().wakeups;
     }
-    out->report.p50 = samples.percentile(50);
-    out->report.p95 = samples.percentile(95);
-    out->report.p99 = samples.percentile(99);
-    out->report.max = samples.stats().max();
-    out->report.wakeups_per_msg =
-        static_cast<double>(client_wakeups) / static_cast<double>(messages);
-    out->report.ok = samples.size() == expected_samples;
+    out->p50 = samples.percentile(50);
+    out->p95 = samples.percentile(95);
+    out->p99 = samples.percentile(99);
+    out->max = samples.stats().max();
+    out->ok = samples.size() == expected_samples;
     return 0;
   });
 
   const bool children_ok = client.join() == 0 && server.join() == 0;
-  out->report.ok = out->report.ok && children_ok;
-  out->report.wakeups_per_msg +=
-      static_cast<double>(out->server_wakeups) /
-      static_cast<double>(messages);
-  return out->report;
+
+  LatencyReport report;
+  report.p50 = out->p50;
+  report.p95 = out->p95;
+  report.p99 = out->p99;
+  report.max = out->max;
+  report.ok = out->ok && children_ok;
+
+  // Wake-up accounting now comes from the shared metrics registry instead
+  // of ad-hoc per-child plumbing, so scalar and --batched runs report
+  // through the identical path (the batched run's coalesced messages were
+  // previously invisible here). SYSV never binds a slot: both stay 0.
+  const obs::ObsHeader& oh = channel.obs();
+  (void)oh.slot(0).read_snapshot(&report.server_slot);
+  (void)oh.slot(1).read_snapshot(&report.client_slot);
+  const auto& sc = report.server_slot.counters;
+  const auto& cc2 = report.client_slot.counters;
+  const auto m = static_cast<double>(messages);
+  report.wakeups_per_msg = static_cast<double>(sc.wakeups + cc2.wakeups) / m;
+  report.coalesced_per_msg =
+      static_cast<double>(sc.wakeups_coalesced + cc2.wakeups_coalesced) / m;
+  return report;
+}
+
+/// --registry-dump: one machine-parseable line per protocol with the
+/// registry's own view of the run (record_bench.sh folds these into the
+/// perf snapshot).
+void dump_registry_line(ProtocolKind kind, std::uint64_t messages,
+                        std::uint32_t window, const LatencyReport& r) {
+  const auto& sc = r.server_slot.counters;
+  const auto& cc = r.client_slot.counters;
+  const auto& rt = r.client_slot.h(obs::HistKind::kRoundTripNs);
+  const auto& slp = r.server_slot.h(obs::HistKind::kSleepNs);
+  std::printf(
+      "[registry] {\"protocol\":\"%s\",\"messages\":%llu,\"window\":%u,"
+      "\"wakeups\":%llu,\"wakeups_coalesced\":%llu,\"server_blocks\":%llu,"
+      "\"client_blocks\":%llu,\"spin_fallthroughs\":%llu,"
+      "\"rt_count\":%llu,\"rt_p50_ns\":%.0f,\"rt_p99_ns\":%.0f,"
+      "\"sleep_p50_ns\":%.0f}\n",
+      protocol_name(kind), static_cast<unsigned long long>(messages), window,
+      static_cast<unsigned long long>(sc.wakeups + cc.wakeups),
+      static_cast<unsigned long long>(sc.wakeups_coalesced +
+                                      cc.wakeups_coalesced),
+      static_cast<unsigned long long>(sc.blocks),
+      static_cast<unsigned long long>(cc.blocks),
+      static_cast<unsigned long long>(sc.spin_fallthroughs +
+                                      cc.spin_fallthroughs),
+      static_cast<unsigned long long>(rt.count), rt.percentile(50),
+      rt.percentile(99), slp.percentile(50));
 }
 
 }  // namespace
@@ -143,6 +209,7 @@ int main(int argc, char** argv) {
   const std::uint64_t messages = args.messages(20'000);
   const bool pin = args.has_flag("pinned");
   const bool batched = args.has_flag("batched");
+  const bool registry_dump = args.has_flag("registry-dump");
   const std::uint32_t window =
       batched
           ? static_cast<std::uint32_t>(args.value_or("window", std::int64_t{16}))
@@ -154,7 +221,8 @@ int main(int argc, char** argv) {
             << (batched ? ", batched window=" + std::to_string(window) : "")
             << ", us)\n\n";
 
-  TextTable table({"protocol", "p50", "p95", "p99", "max", "wk/msg"});
+  TextTable table(
+      {"protocol", "p50", "p95", "p99", "max", "wk/msg", "coal/msg"});
   int failed = 0;
   double bss_p50 = 0.0;
   double bsw_p50 = 0.0;
@@ -170,10 +238,12 @@ int main(int argc, char** argv) {
     }
     if (kind == ProtocolKind::kBss) bss_p50 = r.p50;
     if (kind == ProtocolKind::kBsw) bsw_p50 = r.p50;
-    table.add_row({protocol_name(kind), TextTable::num(r.p50, 2),
+    table.add_row({protocol_name(kind), TextTable::num(r.p50, 3),
                    TextTable::num(r.p95, 2), TextTable::num(r.p99, 2),
                    TextTable::num(r.max, 1),
-                   TextTable::num(r.wakeups_per_msg, 3)});
+                   TextTable::num(r.wakeups_per_msg, 3),
+                   TextTable::num(r.coalesced_per_msg, 3)});
+    if (registry_dump) dump_registry_line(kind, messages, window, r);
   }
   table.render(std::cout);
 

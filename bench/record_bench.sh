@@ -1,21 +1,26 @@
 #!/bin/sh
 # Records a machine-tagged perf snapshot so PRs can track the trajectory.
 #
-#   bench/record_bench.sh [build-dir] [out.json]
+#   bench/record_bench.sh [build-dir] [out.json] [trajectory.jsonl]
 #
 # Runs the three perf anchors (micro_queue, micro_sync, latency_percentiles)
 # from a Release build tree and writes one JSON document: a machine tag, the
-# google-benchmark ns/op numbers, and the per-protocol round-trip latency
+# google-benchmark ns/op numbers, the per-protocol round-trip latency
 # percentiles (plus the derived single-client round-trip throughput in
-# msgs/ms). The first snapshot is committed as BENCH_baseline.json; every run
-# also appends a one-line summary to BENCH_trajectory.jsonl next to the
-# output file, so later PRs accumulate comparable points.
+# msgs/ms), and the metrics-registry view of each run (wake-ups, coalesced
+# messages, registry-side percentiles — the "[registry]" lines emitted by
+# latency_percentiles --registry-dump). The first snapshot is committed as
+# BENCH_baseline.json; every run also appends a one-line summary to the
+# trajectory file (third argument; default BENCH_trajectory.jsonl next to
+# the output file), so later PRs accumulate comparable points without
+# rewriting the committed baseline.
 #
 # Requires python3 (parsing) and a build tree with the bench binaries built.
 set -eu
 
 BUILD_DIR="${1:-build-rel}"
 OUT="${2:-BENCH_baseline.json}"
+TRAJ="${3:-}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
@@ -37,18 +42,18 @@ trap 'rm -rf "$TMP"' EXIT
 "$BENCH_DIR/micro_sync" --benchmark_format=json \
   > "$TMP/micro_sync.json" 2>"$TMP/micro_sync.err"
 # || true: the bench's shape checks are advisory here; the numbers matter.
-"$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" \
+# Binaries from before --registry-dump / --batched ignore the flags (the
+# parser then simply finds no "[registry]" lines — harmless).
+"$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --registry-dump \
   > "$TMP/latency.txt" 2>&1 || true
-# Binaries from before the batched fast path ignore --batched (it then
-# produces the same scalar table, which the parser records under the same
-# keys — harmless).
 "$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --batched \
-  > "$TMP/latency_batched.txt" 2>&1 || true
+  --registry-dump > "$TMP/latency_batched.txt" 2>&1 || true
 
-python3 - "$TMP" "$OUT" "$MESSAGES" <<'EOF'
+python3 - "$TMP" "$OUT" "$MESSAGES" "$TRAJ" <<'EOF'
 import json, os, platform, re, subprocess, sys, datetime
 
 tmp, out, messages = sys.argv[1], sys.argv[2], int(sys.argv[3])
+traj_arg = sys.argv[4] if len(sys.argv) > 4 else ""
 
 def bench_json(path):
     with open(path) as f:
@@ -79,6 +84,22 @@ def latency_table(path):
             }
     return rows
 
+def registry_lines(path):
+    # "[registry] {...}" JSON lines from latency_percentiles --registry-dump.
+    rows = {}
+    if not os.path.exists(path):
+        return rows
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("[registry] "):
+                continue
+            try:
+                rec = json.loads(line[len("[registry] "):])
+                rows[rec.pop("protocol")] = rec
+            except (ValueError, KeyError):
+                continue
+    return rows
+
 def git(*args):
     try:
         return subprocess.check_output(("git",) + args, text=True).strip()
@@ -104,6 +125,12 @@ doc = {
 batched = latency_table(os.path.join(tmp, "latency_batched.txt"))
 if batched:
     doc["latency_percentiles_batched"] = batched
+registry = registry_lines(os.path.join(tmp, "latency.txt"))
+if registry:
+    doc["registry"] = registry
+registry_batched = registry_lines(os.path.join(tmp, "latency_batched.txt"))
+if registry_batched:
+    doc["registry_batched"] = registry_batched
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -120,8 +147,15 @@ point = {
 if batched:
     point["rt_msgs_per_ms_batched"] = {
         k: v["rt_throughput_msgs_per_ms"] for k, v in batched.items()}
-traj = os.path.join(os.path.dirname(os.path.abspath(out)) or ".",
-                    "BENCH_trajectory.jsonl")
+if registry_batched:
+    point["wk_per_msg_batched"] = {
+        k: round(v["wakeups"] / max(1, v["messages"]), 4)
+        for k, v in registry_batched.items()}
+    point["coal_per_msg_batched"] = {
+        k: round(v["wakeups_coalesced"] / max(1, v["messages"]), 4)
+        for k, v in registry_batched.items()}
+traj = traj_arg or os.path.join(os.path.dirname(os.path.abspath(out)) or ".",
+                                "BENCH_trajectory.jsonl")
 with open(traj, "a") as f:
     f.write(json.dumps(point) + "\n")
 

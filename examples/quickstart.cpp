@@ -1,4 +1,4 @@
-// Quickstart: a complete client/server pair over ulipc in ~80 lines.
+// Quickstart: a complete client/server pair over ulipc in ~100 lines.
 //
 // The parent creates a *named* POSIX shared-memory channel (the deployment
 // path for unrelated processes), forks a server and a client, and exchanges
@@ -6,9 +6,19 @@
 // paper's best blocking protocol: spin briefly, then sleep.
 //
 // Run:  ./quickstart
+//
+// Environment knobs (all optional; defaults reproduce the plain demo):
+//   ULIPC_QUICKSTART_SHM=/name     shm object name (default: pid-derived)
+//   ULIPC_QUICKSTART_REQUESTS=N    echo requests to exchange
+//   ULIPC_QUICKSTART_SPIN=N        BSLS MAX_SPIN (0 forces block-every-time,
+//                                  which exercises the sleep/wake protocol)
+//   ULIPC_QUICKSTART_LINGER_MS=N   keep the shm alive this long after the
+//                                  run so `ulipc-stat` can attach and read
+//                                  the metrics registry
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "protocols/bsls.hpp"
@@ -23,7 +33,15 @@ using namespace ulipc;
 namespace {
 
 constexpr std::uint32_t kClientId = 0;
-constexpr std::uint64_t kRequests = 10'000;
+
+std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 10) : def;
+}
+
+std::uint32_t max_spin() {
+  return static_cast<std::uint32_t>(env_u64("ULIPC_QUICKSTART_SPIN", 20));
+}
 
 int run_server(const std::string& shm_name) {
   // Attach to the channel by name — any process on the machine could.
@@ -31,13 +49,16 @@ int run_server(const std::string& shm_name) {
   ShmChannel channel = ShmChannel::attach(region);
 
   NativePlatform platform;          // futex semaphores, yield busy-waits
-  Bsls<NativePlatform> proto(20);   // MAX_SPIN = 20, as in the paper
+  Bsls<NativePlatform> proto(max_spin());
 
+  channel.register_server();
+  channel.bind_server_obs(platform);  // publish into the metrics registry
   auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
     return channel.client_endpoint(id);
   };
   const ServerResult result = run_echo_server(
       platform, proto, channel.server_endpoint(), reply_ep, /*clients=*/1);
+  channel.deregister_server();
 
   std::printf("[server] served %llu requests at %.1f msgs/ms "
               "(%llu wake-up syscalls issued)\n",
@@ -47,33 +68,42 @@ int run_server(const std::string& shm_name) {
   return 0;
 }
 
-int run_client(const std::string& shm_name) {
+int run_client(const std::string& shm_name, std::uint64_t requests) {
   ShmRegion region = ShmRegion::open_named(shm_name);
   ShmChannel channel = ShmChannel::attach(region);
 
   NativePlatform platform;
-  Bsls<NativePlatform> proto(20);
+  Bsls<NativePlatform> proto(max_spin());
   NativeEndpoint& server = channel.server_endpoint();
   NativeEndpoint& mine = channel.client_endpoint(kClientId);
 
+  channel.register_client(kClientId);
+  channel.bind_client_obs(platform, kClientId);
   client_connect(platform, proto, server, mine, kClientId);
   const std::uint64_t ok =
-      client_echo_loop(platform, proto, server, mine, kClientId, kRequests);
+      client_echo_loop(platform, proto, server, mine, kClientId, requests);
   client_disconnect(platform, proto, server, mine, kClientId);
+  channel.deregister_client(kClientId);
 
   std::printf("[client] %llu/%llu replies verified "
               "(blocked %llu times, spun %llu poll iterations)\n",
               static_cast<unsigned long long>(ok),
-              static_cast<unsigned long long>(kRequests),
+              static_cast<unsigned long long>(requests),
               static_cast<unsigned long long>(platform.counters().blocks),
               static_cast<unsigned long long>(platform.counters().spin_iters));
-  return ok == kRequests ? 0 : 1;
+  return ok == requests ? 0 : 1;
 }
 
 }  // namespace
 
 int main() {
-  const std::string shm_name = "/ulipc_quickstart_" + std::to_string(getpid());
+  const char* env_name = std::getenv("ULIPC_QUICKSTART_SHM");
+  const std::string shm_name =
+      env_name != nullptr && *env_name != '\0'
+          ? std::string(env_name)
+          : "/ulipc_quickstart_" + std::to_string(getpid());
+  const std::uint64_t requests = env_u64("ULIPC_QUICKSTART_REQUESTS", 10'000);
+  const std::uint64_t linger_ms = env_u64("ULIPC_QUICKSTART_LINGER_MS", 0);
 
   // The channel owner: lays out queues, node pool, endpoints, semaphores.
   ShmChannel::Config cfg;
@@ -87,10 +117,16 @@ int main() {
   ChildProcess server =
       ChildProcess::spawn([&] { return run_server(shm_name); });
   ChildProcess client =
-      ChildProcess::spawn([&] { return run_client(shm_name); });
+      ChildProcess::spawn([&] { return run_client(shm_name, requests); });
 
   const int client_rc = client.join();
   const int server_rc = server.join();
   std::printf("[main] done (client=%d, server=%d)\n", client_rc, server_rc);
+  if (linger_ms > 0) {
+    std::printf("[main] lingering %llu ms — inspect with: ulipc-stat %s\n",
+                static_cast<unsigned long long>(linger_ms), shm_name.c_str());
+    std::fflush(stdout);
+    usleep(static_cast<unsigned>(linger_ms) * 1000u);
+  }
   return client_rc == 0 && server_rc == 0 ? 0 : 1;
 }

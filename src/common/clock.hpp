@@ -63,6 +63,62 @@ class DelayLoop {
   }
 };
 
+/// Raw timestamp counter for trace records: rdtsc where available (one
+/// instruction, no syscall, monotonic-enough on modern invariant-TSC
+/// hardware), CLOCK_MONOTONIC elsewhere. Ticks are meaningless until
+/// converted through a Calibration.
+class TscClock {
+ public:
+#if defined(__x86_64__) || defined(__i386__)
+  static constexpr bool kIsRdtsc = true;
+  static std::uint64_t now() noexcept { return __builtin_ia32_rdtsc(); }
+#else
+  static constexpr bool kIsRdtsc = false;
+  static std::uint64_t now() noexcept {
+    return static_cast<std::uint64_t>(now_ns());
+  }
+#endif
+
+  /// One-shot steady-clock-vs-TSC ratio measurement: sample both clocks
+  /// across a short delay and take the ratio. Converting a tick `t` to
+  /// CLOCK_MONOTONIC nanoseconds is then deterministic:
+  ///   ns = mono_epoch_ns + (t - tsc_epoch) * ns_per_tick.
+  struct Calibration {
+    double ns_per_tick = 1.0;
+    std::uint64_t tsc_epoch = 0;
+    std::int64_t mono_epoch_ns = 0;
+
+    [[nodiscard]] std::int64_t to_mono_ns(std::uint64_t tsc) const noexcept {
+      const double dt =
+          static_cast<double>(static_cast<std::int64_t>(tsc - tsc_epoch));
+      return mono_epoch_ns + static_cast<std::int64_t>(dt * ns_per_tick);
+    }
+  };
+
+  /// Measures the ratio over ~2 ms (long enough to dwarf the per-sample
+  /// cost of either clock). On non-rdtsc fallbacks the ratio is exactly 1.
+  static Calibration calibrate() noexcept {
+    Calibration c;
+    c.tsc_epoch = now();
+    c.mono_epoch_ns = now_ns();
+    if constexpr (!kIsRdtsc) return c;  // ticks ARE nanoseconds
+    const std::int64_t t_end = c.mono_epoch_ns + 2'000'000;
+    std::int64_t mono = c.mono_epoch_ns;
+    while (mono < t_end) mono = now_ns();
+    const std::uint64_t tsc = now();
+    const auto dt = static_cast<double>(tsc - c.tsc_epoch);
+    c.ns_per_tick =
+        dt > 0.0 ? static_cast<double>(mono - c.mono_epoch_ns) / dt : 1.0;
+    return c;
+  }
+
+  /// Process-wide cached calibration (first use pays the ~2 ms measurement).
+  static const Calibration& cached() noexcept {
+    static const Calibration c = calibrate();
+    return c;
+  }
+};
+
 /// Simple scoped stopwatch.
 class Stopwatch {
  public:

@@ -1,0 +1,128 @@
+// Live (shared-memory-resident) protocol counters.
+//
+// The paper's entire evaluation is counting things — wake-ups per message,
+// spin iterations, blocks — so the counters must be readable from OUTSIDE
+// the process that increments them (ulipc-stat attaches to the mapping of a
+// running server). That forces std::atomic storage; but every counter slot
+// has exactly ONE writer (a platform instance is process- or thread-local),
+// so increments are load+store with relaxed ordering — plain register
+// arithmetic on x86, no lock prefix, no fence. The hot path pays what the
+// old plain-u64 ProtocolCounters paid.
+//
+// ProtocolCounters (protocols/platform.hpp) remains the plain value type:
+// snapshots, aggregation across processes, and the simulator keep using it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+#include "protocols/platform.hpp"
+
+namespace ulipc::obs {
+
+/// Single-writer counter cell: shared-memory readable, hot-path cheap.
+/// Mimics a plain uint64_t (++, +=, =, implicit read) so protocol code is
+/// identical whether it increments this or ProtocolCounters' plain fields.
+struct RelaxedU64 {
+  std::atomic<std::uint64_t> v{0};
+
+  void operator++() noexcept {
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  void operator++(int) noexcept { operator++(); }
+  void operator+=(std::uint64_t d) noexcept {
+    v.store(v.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+  RelaxedU64& operator=(std::uint64_t x) noexcept {
+    v.store(x, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const noexcept {  // NOLINT(google-explicit-constructor)
+    return v.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return v.load(std::memory_order_relaxed);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RelaxedU64& c) {
+  return os << c.load();
+}
+
+/// The shared-memory twin of ProtocolCounters: same fields, same meanings
+/// (see protocols/platform.hpp for the per-field comments), atomic cells.
+struct LiveCounters {
+  RelaxedU64 sends;
+  RelaxedU64 receives;
+  RelaxedU64 replies;
+  RelaxedU64 blocks;
+  RelaxedU64 wakeups;
+  RelaxedU64 yields;
+  RelaxedU64 busy_waits;
+  RelaxedU64 polls;
+  RelaxedU64 spin_entries;
+  RelaxedU64 spin_iters;
+  RelaxedU64 spin_fallthroughs;
+  RelaxedU64 sem_absorbs;
+  RelaxedU64 full_sleeps;
+  RelaxedU64 timeouts;
+  RelaxedU64 batch_enqueues;
+  RelaxedU64 batch_dequeues;
+  RelaxedU64 wakeups_coalesced;
+  RelaxedU64 adaptive_updates;
+
+  /// Copies the live cells into the plain value type (relaxed reads; pair
+  /// with MetricSlot's seqlock for a consistent multi-field view).
+  [[nodiscard]] ProtocolCounters snapshot() const noexcept {
+    ProtocolCounters c;
+    c.sends = sends.load();
+    c.receives = receives.load();
+    c.replies = replies.load();
+    c.blocks = blocks.load();
+    c.wakeups = wakeups.load();
+    c.yields = yields.load();
+    c.busy_waits = busy_waits.load();
+    c.polls = polls.load();
+    c.spin_entries = spin_entries.load();
+    c.spin_iters = spin_iters.load();
+    c.spin_fallthroughs = spin_fallthroughs.load();
+    c.sem_absorbs = sem_absorbs.load();
+    c.full_sleeps = full_sleeps.load();
+    c.timeouts = timeouts.load();
+    c.batch_enqueues = batch_enqueues.load();
+    c.batch_dequeues = batch_dequeues.load();
+    c.wakeups_coalesced = wakeups_coalesced.load();
+    c.adaptive_updates = adaptive_updates.load();
+    return c;
+  }
+
+  /// Restores plain values into the cells (platform copy, slot rebind).
+  void restore(const ProtocolCounters& c) noexcept {
+    sends = c.sends;
+    receives = c.receives;
+    replies = c.replies;
+    blocks = c.blocks;
+    wakeups = c.wakeups;
+    yields = c.yields;
+    busy_waits = c.busy_waits;
+    polls = c.polls;
+    spin_entries = c.spin_entries;
+    spin_iters = c.spin_iters;
+    spin_fallthroughs = c.spin_fallthroughs;
+    sem_absorbs = c.sem_absorbs;
+    full_sleeps = c.full_sleeps;
+    timeouts = c.timeouts;
+    batch_enqueues = c.batch_enqueues;
+    batch_dequeues = c.batch_dequeues;
+    wakeups_coalesced = c.wakeups_coalesced;
+    adaptive_updates = c.adaptive_updates;
+  }
+
+  void reset() noexcept { restore(ProtocolCounters{}); }
+};
+
+static_assert(sizeof(LiveCounters) == 18 * sizeof(std::uint64_t),
+              "LiveCounters must stay layout-compatible across binaries");
+
+}  // namespace ulipc::obs

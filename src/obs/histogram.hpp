@@ -1,0 +1,123 @@
+// Log-linear histogram for latency-shaped quantities (HdrHistogram-style).
+//
+// Values below 16 are counted exactly; above that, each power-of-two octave
+// is split into 8 sub-buckets (3 bits of mantissa), giving <= 12.5% relative
+// bucket width over the full uint64 range in 496 buckets (~4 KB). record()
+// is one relaxed add into a single-writer cell — cheap enough to leave on in
+// the protocol hot path. Percentiles are computed from a copied snapshot by
+// cumulative count with linear interpolation inside the landing bucket.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "obs/counters.hpp"
+
+namespace ulipc::obs {
+
+/// Bucket math shared by the live histogram and its snapshot. All functions
+/// are constexpr so tests can verify the index<->bound round trip.
+struct HistBuckets {
+  static constexpr std::uint32_t kSubBits = 3;               // 8 sub-buckets
+  static constexpr std::uint32_t kSub = 1u << kSubBits;      //   per octave
+  static constexpr std::uint32_t kLinear = 1u << (kSubBits + 1);  // exact < 16
+  static constexpr std::uint32_t kBuckets =
+      kLinear + (63 - kSubBits) * kSub;  // 16 + 60*8 = 496
+
+  static constexpr std::uint32_t index_of(std::uint64_t v) noexcept {
+    if (v < kLinear) return static_cast<std::uint32_t>(v);
+    const auto msb =
+        static_cast<std::uint32_t>(63 - std::countl_zero(v));  // >= 4
+    const auto sub =
+        static_cast<std::uint32_t>((v >> (msb - kSubBits)) & (kSub - 1));
+    return kLinear + (msb - kSubBits - 1) * kSub + sub;
+  }
+
+  /// Smallest value landing in bucket `i`.
+  static constexpr std::uint64_t lower_bound(std::uint32_t i) noexcept {
+    if (i < kLinear) return i;
+    const std::uint32_t msb = (i - kLinear) / kSub + kSubBits + 1;
+    const std::uint32_t sub = (i - kLinear) % kSub;
+    return (std::uint64_t{1} << msb) |
+           (std::uint64_t{sub} << (msb - kSubBits));
+  }
+
+  /// One past the largest value landing in bucket `i` (saturating).
+  static constexpr std::uint64_t upper_bound(std::uint32_t i) noexcept {
+    if (i + 1 >= kBuckets) return ~std::uint64_t{0};
+    return lower_bound(i + 1);
+  }
+};
+
+/// Percentile-queryable copy of a histogram (plain values, no atomics).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t bucket[HistBuckets::kBuckets] = {};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// p in [0, 100]. Linear interpolation inside the landing bucket keeps
+  /// the error within the bucket's <= 12.5% relative width.
+  [[nodiscard]] double percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < HistBuckets::kBuckets; ++i) {
+      if (bucket[i] == 0) continue;
+      const auto next = seen + bucket[i];
+      if (static_cast<double>(next) >= rank) {
+        const auto lo = static_cast<double>(HistBuckets::lower_bound(i));
+        const auto hi = static_cast<double>(HistBuckets::upper_bound(i));
+        const double frac =
+            (rank - static_cast<double>(seen)) / static_cast<double>(bucket[i]);
+        return lo + (hi - lo) * frac;
+      }
+      seen = next;
+    }
+    return static_cast<double>(HistBuckets::upper_bound(HistBuckets::kBuckets - 1));
+  }
+};
+
+/// The live, shared-memory-resident histogram. Single writer per instance
+/// (the owner of the enclosing MetricSlot); readers copy via snapshot().
+class LogHistogram {
+ public:
+  void record(std::uint64_t value, std::uint64_t weight = 1) noexcept {
+    bucket_[HistBuckets::index_of(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_.load(); }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    s.count = count_.load();
+    s.sum = sum_.load();
+    for (std::uint32_t i = 0; i < HistBuckets::kBuckets; ++i) {
+      s.bucket[i] = bucket_[i].load();
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    count_ = 0;
+    sum_ = 0;
+    for (auto& b : bucket_) b = 0;
+  }
+
+ private:
+  RelaxedU64 count_;
+  RelaxedU64 sum_;
+  RelaxedU64 bucket_[HistBuckets::kBuckets];
+};
+
+static_assert(sizeof(LogHistogram) ==
+                  (HistBuckets::kBuckets + 2) * sizeof(std::uint64_t),
+              "LogHistogram must stay layout-compatible across binaries");
+
+}  // namespace ulipc::obs

@@ -1,0 +1,93 @@
+// Observability hook dispatch for the protocol templates.
+//
+// Protocols call these free functions at their edges (enqueue, dequeue,
+// sleep, wake, spin-exhausted, batch flush). Platforms that implement the
+// matching obs_* methods (NativePlatform) get metrics + trace emission;
+// platforms that don't (the deterministic simulator) compile every hook to
+// nothing — detected with `if constexpr (requires ...)`, so this header has
+// no dependency on the metrics/trace machinery itself.
+#pragma once
+
+#include <cstdint>
+
+namespace ulipc::obs {
+
+/// Producer paid the V() that wakes this endpoint's consumer.
+template <typename P, typename Ep>
+inline void wakeup_sent(P& p, Ep& ep) noexcept {
+  if constexpr (requires { p.obs_wakeup_sent(ep); }) p.obs_wakeup_sent(ep);
+}
+
+/// A message (or the head of a burst) landed on the endpoint's queue.
+template <typename P, typename Ep>
+inline void enqueued(P& p, Ep& ep) noexcept {
+  if constexpr (requires { p.obs_enqueue(ep); }) p.obs_enqueue(ep);
+}
+
+/// A message (or the head of a burst) was taken off the endpoint's queue.
+template <typename P, typename Ep>
+inline void dequeued(P& p, Ep& ep) noexcept {
+  if constexpr (requires { p.obs_dequeue(ep); }) p.obs_dequeue(ep);
+}
+
+/// Consumer is entering the C.4 sleep. Returns the platform timestamp the
+/// matching sleep_end() call needs (0 on platforms without hooks).
+template <typename P, typename Ep>
+inline std::int64_t sleep_begin(P& p, Ep& ep) noexcept {
+  if constexpr (requires { p.obs_sleep_begin(ep); }) {
+    return p.obs_sleep_begin(ep);
+  } else {
+    return 0;
+  }
+}
+
+/// Consumer came back from the C.4 sleep (woken or timed out).
+template <typename P, typename Ep>
+inline void sleep_end(P& p, Ep& ep, std::int64_t t0, bool timed_out) noexcept {
+  if constexpr (requires { p.obs_sleep_end(ep, t0, timed_out); }) {
+    p.obs_sleep_end(ep, t0, timed_out);
+  }
+}
+
+/// A batch enqueue pass moved `n` messages in one flush.
+template <typename P, typename Ep>
+inline void batch_flush(P& p, Ep& ep, std::uint32_t n) noexcept {
+  if constexpr (requires { p.obs_batch_flush(ep, n); }) {
+    p.obs_batch_flush(ep, n);
+  }
+}
+
+/// A bounded-spin pass ran `iters` iterations; `exhausted` iff it gave up
+/// with the queue still empty (the paper's fall-through-to-blocking case).
+template <typename P, typename Ep>
+inline void spin(P& p, Ep& ep, std::uint32_t iters, bool exhausted) noexcept {
+  if constexpr (requires { p.obs_spin(ep, iters, exhausted); }) {
+    p.obs_spin(ep, iters, exhausted);
+  }
+}
+
+/// Timestamp for a round-trip measurement — but only on platforms that will
+/// actually record it, so un-instrumented builds pay no clock reads. The
+/// platform picks the cheapest clock it has (rdtsc on NativePlatform): this
+/// pair sits inside the latency being measured, so its own cost is the
+/// instrument distorting the instrumented.
+template <typename P>
+inline std::int64_t round_trip_begin(P& p) noexcept {
+  if constexpr (requires { p.obs_rt_begin(); }) {
+    return p.obs_rt_begin();
+  } else {
+    return 0;
+  }
+}
+
+/// Records `count` round trips begun at `t0`: each is credited the
+/// per-message share, weighted so percentiles stay per-message.
+template <typename P>
+inline void round_trip_end(P& p, std::int64_t t0,
+                           std::uint64_t count = 1) noexcept {
+  if constexpr (requires { p.obs_rt_end(t0, count); }) {
+    p.obs_rt_end(t0, count);
+  }
+}
+
+}  // namespace ulipc::obs

@@ -1,0 +1,160 @@
+// Per-process lock-free binary trace ring.
+//
+// Fixed 32-byte records (tsc timestamp, event id, slot id, two args) in a
+// power-of-two ring inside the shared mapping. One writer per ring (the
+// process/thread bound to the matching MetricSlot); any number of readers,
+// in-process or attached from outside. The writer never blocks and never
+// syscalls: payload stores are relaxed, then the record's sequence number
+// and the ring head are released. A reader validates each record's seqno
+// after copying — a record overwritten mid-copy has a seqno from a later
+// lap and is discarded, so torn reads are detected, not prevented.
+//
+// Rings are ALWAYS laid out in the shm block (the cross-binary layout must
+// not depend on compile flags); only EMISSION is compiled out when
+// ULIPC_TRACE=OFF, which makes the hot-path cost exactly zero there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ulipc::obs {
+
+#if defined(ULIPC_TRACE_ENABLED)
+inline constexpr bool kTraceCompiledIn = true;
+#else
+inline constexpr bool kTraceCompiledIn = false;
+#endif
+
+/// Protocol-edge event ids (the `arg` meaning is per-event).
+enum class TraceEvent : std::uint16_t {
+  kNone = 0,
+  kEnqueue,        // arg_a = endpoint id
+  kDequeue,        // arg_a = endpoint id
+  kSleepBegin,     // arg_a = endpoint id            (step C.4 entry)
+  kSleepEnd,       // arg_a = endpoint id, arg_b = 1 iff timed out
+  kWakeupSent,     // arg_a = endpoint id            (producer paid the V)
+  kSpinExhausted,  // arg_a = endpoint id, arg_b = iterations spun
+  kBatchFlush,     // arg_a = endpoint id, arg_b = messages in the chunk
+  kRecovery,       // arg_a = client seat, arg_b = nodes + messages reclaimed
+};
+
+constexpr const char* trace_event_name(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::kNone: return "none";
+    case TraceEvent::kEnqueue: return "enqueue";
+    case TraceEvent::kDequeue: return "dequeue";
+    case TraceEvent::kSleepBegin: return "sleep-begin";
+    case TraceEvent::kSleepEnd: return "sleep-end";
+    case TraceEvent::kWakeupSent: return "wakeup-sent";
+    case TraceEvent::kSpinExhausted: return "spin-exhausted";
+    case TraceEvent::kBatchFlush: return "batch-flush";
+    case TraceEvent::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+/// One ring record. All fields atomic so cross-process readers copy them
+/// without UB; `seqno` is 1-based (0 = never written) and doubles as the
+/// torn-read detector.
+struct TraceRecord {
+  std::atomic<std::uint64_t> tsc{0};
+  std::atomic<std::uint64_t> seqno{0};
+  std::atomic<std::uint32_t> arg_a{0};
+  std::atomic<std::uint16_t> event{0};
+  std::atomic<std::uint16_t> slot{0};
+  std::atomic<std::uint64_t> arg_b{0};
+};
+static_assert(sizeof(TraceRecord) == 32, "trace records are fixed 32-byte");
+
+/// Plain-value copy of a validated record.
+struct TraceRecordView {
+  std::uint64_t tsc = 0;
+  std::uint64_t seqno = 0;
+  TraceEvent event = TraceEvent::kNone;
+  std::uint16_t slot = 0;
+  std::uint32_t arg_a = 0;
+  std::uint64_t arg_b = 0;
+};
+
+/// The ring header; records follow immediately (one contiguous blob, laid
+/// out by ObsHeader). `capacity` is a power of two fixed at creation.
+struct alignas(64) TraceRing {
+  std::uint64_t capacity = 0;
+  std::atomic<std::uint64_t> head{0};  // total records ever emitted
+
+  static constexpr std::size_t bytes_for(std::uint32_t capacity) noexcept {
+    return sizeof(TraceRing) + capacity * sizeof(TraceRecord);
+  }
+
+  /// Formats a blob of bytes_for(capacity) bytes in place.
+  static TraceRing* format(void* blob, std::uint32_t capacity) noexcept {
+    auto* r = new (blob) TraceRing();
+    r->capacity = capacity;
+    TraceRecord* recs = r->records();
+    for (std::uint32_t i = 0; i < capacity; ++i) new (&recs[i]) TraceRecord();
+    return r;
+  }
+
+  [[nodiscard]] TraceRecord* records() noexcept {
+    return reinterpret_cast<TraceRecord*>(this + 1);
+  }
+  [[nodiscard]] const TraceRecord* records() const noexcept {
+    return reinterpret_cast<const TraceRecord*>(this + 1);
+  }
+
+  /// Writer side (single writer; or serialized by an external lock, whose
+  /// acquire/release ordering then covers the relaxed head load). The
+  /// per-record protocol is a tiny seqlock: seqno drops to 0 before the
+  /// payload is overwritten and becomes i+1 only after, so a reader that
+  /// sees the same valid seqno on both sides of its copy knows the payload
+  /// was stable in between.
+  void emit(TraceEvent ev, std::uint16_t slot_id, std::uint32_t a = 0,
+            std::uint64_t b = 0) noexcept {
+    const std::uint64_t i = head.load(std::memory_order_relaxed);
+    TraceRecord& r = records()[i & (capacity - 1)];
+    r.seqno.store(0, std::memory_order_release);  // invalidate old lap
+    r.tsc.store(TscClock::now(), std::memory_order_relaxed);
+    r.event.store(static_cast<std::uint16_t>(ev), std::memory_order_relaxed);
+    r.slot.store(slot_id, std::memory_order_relaxed);
+    r.arg_a.store(a, std::memory_order_relaxed);
+    r.arg_b.store(b, std::memory_order_relaxed);
+    r.seqno.store(i + 1, std::memory_order_release);
+    head.store(i + 1, std::memory_order_release);
+  }
+
+  /// Reader side: copies every still-valid record, oldest first. A record
+  /// is valid iff its seqno names exactly the lap that owns its position
+  /// both before and after the payload copy — an overwrite in progress (or
+  /// completed) shows seqno 0 / a later lap and the record is discarded.
+  [[nodiscard]] std::vector<TraceRecordView> read_all() const {
+    std::vector<TraceRecordView> out;
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    if (h == 0) return out;
+    const std::uint64_t first = h > capacity ? h - capacity : 0;
+    out.reserve(static_cast<std::size_t>(h - first));
+    for (std::uint64_t s = first; s < h; ++s) {
+      const TraceRecord& r = records()[s & (capacity - 1)];
+      TraceRecordView v;
+      v.seqno = r.seqno.load(std::memory_order_acquire);
+      if (v.seqno != s + 1) continue;  // overtaken by a later lap (or unborn)
+      v.tsc = r.tsc.load(std::memory_order_relaxed);
+      v.event =
+          static_cast<TraceEvent>(r.event.load(std::memory_order_relaxed));
+      v.slot = r.slot.load(std::memory_order_relaxed);
+      v.arg_a = r.arg_a.load(std::memory_order_relaxed);
+      v.arg_b = r.arg_b.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (r.seqno.load(std::memory_order_relaxed) != s + 1) continue;
+      out.push_back(v);
+    }
+    return out;
+  }
+};
+
+static_assert(sizeof(TraceRing) == 64,
+              "ring header must stay layout-compatible across binaries");
+
+}  // namespace ulipc::obs

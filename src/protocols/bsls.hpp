@@ -157,7 +157,9 @@ class Bsls {
     if (adaptive && spincnt > 0) {
       ewma_update(ewma_poll_ns_, (p.time_ns() - t0) / spincnt);
     }
-    if (p.queue_empty(q)) ++c.spin_fallthroughs;
+    const bool fell_through = p.queue_empty(q);
+    if (fell_through) ++c.spin_fallthroughs;
+    obs::spin(p, q, spincnt, fell_through);
   }
 
   /// Scalar blocking dequeue that, in adaptive mode, times any call that

@@ -102,6 +102,7 @@ class BslsThrottled {
       p.sleep_seconds(1);
     }
     ++p.counters().replies;
+    obs::enqueued(p, clnt);
     p.fence();
     if (!p.tas_awake(clnt)) {
       // Client committed to sleeping; owe it a V, but defer the syscall —
@@ -123,6 +124,7 @@ class BslsThrottled {
     Endpoint* ep = pending_.front();
     pending_.pop_front();
     ++p.counters().wakeups;
+    obs::wakeup_sent(p, *ep);
     p.sem_v(*ep);
   }
 
@@ -136,7 +138,9 @@ class BslsThrottled {
       ++c.polls;
     }
     c.spin_iters += spincnt;
-    if (p.queue_empty(q)) ++c.spin_fallthroughs;
+    const bool fell_through = p.queue_empty(q);
+    if (fell_through) ++c.spin_fallthroughs;
+    obs::spin(p, q, spincnt, fell_through);
   }
 
   std::uint32_t max_spin_;

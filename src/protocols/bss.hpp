@@ -7,6 +7,7 @@
 // priority-aging policy.
 #pragma once
 
+#include "obs/hooks.hpp"
 #include "protocols/platform.hpp"
 
 namespace ulipc {
@@ -45,11 +46,13 @@ class Bss {
       p.busy_wait(srv);  // queue full: spin until the server drains it
     }
     ++p.counters().sends;
+    obs::enqueued(p, srv);
     while (!p.dequeue(clnt, ans)) {
       if (expired(p, deadline_ns)) return Status::kTimeout;
       ++p.counters().busy_waits;
       p.busy_wait(clnt);
     }
+    obs::dequeued(p, clnt);
     return Status::kOk;
   }
 
@@ -61,6 +64,7 @@ class Bss {
       p.busy_wait(srv);
     }
     ++p.counters().receives;
+    obs::dequeued(p, srv);
     return Status::kOk;
   }
 
@@ -72,6 +76,7 @@ class Bss {
       p.busy_wait(clnt);
     }
     ++p.counters().replies;
+    obs::enqueued(p, clnt);
     return Status::kOk;
   }
 
@@ -89,6 +94,7 @@ class Bss {
       if (k > 0) {
         got += k;
         ++p.counters().batch_dequeues;
+        obs::dequeued(p, clnt);
       } else {
         ++p.counters().busy_waits;
         p.busy_wait(clnt);
@@ -103,6 +109,7 @@ class Bss {
       if (got > 0) {
         ++p.counters().batch_dequeues;
         p.counters().receives += got;
+        obs::dequeued(p, srv);
         return got;
       }
       ++p.counters().busy_waits;
@@ -125,6 +132,7 @@ class Bss {
       if (k > 0) {
         done += k;
         ++p.counters().batch_enqueues;
+        obs::batch_flush(p, q, k);
       } else {
         ++p.counters().busy_waits;
         p.busy_wait(q);  // queue full: spin until the consumer drains it

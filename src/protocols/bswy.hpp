@@ -47,9 +47,11 @@ class Bswy {
       p.sleep_seconds(1);
     }
     ++p.counters().sends;
+    obs::enqueued(p, srv);
     p.fence();
     if (!p.tas_awake(srv)) {
       ++p.counters().wakeups;
+      obs::wakeup_sent(p, srv);
       p.sem_v(srv);        // wake-up server
       ++p.counters().busy_waits;
       p.busy_wait(srv);    // ... and let it run (hand-off suggestion)

@@ -181,7 +181,9 @@ std::uint64_t client_echo_loop(P& p, Proto& proto, typename P::Endpoint& srv,
   for (std::uint64_t i = 0; i < n; ++i) {
     const double arg = work_us > 0.0 ? work_us : static_cast<double>(i);
     Message ans;
+    const std::int64_t rt0 = obs::round_trip_begin(p);
     proto.send(p, srv, mine, Message(op, id, arg), &ans);
+    obs::round_trip_end(p, rt0);
     if (ans.opcode == op && ans.value == arg && ans.channel == id) {
       ++verified;
     }
@@ -214,7 +216,11 @@ std::uint64_t client_echo_loop_batched(P& p, Proto& proto,
           work_us > 0.0 ? work_us : static_cast<double>(base + i);
       reqs[i] = Message(op, id, arg);
     }
+    const std::int64_t rt0 = obs::round_trip_begin(p);
     proto.send_batch(p, srv, mine, reqs, w, answers);
+    // One timing per window; each of the w messages is credited the
+    // amortized per-message latency.
+    obs::round_trip_end(p, rt0, w);
     for (std::uint32_t i = 0; i < w; ++i) {
       if (answers[i].opcode == op && answers[i].value == reqs[i].value &&
           answers[i].channel == id) {

@@ -13,6 +13,7 @@
 //    from accumulating.
 #pragma once
 
+#include "obs/hooks.hpp"
 #include "protocols/platform.hpp"
 
 namespace ulipc::detail {
@@ -34,9 +35,11 @@ Status enqueue_and_wake_until(P& p, typename P::Endpoint& q,
     p.sleep_seconds(1);  // "waiting a full second should allow the consumer
                          //  to reduce the backlog" (paper §3)
   }
+  obs::enqueued(p, q);
   p.fence();  // order the enqueue before the awake-flag read (SB pattern)
   if (!p.tas_awake(q)) {
     ++p.counters().wakeups;
+    obs::wakeup_sent(p, q);
     p.sem_v(q);
   }
   return Status::kOk;
@@ -77,11 +80,14 @@ Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
     p.fence();  // order the flag clear before the recheck (SB pattern)
     if (!p.dequeue(q, out)) {           // C.3 -- still empty
       ++p.counters().blocks;
+      const std::int64_t sleep_t0 = obs::sleep_begin(p, q);
       if (!p.sem_p_until(q, deadline_ns)) {  // C.4 -- timed sleep
+        obs::sleep_end(p, q, sleep_t0, /*timed_out=*/true);
         p.set_awake(q);  // C.5 on the timeout path too: nobody is sleeping
         ++p.counters().timeouts;
         return Status::kTimeout;
       }
+      obs::sleep_end(p, q, sleep_t0, /*timed_out=*/false);
       p.set_awake(q);                   // C.5
       // Loop: the wake-up means a producer enqueued, but with multiple
       // producers the message may already be gone; iterate.
@@ -92,9 +98,11 @@ Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
         ++p.counters().sem_absorbs;
         p.sem_p(q);
       }
+      obs::dequeued(p, q);
       return Status::kOk;
     }
   }
+  obs::dequeued(p, q);
   return Status::kOk;
 }
 
@@ -130,9 +138,11 @@ Status enqueue_batch_and_wake_until(P& p, typename P::Endpoint& q,
       done += k;
       ++p.counters().batch_enqueues;
       p.counters().wakeups_coalesced += k - 1;
+      obs::batch_flush(p, q, k);
       p.fence();  // order the enqueues before the awake-flag read
       if (!p.tas_awake(q)) {
         ++p.counters().wakeups;
+        obs::wakeup_sent(p, q);
         p.sem_v(q);
       }
       continue;  // queue may have drained already; retry before sleeping
@@ -171,6 +181,7 @@ Status dequeue_batch_or_sleep_until(P& p, typename P::Endpoint& q,
   if (k > 0) {  // fast path: burst already queued, one lock pass, no sleep
     *got = k;
     ++p.counters().batch_dequeues;
+    obs::dequeued(p, q);
     return Status::kOk;
   }
   const Status st =

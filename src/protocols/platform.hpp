@@ -125,7 +125,12 @@ concept Platform = requires(P p, typename P::Endpoint& ep, const Message& cm,
   // for the harness's first-request-to-last-disconnect throughput window.
   { p.time_ns() }          -> std::same_as<std::int64_t>;
 
-  { p.counters() }         -> std::same_as<ProtocolCounters&>;
+  // Counters: either a plain ProtocolCounters& (the simulator) or the
+  // shared-memory obs::LiveCounters& (NativePlatform publishing through the
+  // metrics registry). Protocols only need field-wise ++/+= and reads, so
+  // the concept checks usage, not the concrete type.
+  ++p.counters().wakeups;
+  p.counters().wakeups_coalesced += n;
 };
 // clang-format on
 

@@ -90,6 +90,7 @@ DuplexServerResult run_duplex_server(ShmChannel& channel, Proto proto,
     for (std::uint32_t i = 0; i < clients; ++i) {
       threads.emplace_back([&channel, &slots, proto, pc, opts, i]() mutable {
         NativePlatform plat(pc);
+        channel.bind_duplex_obs(plat, i);
         NativeEndpoint& request = channel.client_request_endpoint(i);
         auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
           return channel.client_endpoint(id);
@@ -118,7 +119,7 @@ DuplexServerResult run_duplex_server(ShmChannel& channel, Proto proto,
           slots[i].result =
               run_echo_server(plat, proto, request, reply_ep, /*clients=*/1);
         }
-        slots[i].counters = plat.counters();
+        slots[i].counters = plat.counters().snapshot();
       });
     }
     for (auto& t : threads) t.join();

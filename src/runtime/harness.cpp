@@ -42,6 +42,7 @@ int server_main(const NativeRunConfig& cfg, ShmChannel& ch) {
     report.server = transport.run_server(cfg.clients, cfg.server_work_us);
   } else {
     NativePlatform plat = make_platform(cfg);
+    ch.bind_server_obs(plat);
     with_protocol<NativePlatform>(cfg.protocol, cfg.max_spin, [&](auto proto) {
       auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
         return ch.client_endpoint(id);
@@ -49,7 +50,7 @@ int server_main(const NativeRunConfig& cfg, ShmChannel& ch) {
       report.server = run_echo_server(plat, proto, ch.server_endpoint(),
                                       reply_ep, cfg.clients);
     });
-    report.counters = plat.counters();
+    report.counters = plat.counters().snapshot();
   }
 
   report.ctx_end = ctx_switches_self();
@@ -72,6 +73,7 @@ int client_main(const NativeRunConfig& cfg, ShmChannel& ch, std::uint32_t id) {
     transport.client_disconnect(id);
   } else {
     NativePlatform plat = make_platform(cfg);
+    ch.bind_client_obs(plat, id);
     with_protocol<NativePlatform>(cfg.protocol, cfg.max_spin, [&](auto proto) {
       NativeEndpoint& mine = ch.client_endpoint(id);
       NativeEndpoint& srv = ch.server_endpoint();
@@ -82,7 +84,7 @@ int client_main(const NativeRunConfig& cfg, ShmChannel& ch, std::uint32_t id) {
                                          cfg.server_work_us);
       client_disconnect(plat, proto, srv, mine, id);
     });
-    report.counters = plat.counters();
+    report.counters = plat.counters().snapshot();
   }
 
   report.ctx_end = ctx_switches_self();

@@ -18,8 +18,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "common/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "protocols/platform.hpp"
 #include "queue/ms_two_lock_queue.hpp"
 #include "queue/spsc_ring.hpp"
@@ -56,6 +59,12 @@ struct NativeEndpoint {
   FutexSemaphore fsem;
   SysvSemHandle vsem;
   std::uint32_t id = 0;
+  // Telemetry stamp: TSC tick at the last wake-carrying enqueue, written by
+  // the producer on the V() path and consumed by the post-sleep dequeuer to
+  // measure the cross-process enqueue-to-dequeue handoff latency (invariant
+  // TSC makes ticks comparable across processes; each reader converts with
+  // its own cached calibration). Messages stay 24 bytes.
+  std::atomic<std::int64_t> last_wake_tick{0};
 };
 
 class NativePlatform {
@@ -71,6 +80,29 @@ class NativePlatform {
 
   NativePlatform() = default;
   explicit NativePlatform(const Config& cfg) : cfg_(cfg) {}
+
+  // Copies get an independent local metric slot carrying over the counter
+  // values (the pre-registry behavior of copying a plain counters struct);
+  // an external registry binding is deliberately NOT inherited — two
+  // platforms writing one single-writer slot would corrupt it.
+  NativePlatform(const NativePlatform& o)
+      : cfg_(o.cfg_), tsc_ns_per_tick_(o.tsc_ns_per_tick_) {
+    counters().restore(o.slot_->counters.snapshot());
+  }
+  NativePlatform& operator=(const NativePlatform& o) {
+    if (this != &o) {
+      cfg_ = o.cfg_;
+      local_ = std::make_shared<obs::MetricSlot>();
+      slot_ = local_.get();
+      ring_ = nullptr;
+      slot_id_ = 0;
+      tsc_ns_per_tick_ = o.tsc_ns_per_tick_;
+      counters().restore(o.slot_->counters.snapshot());
+    }
+    return *this;
+  }
+  NativePlatform(NativePlatform&&) = default;
+  NativePlatform& operator=(NativePlatform&&) = default;
 
   // ---- queue ----
   //
@@ -188,13 +220,157 @@ class NativePlatform {
 
   [[nodiscard]] std::int64_t time_ns() noexcept { return now_ns(); }
 
-  ProtocolCounters& counters() noexcept { return counters_; }
+  obs::LiveCounters& counters() noexcept { return slot_->counters; }
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
+  // ---- observability ----
+  //
+  // By default every platform writes a private heap-allocated MetricSlot
+  // (the old process-local counters, now externally snapshotable). Binding
+  // redirects all metrics — and, when compiled in, trace records — to a
+  // slot/ring pair inside the channel's shm registry, making this
+  // platform's activity visible to ulipc-stat. One platform instance per
+  // slot: the registry cells are single-writer.
+
+  void bind_obs(obs::MetricSlot* slot, obs::TraceRing* ring,
+                std::uint16_t slot_id) noexcept {
+    slot_ = slot != nullptr ? slot : local_.get();
+    ring_ = ring;
+    slot_id_ = slot_id;
+    // Warm the process-wide TSC calibration here, outside any timed loop:
+    // obs_rt_end() converts ticks to ns and must never pay the one-shot
+    // ~2 ms measurement inside the first round trip it instruments.
+    tsc_ns_per_tick_ = TscClock::cached().ns_per_tick;
+  }
+
+  [[nodiscard]] obs::MetricSlot& metrics() noexcept { return *slot_; }
+  [[nodiscard]] obs::TraceRing* trace_ring() noexcept { return ring_; }
+
+  void obs_trace(obs::TraceEvent ev, std::uint32_t a = 0,
+                 std::uint64_t b = 0) noexcept {
+    if constexpr (obs::kTraceCompiledIn) {
+      if (ring_ != nullptr) ring_->emit(ev, slot_id_, a, b);
+    } else {
+      (void)ev;
+      (void)a;
+      (void)b;
+    }
+  }
+
+  // Hook methods called from the protocol templates (see obs/hooks.hpp).
+  // The timing hooks are DECIMATED: even with rdtsc (~15 ns/read here, vs
+  // ~26 ns for a vDSO clock_gettime), timestamping every round trip and
+  // every sleep costs several percent of a ~110 ns/msg batched round trip.
+  // Sampling 1-in-2^k with the histogram weight scaled by 2^k keeps the
+  // recorded totals and the percentile shape (the workload is stationary
+  // over any 16-event stretch) while cutting the clock reads to noise.
+  // Counter updates are never sampled — they are exact.
+  static constexpr std::uint32_t kRtSampleShift = 4;     // time 1 in 16
+  static constexpr std::uint32_t kSleepSampleShift = 4;  // time 1 in 16
+  static constexpr std::uint32_t kWakeSampleShift = 2;   // stamp 1 in 4
+  static constexpr std::uint32_t kBatchSampleShift = 2;  // hist 1 in 4
+
+  void obs_enqueue(Endpoint& ep) noexcept {
+    obs_trace(obs::TraceEvent::kEnqueue, ep.id);
+  }
+  void obs_dequeue(Endpoint& ep) noexcept {
+    obs_trace(obs::TraceEvent::kDequeue, ep.id);
+  }
+  void obs_wakeup_sent(Endpoint& ep) noexcept {
+    if ((wake_decim_++ & ((1u << kWakeSampleShift) - 1)) == 0) {
+      ep.last_wake_tick.store(static_cast<std::int64_t>(TscClock::now()),
+                              std::memory_order_relaxed);
+    }
+    obs_trace(obs::TraceEvent::kWakeupSent, ep.id);
+  }
+  /// Returns the sleep-entry tick, or -1 when this sleep is not sampled.
+  std::int64_t obs_sleep_begin(Endpoint& ep) noexcept {
+    obs_trace(obs::TraceEvent::kSleepBegin, ep.id);
+    if ((sleep_decim_++ & ((1u << kSleepSampleShift) - 1)) != 0) return -1;
+    return static_cast<std::int64_t>(TscClock::now());
+  }
+  void obs_sleep_end(Endpoint& ep, std::int64_t t0, bool timed_out) noexcept {
+    // The wake stamp is consumed (and cleared) on EVERY sleep exit, sampled
+    // or not: a stamp left behind by an unsampled exit would otherwise be
+    // read many wake-ups later as an absurdly long handoff latency.
+    const std::int64_t stamp =
+        ep.last_wake_tick.load(std::memory_order_relaxed);
+    if (stamp != 0) ep.last_wake_tick.store(0, std::memory_order_relaxed);
+    if (t0 >= 0) {
+      const auto now = static_cast<std::int64_t>(TscClock::now());
+      slot_->hist(obs::HistKind::kSleepNs)
+          .record(obs_ticks_to_ns(now - t0),
+                  std::uint64_t{1} << kSleepSampleShift);
+      if (!timed_out && stamp != 0 && now > stamp) {
+        slot_->hist(obs::HistKind::kWakeLatencyNs)
+            .record(obs_ticks_to_ns(now - stamp));
+      }
+    }
+    obs_trace(obs::TraceEvent::kSleepEnd, ep.id, timed_out ? 1 : 0);
+  }
+  void obs_batch_flush(Endpoint& ep, std::uint32_t n) noexcept {
+    if ((batch_decim_++ & ((1u << kBatchSampleShift) - 1)) == 0) {
+      slot_->hist(obs::HistKind::kBatchSize)
+          .record(n, std::uint64_t{1} << kBatchSampleShift);
+    }
+    obs_trace(obs::TraceEvent::kBatchFlush, ep.id, n);
+  }
+  void obs_spin(Endpoint& ep, std::uint32_t iters, bool exhausted) noexcept {
+    if ((spin_decim_++ & ((1u << kBatchSampleShift) - 1)) == 0) {
+      slot_->hist(obs::HistKind::kSpinIters)
+          .record(iters, std::uint64_t{1} << kBatchSampleShift);
+    }
+    if (exhausted) obs_trace(obs::TraceEvent::kSpinExhausted, ep.id, iters);
+  }
+  void obs_round_trip(std::int64_t ns, std::uint64_t weight) noexcept {
+    slot_->hist(obs::HistKind::kRoundTripNs)
+        .record(static_cast<std::uint64_t>(ns > 0 ? ns : 0), weight);
+  }
+
+  // Round-trip bracket (obs::round_trip_begin/end): rdtsc, not
+  // clock_gettime — this pair runs INSIDE the latency it measures, and two
+  // vDSO clock reads per window are a measurable fraction of a ~100 ns/msg
+  // batched round trip. Ticks convert to ns at record time via the cached
+  // process calibration (lazily measured if nothing bound this platform).
+  /// Returns the round-trip start tick, or -1 when this one is skipped by
+  /// the sampling decimation.
+  [[nodiscard]] std::int64_t obs_rt_begin() noexcept {
+    if ((rt_decim_++ & ((1u << kRtSampleShift) - 1)) != 0) return -1;
+    return static_cast<std::int64_t>(TscClock::now());
+  }
+  void obs_rt_end(std::int64_t t0, std::uint64_t count) noexcept {
+    if (t0 < 0 || count == 0) return;
+    const auto dt = static_cast<std::int64_t>(TscClock::now()) - t0;
+    const auto dt_ns = static_cast<std::int64_t>(obs_ticks_to_ns(dt));
+    obs_round_trip(dt_ns / static_cast<std::int64_t>(count),
+                   count << kRtSampleShift);
+  }
+
  private:
+  /// Tick delta -> ns via the process calibration (fetched lazily so
+  /// never-bound platforms only pay the one-shot measurement if they
+  /// actually record; bind_obs() pre-warms it). Negative deltas clamp to 0.
+  [[nodiscard]] std::uint64_t obs_ticks_to_ns(std::int64_t dticks) noexcept {
+    if (dticks <= 0) return 0;
+    if (tsc_ns_per_tick_ == 0.0) {
+      tsc_ns_per_tick_ = TscClock::cached().ns_per_tick;
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(dticks) *
+                                      tsc_ns_per_tick_);
+  }
+
   Config cfg_{};
-  ProtocolCounters counters_{};
+  std::shared_ptr<obs::MetricSlot> local_ = std::make_shared<obs::MetricSlot>();
+  obs::MetricSlot* slot_ = local_.get();
+  obs::TraceRing* ring_ = nullptr;
+  std::uint16_t slot_id_ = 0;
+  double tsc_ns_per_tick_ = 0.0;  // 0 = calibration not yet fetched
+  std::uint32_t rt_decim_ = 0;    // timing-hook decimation counters
+  std::uint32_t sleep_decim_ = 0;
+  std::uint32_t wake_decim_ = 0;
+  std::uint32_t batch_decim_ = 0;
+  std::uint32_t spin_decim_ = 0;
 };
 
 static_assert(Platform<NativePlatform>);

@@ -1,11 +1,37 @@
 #include "runtime/shm_channel.hpp"
 
+#include <bit>
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/clock.hpp"
 #include "queue/queue_recovery.hpp"
 
 namespace ulipc {
+
+namespace {
+
+std::uint32_t round_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Total bytes of the observability block (header + slots + rings), with
+/// each sub-array cache-line aligned.
+std::size_t obs_block_bytes(const ShmChannel::Config& cfg) {
+  const std::uint32_t slot_count = 1 + 2 * cfg.max_clients;
+  const std::uint32_t ring_cap = round_pow2(cfg.trace_ring_capacity);
+  const std::size_t ring_stride =
+      align_up(obs::TraceRing::bytes_for(ring_cap), kCacheLineSize);
+  std::size_t bytes = align_up(sizeof(obs::ObsHeader), kCacheLineSize);
+  bytes = align_up(bytes + slot_count * sizeof(obs::MetricSlot),
+                   kCacheLineSize);
+  bytes += (slot_count + 1) * ring_stride;  // +1: the shared recovery ring
+  return bytes;
+}
+
+}  // namespace
 
 std::size_t ShmChannel::required_bytes(const Config& cfg) {
   // Header + pool header + nodes + (1 + clients) * (endpoint + queue),
@@ -22,6 +48,7 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
   while (ring_slots < cfg.queue_capacity) ring_slots <<= 1;
   bytes += (queues - 1) * (sizeof(SpscRing) + ring_slots * sizeof(Message));
   bytes += (2 * queues + 8) * 2 * kCacheLineSize;  // alignment slack
+  bytes += obs_block_bytes(cfg);                   // metrics + trace rings
   return align_up(bytes * 2, 4096);                // 2x safety margin
 }
 
@@ -75,6 +102,51 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
       ch.header_->client_req_ep_offset[i] = build_endpoint(
           i, static_cast<int>(cfg.max_clients + i) + 1, /*with_ring=*/true);
     }
+  }
+
+  // Observability block: one contiguous allocation holding the registry
+  // header, the per-participant metric slots, and the per-participant trace
+  // rings plus the shared recovery ring. Internal offsets are relative to
+  // the ObsHeader, so a read-only attacher only needs header_->obs_offset.
+  {
+    const std::uint32_t slot_count = 1 + 2 * cfg.max_clients;
+    const std::uint32_t ring_cap = round_pow2(cfg.trace_ring_capacity);
+    const std::uint64_t ring_stride =
+        align_up(obs::TraceRing::bytes_for(ring_cap), kCacheLineSize);
+    const std::uint64_t slots_off =
+        align_up(sizeof(obs::ObsHeader), kCacheLineSize);
+    const std::uint64_t rings_off = align_up(
+        slots_off + slot_count * sizeof(obs::MetricSlot), kCacheLineSize);
+    const std::uint64_t total = rings_off + (slot_count + 1) * ring_stride;
+
+    const std::uint64_t obs_off =
+        ch.arena_.allocate_offset(total, kCacheLineSize);
+    auto* oh = new (ch.arena_.from_offset<char>(obs_off)) obs::ObsHeader();
+    oh->magic = obs::ObsHeader::kMagic;
+    oh->version = obs::ObsHeader::kVersion;
+    oh->slot_count = slot_count;
+    oh->ring_capacity = ring_cap;
+    oh->trace_compiled = obs::kTraceCompiledIn ? 1 : 0;
+    oh->slots_offset = slots_off;
+    oh->rings_offset = rings_off;
+    oh->ring_stride = ring_stride;
+    for (std::uint32_t s = 0; s < slot_count; ++s) {
+      new (&oh->slot(s)) obs::MetricSlot();
+    }
+    for (std::uint32_t r = 0; r < slot_count + 1; ++r) {
+      obs::TraceRing::format(oh->ring_blob(r), ring_cap);
+    }
+
+    // Stamp the creator's TSC calibration so every attached process (and
+    // the export tool) converts trace timestamps on the same scale.
+    const TscClock::Calibration cal = TscClock::cached();
+    oh->tsc_ns_per_tick_bits.store(
+        std::bit_cast<std::uint64_t>(cal.ns_per_tick),
+        std::memory_order_release);
+    oh->tsc_epoch.store(cal.tsc_epoch, std::memory_order_release);
+    oh->mono_epoch_ns.store(cal.mono_epoch_ns, std::memory_order_release);
+
+    ch.header_->obs_offset = obs_off;
   }
 
   if (cfg.create_sysv_queues) {
@@ -146,6 +218,20 @@ ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
 
   // Step 3: vacate the seat — the crash has been fully absorbed.
   header_->client_peer[i].pid.store(0, std::memory_order_release);
+
+  // Publish what the sweep recovered. The recovery lock we hold serializes
+  // every writer of these counters and of the shared recovery ring (ring
+  // index slot_count); recovery is cold-path, so it is emitted even in
+  // trace-disabled builds.
+  if (has_obs()) {
+    obs::ObsHeader& oh = obs();
+    ++oh.recovery.sweeps;
+    oh.recovery.drained_messages += stats.drained_messages;
+    oh.recovery.nodes_reclaimed += stats.nodes_reclaimed;
+    auto* ring = static_cast<obs::TraceRing*>(oh.ring_blob(oh.slot_count));
+    ring->emit(obs::TraceEvent::kRecovery, static_cast<std::uint16_t>(i),
+               stats.drained_messages, stats.nodes_reclaimed);
+  }
   return stats;
 }
 

@@ -17,6 +17,8 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "protocols/channel.hpp"
 #include "protocols/platform.hpp"
 #include "queue/msg_pool.hpp"
@@ -88,6 +90,10 @@ struct ShmChannelHeader {
 
   ShmReport server_report;
   ShmReport client_report[kMaxClients];
+
+  // Offset of the obs::ObsHeader block (metrics registry + trace rings);
+  // 0 on regions formatted by pre-observability binaries.
+  std::uint64_t obs_offset = 0;
 };
 
 /// Creates/attaches the channel structures. The creator owns the SysV
@@ -102,6 +108,8 @@ class ShmChannel {
                           // the thread-per-client server architecture
                           // ("two queues per client to implement the
                           //  full-duplex virtual connection", paper 2.1)
+    std::uint32_t trace_ring_capacity = 1024;  // records per trace ring
+                                               // (rounded up to a power of 2)
   };
 
   /// Formats `region` and builds all channel structures inside it.
@@ -138,6 +146,42 @@ class ShmChannel {
   /// The node pool all of this channel's queues draw from.
   [[nodiscard]] NodePool& node_pool() noexcept {
     return *arena_.from_offset<NodePool>(header_->node_pool_offset);
+  }
+
+  // ---- observability ----
+
+  /// False on regions formatted by binaries predating the registry.
+  [[nodiscard]] bool has_obs() const noexcept {
+    return header_->obs_offset != 0;
+  }
+  [[nodiscard]] obs::ObsHeader& obs() noexcept {
+    return *arena_.from_offset<obs::ObsHeader>(header_->obs_offset);
+  }
+  [[nodiscard]] const obs::ObsHeader& obs() const noexcept {
+    return *arena_.from_offset<const obs::ObsHeader>(header_->obs_offset);
+  }
+
+  // Metric-slot / trace-ring index convention (matches ObsHeader's doc):
+  // 0 = server, 1..n = clients, n+1..2n = duplex server threads.
+  [[nodiscard]] static std::uint32_t server_obs_slot() noexcept { return 0; }
+  [[nodiscard]] std::uint32_t client_obs_slot(std::uint32_t i) const noexcept {
+    return 1 + i;
+  }
+  [[nodiscard]] std::uint32_t duplex_obs_slot(std::uint32_t i) const noexcept {
+    return 1 + header_->max_clients + i;
+  }
+
+  /// Claims an obs slot for the calling process/thread and points the
+  /// platform's telemetry at it. No-ops (platform stays on its private
+  /// local slot) when the region has no obs block.
+  void bind_server_obs(NativePlatform& p) noexcept {
+    bind_obs_slot(p, server_obs_slot(), obs::SlotRole::kServer);
+  }
+  void bind_client_obs(NativePlatform& p, std::uint32_t i) noexcept {
+    bind_obs_slot(p, client_obs_slot(i), obs::SlotRole::kClient);
+  }
+  void bind_duplex_obs(NativePlatform& p, std::uint32_t i) noexcept {
+    bind_obs_slot(p, duplex_obs_slot(i), obs::SlotRole::kDuplexThread);
   }
 
   // ---- peer liveness registry ----
@@ -208,6 +252,16 @@ class ShmChannel {
 
  private:
   ShmChannel() = default;
+
+  void bind_obs_slot(NativePlatform& p, std::uint32_t slot_index,
+                     obs::SlotRole role) noexcept {
+    if (!has_obs()) return;
+    obs::ObsHeader& oh = obs();
+    oh.slot(slot_index).bind(role, robust_self_pid());
+    p.bind_obs(&oh.slot(slot_index),
+               static_cast<obs::TraceRing*>(oh.ring_blob(slot_index)),
+               static_cast<std::uint16_t>(slot_index));
+  }
 
   static void seat(PeerSlot& slot, std::uint32_t pid) noexcept {
     slot.generation.fetch_add(1, std::memory_order_acq_rel);

@@ -66,6 +66,29 @@ ShmRegion ShmRegion::open_named(const std::string& name) {
   return r;
 }
 
+ShmRegion ShmRegion::open_named_readonly(const std::string& name) {
+  ShmRegion r;
+  const int fd = shm_open(name.c_str(), O_RDONLY, 0600);
+  ULIPC_CHECK_ERRNO(fd >= 0, "shm_open(open ro " + name + ")");
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    close(fd);
+    throw SysError("fstat(" + name + ")", err);
+  }
+  void* p = mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                 MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  close(fd);
+  ULIPC_CHECK_ERRNO(p != MAP_FAILED || (errno = map_err, false),
+                    "mmap(ro " + name + ")");
+  r.base_ = p;
+  r.size_ = static_cast<std::size_t>(st.st_size);
+  r.name_ = name;
+  r.owns_name_ = false;
+  return r;
+}
+
 ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
   if (this != &other) {
     this->~ShmRegion();

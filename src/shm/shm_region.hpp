@@ -33,6 +33,12 @@ class ShmRegion {
   /// Maps an existing named POSIX shm object (does not own the name).
   static ShmRegion open_named(const std::string& name);
 
+  /// Maps an existing named POSIX shm object read-only (O_RDONLY +
+  /// PROT_READ). This is what `ulipc-stat` uses: an observer that
+  /// physically cannot perturb a live channel. Any store through the
+  /// mapping faults, so only use read paths (snapshots, ring readers).
+  static ShmRegion open_named_readonly(const std::string& name);
+
   ShmRegion(ShmRegion&& other) noexcept { *this = std::move(other); }
   ShmRegion& operator=(ShmRegion&& other) noexcept;
   ShmRegion(const ShmRegion&) = delete;

@@ -48,6 +48,33 @@ TEST(DelayLoop, SpinDurationRoughlyCalibrated) {
   EXPECT_TRUE(in_band);
 }
 
+TEST(TscClock, TicksAdvance) {
+  const std::uint64_t a = TscClock::now();
+  DelayLoop::spin_ns(100'000);
+  EXPECT_GT(TscClock::now(), a);
+}
+
+TEST(TscClock, CalibrationConvertsTicksToMonotonicNs) {
+  const TscClock::Calibration cal = TscClock::calibrate();
+  EXPECT_GT(cal.ns_per_tick, 0.0);
+  // Round trip: a fresh tick converted through the calibration must land
+  // near the steady clock "now". 10 ms tolerance absorbs scheduling noise
+  // on a loaded single-core host (the drift itself is microseconds).
+  const std::uint64_t t = TscClock::now();
+  const std::int64_t mono = now_ns();
+  EXPECT_NEAR(static_cast<double>(cal.to_mono_ns(t)),
+              static_cast<double>(mono), 10e6);
+  // Epochs anchor the mapping: converting the epoch tick gives the epoch ns.
+  EXPECT_EQ(cal.to_mono_ns(cal.tsc_epoch), cal.mono_epoch_ns);
+}
+
+TEST(TscClock, CachedCalibrationIsStable) {
+  const TscClock::Calibration& a = TscClock::cached();
+  const TscClock::Calibration& b = TscClock::cached();
+  EXPECT_EQ(&a, &b) << "cached() must return one process-wide instance";
+  EXPECT_GT(a.ns_per_tick, 0.0);
+}
+
 TEST(Stopwatch, MeasuresElapsed) {
   Stopwatch sw;
   DelayLoop::spin_ns(1'000'000);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test (wired into ctest as `obs_smoke`).
+#
+#   1. run the quickstart echo server/client pair on a named shm channel,
+#      with MAX_SPIN=0 so every receive exercises the full sleep/wake
+#      protocol (trace rings fill with sleep/wake pairs);
+#   2. attach `ulipc-stat` to the still-mapped region: table, JSON (shape-
+#      checked), and a Chrome trace_event export;
+#   3. validate the export with python3: well-formed JSON, and — when the
+#      binary was built with ULIPC_TRACE=ON — at least one sleep span and
+#      one wakeup-sent instant.
+#
+# usage: obs_smoke.sh <quickstart-binary> <ulipc-stat-binary>
+set -euo pipefail
+
+QUICKSTART=${1:?quickstart binary}
+STAT=${2:?ulipc-stat binary}
+
+WORK=$(mktemp -d)
+SHM_NAME="/ulipc_obs_smoke_$$"
+trap 'rm -rf "$WORK"; rm -f "/dev/shm$SHM_NAME"' EXIT
+
+export ULIPC_QUICKSTART_SHM="$SHM_NAME"
+export ULIPC_QUICKSTART_REQUESTS=20000
+export ULIPC_QUICKSTART_SPIN=0        # force block-every-time
+export ULIPC_QUICKSTART_LINGER_MS=20000
+
+"$QUICKSTART" >"$WORK/quickstart.log" 2>&1 &
+QS_PID=$!
+
+# Wait for the run to finish; the parent then lingers with the shm mapped.
+for _ in $(seq 1 200); do
+  grep -q '\[main\] done' "$WORK/quickstart.log" 2>/dev/null && break
+  kill -0 "$QS_PID" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q '\[main\] done' "$WORK/quickstart.log" || {
+  echo "FAIL: quickstart did not complete"; cat "$WORK/quickstart.log"; exit 1
+}
+grep -q '\[client\] 20000/20000 replies verified' "$WORK/quickstart.log" || {
+  echo "FAIL: not all replies verified"; cat "$WORK/quickstart.log"; exit 1
+}
+
+echo "== ulipc-stat table =="
+"$STAT" "$SHM_NAME" | tee "$WORK/table.txt"
+grep -q 'server' "$WORK/table.txt" || {
+  echo "FAIL: no server row in the table"; exit 1
+}
+
+echo "== ulipc-stat --json =="
+"$STAT" --json "$SHM_NAME" >"$WORK/stat.json"
+python3 - "$WORK/stat.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+slots = {s["role"]: s for s in doc["slots"]}
+assert "server" in slots and "client" in slots, f"missing roles: {list(slots)}"
+srv, cli = slots["server"], slots["client"]
+assert srv["counters"]["receives"] >= 20000, srv["counters"]
+assert cli["counters"]["sends"] >= 20000, cli["counters"]
+# MAX_SPIN=0: the consumer blocks on (nearly) every message, so sleeps and
+# the wake-ups that end them must both be visible in the registry.
+assert srv["counters"]["blocks"] > 0, srv["counters"]
+assert cli["counters"]["wakeups"] > 0, cli["counters"]
+assert cli["hist"]["round_trip_ns"]["count"] >= 20000, cli["hist"]
+assert srv["hist"]["sleep_ns"]["count"] > 0, srv["hist"]
+print("JSON registry shape OK:",
+      f"srv blocks={srv['counters']['blocks']}",
+      f"cli wakeups={cli['counters']['wakeups']}",
+      f"rt p50={cli['hist']['round_trip_ns']['p50']:.0f}ns")
+EOF
+
+echo "== ulipc-stat --trace-export =="
+"$STAT" --trace-export="$WORK/trace.json" "$SHM_NAME"
+TRACE_ON=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['trace_compiled'])" "$WORK/stat.json")
+python3 - "$WORK/trace.json" "$TRACE_ON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))     # must parse: well-formed JSON
+events = doc["traceEvents"]
+trace_on = sys.argv[2] == "True"
+sleeps = [e for e in events if e["ph"] == "X" and e["name"] == "sleep"]
+wakes = [e for e in events if e["name"] == "wakeup-sent"]
+if trace_on:
+    assert len(sleeps) > 0, "no sleep spans despite ULIPC_TRACE=ON"
+    assert len(wakes) > 0, "no wakeup-sent instants despite ULIPC_TRACE=ON"
+    assert all(e["dur"] >= 0 for e in sleeps)
+print(f"Chrome trace OK: {len(events)} events, "
+      f"{len(sleeps)} sleep spans, {len(wakes)} wakeups (trace_on={trace_on})")
+EOF
+
+kill "$QS_PID" 2>/dev/null || true
+wait "$QS_PID" 2>/dev/null || true
+echo "obs_smoke PASS"

@@ -1,0 +1,371 @@
+// ulipc-stat: attach read-only to a live channel's shared memory and report
+// its telemetry — per-participant counters, wake-ups per message, latency
+// percentiles, recovery totals — as a table, as JSON, continuously
+// (--watch), or as a Chrome trace_event file (--trace-export).
+//
+// The mapping is PROT_READ: this tool physically cannot perturb the channel
+// it observes. Everything it prints comes from the obs block the channel
+// creator laid out (obs::ObsHeader -> MetricSlots -> TraceRings); consistency
+// comes from the slots' seqlocks and the rings' per-record seqno validation,
+// never from stopping the writers.
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_allocator.hpp"
+#include "shm/shm_region.hpp"
+
+namespace {
+
+using namespace ulipc;
+
+struct Options {
+  std::string shm_name;
+  bool json = false;
+  bool watch = false;
+  int interval_ms = 1000;
+  std::string trace_export;  // empty = no export
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] /shm_name\n"
+               "\n"
+               "Attaches read-only to a live ulipc channel and reports its\n"
+               "metrics registry.\n"
+               "\n"
+               "  --json               one JSON document instead of the table\n"
+               "  --watch              redraw every interval until the server\n"
+               "                       exits (or ^C)\n"
+               "  --interval-ms=N      watch refresh period (default 1000)\n"
+               "  --trace-export=FILE  write the trace rings as Chrome\n"
+               "                       trace_event JSON (chrome://tracing,\n"
+               "                       https://ui.perfetto.dev)\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      out->json = true;
+    } else if (a == "--watch") {
+      out->watch = true;
+    } else if (a.rfind("--interval-ms=", 0) == 0) {
+      out->interval_ms = std::max(10, std::atoi(a.c_str() + 14));
+    } else if (a.rfind("--trace-export=", 0) == 0) {
+      out->trace_export = a.substr(15);
+    } else if (!a.empty() && a[0] == '-') {
+      return false;
+    } else if (out->shm_name.empty()) {
+      out->shm_name = a;
+    } else {
+      return false;
+    }
+  }
+  return !out->shm_name.empty();
+}
+
+/// The read-only view over the mapped region. Offsets mirror what
+/// ShmChannel::create laid out; nothing here mutates the mapping.
+struct ChannelView {
+  ShmRegion region;
+  const ShmChannelHeader* channel = nullptr;
+  const obs::ObsHeader* obs = nullptr;
+
+  static ChannelView open(const std::string& name) {
+    ChannelView v;
+    v.region = ShmRegion::open_named_readonly(name);
+    const auto* arena = v.region.at<const ArenaHeader>(0);
+    ULIPC_INVARIANT(arena->magic == ArenaHeader::kMagic,
+                    "not a ulipc arena region");
+    v.channel = v.region.at<const ShmChannelHeader>(
+        align_up(sizeof(ArenaHeader), kCacheLineSize));
+    ULIPC_INVARIANT(v.channel->magic == ShmChannelHeader::kMagic,
+                    "not a ulipc channel region");
+    ULIPC_INVARIANT(v.channel->obs_offset != 0,
+                    "channel has no observability block (created by a "
+                    "pre-observability binary?)");
+    v.obs = v.region.at<const obs::ObsHeader>(v.channel->obs_offset);
+    ULIPC_INVARIANT(v.obs->magic == obs::ObsHeader::kMagic,
+                    "bad observability block magic");
+    return v;
+  }
+
+  [[nodiscard]] const obs::TraceRing* ring(std::uint32_t i) const {
+    return static_cast<const obs::TraceRing*>(obs->ring_blob(i));
+  }
+
+  [[nodiscard]] TscClock::Calibration calibration() const {
+    TscClock::Calibration c;
+    c.ns_per_tick = std::bit_cast<double>(
+        obs->tsc_ns_per_tick_bits.load(std::memory_order_acquire));
+    if (c.ns_per_tick <= 0.0) c.ns_per_tick = 1.0;
+    c.tsc_epoch = obs->tsc_epoch.load(std::memory_order_acquire);
+    c.mono_epoch_ns = obs->mono_epoch_ns.load(std::memory_order_acquire);
+    return c;
+  }
+};
+
+/// Messages this participant has moved: sends for clients, receives for a
+/// server — max covers both (and duplex threads, which do both).
+std::uint64_t slot_messages(const ProtocolCounters& c) {
+  return std::max(c.sends, c.receives);
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+// ---- table output ----
+
+void print_table(const ChannelView& v) {
+  std::printf("%-4s %-7s %-8s %9s %7s %7s %9s %8s %8s %9s %9s %9s\n", "slot",
+              "role", "pid", "msgs", "wk/msg", "coal", "sleeps", "spin-p50",
+              "spin-p99", "rt-p50us", "rt-p99us", "slp-p50us");
+  for (std::uint32_t i = 0; i < v.obs->slot_count; ++i) {
+    obs::SlotSnapshot s;
+    if (!v.obs->slot(i).read_snapshot(&s) || !s.bound()) continue;
+    const std::uint64_t msgs = slot_messages(s.counters);
+    std::printf(
+        "%-4u %-7s %-8u %9llu %7.3f %7llu %9llu %8.0f %8.0f %9.2f %9.2f "
+        "%9.1f\n",
+        i, obs::slot_role_name(s.role), s.pid,
+        static_cast<unsigned long long>(msgs),
+        ratio(s.counters.wakeups, msgs),
+        static_cast<unsigned long long>(s.counters.wakeups_coalesced),
+        static_cast<unsigned long long>(s.counters.blocks),
+        s.h(obs::HistKind::kSpinIters).percentile(50),
+        s.h(obs::HistKind::kSpinIters).percentile(99),
+        s.h(obs::HistKind::kRoundTripNs).percentile(50) / 1e3,
+        s.h(obs::HistKind::kRoundTripNs).percentile(99) / 1e3,
+        s.h(obs::HistKind::kSleepNs).percentile(50) / 1e3);
+  }
+  std::printf(
+      "recovery: sweeps=%llu drained=%llu nodes=%llu   trace=%s "
+      "(ring %u x %u rec)\n",
+      static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
+      static_cast<unsigned long long>(v.obs->recovery.drained_messages.load()),
+      static_cast<unsigned long long>(v.obs->recovery.nodes_reclaimed.load()),
+      v.obs->trace_compiled ? "on" : "off", v.obs->ring_count(),
+      v.obs->ring_capacity);
+}
+
+// ---- JSON output ----
+
+void json_counters(std::FILE* f, const ProtocolCounters& c) {
+  std::fprintf(
+      f,
+      "{\"sends\":%llu,\"receives\":%llu,\"replies\":%llu,\"blocks\":%llu,"
+      "\"wakeups\":%llu,\"yields\":%llu,\"busy_waits\":%llu,\"polls\":%llu,"
+      "\"spin_entries\":%llu,\"spin_iters\":%llu,\"spin_fallthroughs\":%llu,"
+      "\"sem_absorbs\":%llu,\"full_sleeps\":%llu,\"timeouts\":%llu,"
+      "\"batch_enqueues\":%llu,\"batch_dequeues\":%llu,"
+      "\"wakeups_coalesced\":%llu,\"adaptive_updates\":%llu}",
+      static_cast<unsigned long long>(c.sends),
+      static_cast<unsigned long long>(c.receives),
+      static_cast<unsigned long long>(c.replies),
+      static_cast<unsigned long long>(c.blocks),
+      static_cast<unsigned long long>(c.wakeups),
+      static_cast<unsigned long long>(c.yields),
+      static_cast<unsigned long long>(c.busy_waits),
+      static_cast<unsigned long long>(c.polls),
+      static_cast<unsigned long long>(c.spin_entries),
+      static_cast<unsigned long long>(c.spin_iters),
+      static_cast<unsigned long long>(c.spin_fallthroughs),
+      static_cast<unsigned long long>(c.sem_absorbs),
+      static_cast<unsigned long long>(c.full_sleeps),
+      static_cast<unsigned long long>(c.timeouts),
+      static_cast<unsigned long long>(c.batch_enqueues),
+      static_cast<unsigned long long>(c.batch_dequeues),
+      static_cast<unsigned long long>(c.wakeups_coalesced),
+      static_cast<unsigned long long>(c.adaptive_updates));
+}
+
+void json_hist(std::FILE* f, const obs::HistogramSnapshot& h) {
+  std::fprintf(f,
+               "{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,"
+               "\"p99\":%.1f,\"max\":%.1f}",
+               static_cast<unsigned long long>(h.count), h.mean(),
+               h.percentile(50), h.percentile(95), h.percentile(99),
+               h.percentile(100));
+}
+
+void print_json(std::FILE* f, const ChannelView& v) {
+  std::fprintf(f,
+               "{\"slot_count\":%u,\"ring_capacity\":%u,\"trace_compiled\":%s,"
+               "\"recovery\":{\"sweeps\":%llu,\"drained_messages\":%llu,"
+               "\"nodes_reclaimed\":%llu},\"slots\":[",
+               v.obs->slot_count, v.obs->ring_capacity,
+               v.obs->trace_compiled ? "true" : "false",
+               static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
+               static_cast<unsigned long long>(
+                   v.obs->recovery.drained_messages.load()),
+               static_cast<unsigned long long>(
+                   v.obs->recovery.nodes_reclaimed.load()));
+  bool first = true;
+  for (std::uint32_t i = 0; i < v.obs->slot_count; ++i) {
+    obs::SlotSnapshot s;
+    if (!v.obs->slot(i).read_snapshot(&s) || !s.bound()) continue;
+    std::fprintf(f, "%s{\"slot\":%u,\"role\":\"%s\",\"pid\":%u,"
+                    "\"generation\":%u,\"wk_per_msg\":%.6f,\"counters\":",
+                 first ? "" : ",", i, obs::slot_role_name(s.role), s.pid,
+                 s.generation,
+                 ratio(s.counters.wakeups, slot_messages(s.counters)));
+    first = false;
+    json_counters(f, s.counters);
+    std::fprintf(f, ",\"hist\":{");
+    for (std::uint32_t k = 0; k < obs::kHistKinds; ++k) {
+      std::fprintf(f, "%s\"%s\":", k == 0 ? "" : ",",
+                   obs::hist_kind_name(static_cast<obs::HistKind>(k)));
+      json_hist(f, s.hist[k]);
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "]}\n");
+}
+
+// ---- Chrome trace export ----
+
+struct MergedRecord {
+  obs::TraceRecordView rec;
+  std::uint32_t ring = 0;
+};
+
+/// Writes every validated trace record as Chrome trace_event JSON. Sleep
+/// begin/end pairs become "complete" (ph X) spans so the blocked intervals
+/// are visible bars; everything else is an instant. pid groups by the
+/// owning participant's recorded pid, tid is the obs slot index.
+int export_trace(const ChannelView& v, const std::string& path) {
+  std::vector<MergedRecord> all;
+  for (std::uint32_t r = 0; r < v.obs->ring_count(); ++r) {
+    for (const obs::TraceRecordView& rec : v.ring(r)->read_all()) {
+      all.push_back({rec, r});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const MergedRecord& a, const MergedRecord& b) {
+              return a.rec.tsc < b.rec.tsc;
+            });
+
+  const TscClock::Calibration cal = v.calibration();
+  auto ts_us = [&](std::uint64_t tsc) {
+    return static_cast<double>(cal.to_mono_ns(tsc)) / 1e3;
+  };
+  auto slot_pid = [&](std::uint16_t slot) -> std::uint32_t {
+    if (slot >= v.obs->slot_count) return 0;  // recovery ring
+    return v.obs->slot(slot).pid.load(std::memory_order_relaxed);
+  };
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "ulipc-stat: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+  // In-flight sleep-begin per slot (single consumer per endpoint: sleeps
+  // never nest within one slot).
+  std::vector<double> sleep_begin_us(v.obs->slot_count + 1, -1.0);
+  bool first = true;
+  char buf[256];
+  std::uint64_t spans = 0, instants = 0;
+  for (const MergedRecord& m : all) {
+    const obs::TraceRecordView& rec = m.rec;
+    const std::uint16_t slot = rec.slot;
+    const double t = ts_us(rec.tsc);
+    if (rec.event == obs::TraceEvent::kSleepBegin && slot <= v.obs->slot_count) {
+      sleep_begin_us[slot] = t;
+      continue;  // materialized by the matching end
+    }
+    if (rec.event == obs::TraceEvent::kSleepEnd && slot <= v.obs->slot_count &&
+        sleep_begin_us[slot] >= 0.0) {
+      const double b = sleep_begin_us[slot];
+      sleep_begin_us[slot] = -1.0;
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"name\":\"sleep\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{"
+                    "\"endpoint\":%u,\"timed_out\":%llu}}",
+                    first ? "" : ",", b, std::max(0.0, t - b), slot_pid(slot),
+                    slot, rec.arg_a,
+                    static_cast<unsigned long long>(rec.arg_b));
+      out << buf;
+      first = false;
+      ++spans;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                  "\"pid\":%u,\"tid\":%u,\"args\":{\"a\":%u,\"b\":%llu}}",
+                  first ? "" : ",", obs::trace_event_name(rec.event), t,
+                  slot_pid(slot), slot, rec.arg_a,
+                  static_cast<unsigned long long>(rec.arg_b));
+    out << buf;
+    first = false;
+    ++instants;
+  }
+  out << "]}\n";
+  out.close();
+  std::fprintf(stderr,
+               "ulipc-stat: exported %llu sleep spans + %llu instants -> %s\n",
+               static_cast<unsigned long long>(spans),
+               static_cast<unsigned long long>(instants), path.c_str());
+  return 0;
+}
+
+bool server_alive(const ChannelView& v) {
+  const std::uint32_t pid =
+      v.channel->server_peer.pid.load(std::memory_order_acquire);
+  return pid != 0 && process_alive(pid);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return usage(argv[0]);
+
+  try {
+    ChannelView view = ChannelView::open(opt.shm_name);
+
+    if (!opt.trace_export.empty()) {
+      return export_trace(view, opt.trace_export);
+    }
+    if (opt.watch) {
+      for (;;) {
+        std::printf("\033[H\033[2J");  // clear + home
+        std::printf("ulipc-stat %s  (refresh %d ms; ^C to quit)\n\n",
+                    opt.shm_name.c_str(), opt.interval_ms);
+        print_table(view);
+        std::fflush(stdout);
+        if (!server_alive(view)) {
+          std::printf("\n(server seat empty or dead — final snapshot)\n");
+          return 0;
+        }
+        usleep(static_cast<unsigned>(opt.interval_ms) * 1000u);
+      }
+    }
+    if (opt.json) {
+      print_json(stdout, view);
+    } else {
+      print_table(view);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ulipc-stat: %s\n", e.what());
+    return 1;
+  }
+}
