@@ -48,6 +48,12 @@ trap 'rm -rf "$TMP"' EXIT
   > "$TMP/latency.txt" 2>&1 || true
 "$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --batched \
   --registry-dump > "$TMP/latency_batched.txt" 2>&1 || true
+# Pool scale-out points ("[pool]" JSON lines), if the binary exists (trees
+# built before fig11b simply contribute no pool section).
+if [ -x "$BENCH_DIR/fig11b_server_pool" ]; then
+  "$BENCH_DIR/fig11b_server_pool" "--messages=$MESSAGES" \
+    > "$TMP/pool.txt" 2>&1 || true
+fi
 
 python3 - "$TMP" "$OUT" "$MESSAGES" "$TRAJ" <<'EOF'
 import json, os, platform, re, subprocess, sys, datetime
@@ -100,6 +106,22 @@ def registry_lines(path):
                 continue
     return rows
 
+def pool_lines(path):
+    # "[pool] {...}" JSON lines from fig11b_server_pool: one per worker
+    # count, aggregate msgs/ms.
+    rows = []
+    if not os.path.exists(path):
+        return rows
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("[pool] "):
+                continue
+            try:
+                rows.append(json.loads(line[len("[pool] "):]))
+            except ValueError:
+                continue
+    return rows
+
 def git(*args):
     try:
         return subprocess.check_output(("git",) + args, text=True).strip()
@@ -131,6 +153,9 @@ if registry:
 registry_batched = registry_lines(os.path.join(tmp, "latency_batched.txt"))
 if registry_batched:
     doc["registry_batched"] = registry_batched
+pool = pool_lines(os.path.join(tmp, "pool.txt"))
+if pool:
+    doc["server_pool"] = pool
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -154,6 +179,10 @@ if registry_batched:
     point["coal_per_msg_batched"] = {
         k: round(v["wakeups_coalesced"] / max(1, v["messages"]), 4)
         for k, v in registry_batched.items()}
+if pool:
+    point["pool_msgs_per_ms"] = {
+        str(p["workers"]): p["msgs_per_ms"] for p in pool
+        if "workers" in p and "msgs_per_ms" in p}
 traj = traj_arg or os.path.join(os.path.dirname(os.path.abspath(out)) or ".",
                                 "BENCH_trajectory.jsonl")
 with open(traj, "a") as f:

@@ -71,6 +71,9 @@ struct LiveCounters {
   RelaxedU64 batch_dequeues;
   RelaxedU64 wakeups_coalesced;
   RelaxedU64 adaptive_updates;
+  RelaxedU64 steals;
+  RelaxedU64 stolen_msgs;
+  RelaxedU64 migrated_msgs;
 
   /// Copies the live cells into the plain value type (relaxed reads; pair
   /// with MetricSlot's seqlock for a consistent multi-field view).
@@ -94,6 +97,9 @@ struct LiveCounters {
     c.batch_dequeues = batch_dequeues.load();
     c.wakeups_coalesced = wakeups_coalesced.load();
     c.adaptive_updates = adaptive_updates.load();
+    c.steals = steals.load();
+    c.stolen_msgs = stolen_msgs.load();
+    c.migrated_msgs = migrated_msgs.load();
     return c;
   }
 
@@ -117,12 +123,15 @@ struct LiveCounters {
     batch_dequeues = c.batch_dequeues;
     wakeups_coalesced = c.wakeups_coalesced;
     adaptive_updates = c.adaptive_updates;
+    steals = c.steals;
+    stolen_msgs = c.stolen_msgs;
+    migrated_msgs = c.migrated_msgs;
   }
 
   void reset() noexcept { restore(ProtocolCounters{}); }
 };
 
-static_assert(sizeof(LiveCounters) == 18 * sizeof(std::uint64_t),
+static_assert(sizeof(LiveCounters) == 21 * sizeof(std::uint64_t),
               "LiveCounters must stay layout-compatible across binaries");
 
 }  // namespace ulipc::obs

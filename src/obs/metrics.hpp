@@ -55,6 +55,7 @@ enum class SlotRole : std::uint32_t {
   kServer,
   kClient,
   kDuplexThread,
+  kPoolWorker,
 };
 
 constexpr const char* slot_role_name(SlotRole r) noexcept {
@@ -63,6 +64,7 @@ constexpr const char* slot_role_name(SlotRole r) noexcept {
     case SlotRole::kServer: return "server";
     case SlotRole::kClient: return "client";
     case SlotRole::kDuplexThread: return "duplex";
+    case SlotRole::kPoolWorker: return "pool";
   }
   return "?";
 }

@@ -55,6 +55,9 @@ struct ProtocolCounters {
   std::uint64_t batch_dequeues = 0;   // dequeue_batch calls that made progress
   std::uint64_t wakeups_coalesced = 0;  // messages that rode an earlier wake
   std::uint64_t adaptive_updates = 0;   // adaptive-BSLS spin-bound retunes
+  std::uint64_t steals = 0;         // pool: idle-steal passes that got work
+  std::uint64_t stolen_msgs = 0;    // pool: messages taken from other shards
+  std::uint64_t migrated_msgs = 0;  // pool: messages drained off dead shards
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -75,6 +78,9 @@ struct ProtocolCounters {
     batch_dequeues += o.batch_dequeues;
     wakeups_coalesced += o.wakeups_coalesced;
     adaptive_updates += o.adaptive_updates;
+    steals += o.steals;
+    stolen_msgs += o.stolen_msgs;
+    migrated_msgs += o.migrated_msgs;
     return *this;
   }
 };

@@ -1,0 +1,38 @@
+#include "runtime/server_pool.hpp"
+
+namespace ulipc {
+
+double ServerPoolResult::throughput_msgs_per_ms() const noexcept {
+  const std::int64_t window = last_disconnect_ns - first_request_ns;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(echo_messages) /
+         (static_cast<double>(window) / 1e6);
+}
+
+ServerPoolResult aggregate_pool_results(
+    std::vector<PoolWorkerResult> workers) {
+  ServerPoolResult r;
+  for (const PoolWorkerResult& w : workers) {
+    r.echo_messages += w.server.echo_messages;
+    r.control_messages += w.server.control_messages;
+    r.steal_passes += w.steal_passes;
+    r.stolen_messages += w.stolen_messages;
+    r.migrated_messages += w.migrated_messages;
+    r.crashed_workers += w.reaped_workers;
+    r.crashed_clients += w.reaped_clients;
+    // The pool's throughput window spans the earliest first request to the
+    // latest departure seen by any worker (the paper's measurement basis,
+    // per worker and then widened).
+    if (w.server.first_request_ns != 0 &&
+        (r.first_request_ns == 0 ||
+         w.server.first_request_ns < r.first_request_ns)) {
+      r.first_request_ns = w.server.first_request_ns;
+    }
+    r.last_disconnect_ns =
+        std::max(r.last_disconnect_ns, w.server.last_disconnect_ns);
+  }
+  r.workers = std::move(workers);
+  return r;
+}
+
+}  // namespace ulipc

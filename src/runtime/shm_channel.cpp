@@ -37,7 +37,7 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
   // Header + pool header + nodes + (1 + clients) * (endpoint + queue),
   // each rounded up for alignment, plus generous slack.
   const std::size_t queues =
-      cfg.max_clients + 1 + (cfg.duplex ? cfg.max_clients : 0);
+      cfg.max_clients + 1 + (cfg.duplex ? cfg.max_clients : 0) + cfg.shards;
   const std::size_t pool_nodes = queues * (cfg.queue_capacity + 2);
   std::size_t bytes = sizeof(ArenaHeader) + sizeof(ShmChannelHeader);
   bytes += sizeof(NodePool) + pool_nodes * sizeof(MsgNode);
@@ -55,6 +55,10 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
 ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
   ULIPC_INVARIANT(cfg.max_clients >= 1 && cfg.max_clients <= kMaxClients,
                   "bad max_clients");
+  ULIPC_INVARIANT(cfg.shards <= kMaxShards && cfg.shards <= cfg.max_clients,
+                  "bad shard count");
+  ULIPC_INVARIANT(cfg.shards == 0 || !cfg.duplex,
+                  "pool and duplex channels are mutually exclusive");
   ShmChannel ch;
   ch.arena_ = ShmArena::format(region);
   ch.header_ = ch.arena_.construct<ShmChannelHeader>();
@@ -64,14 +68,17 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
   ch.header_->barrier.init(cfg.max_clients);
 
   // One semaphore per endpoint: index 0 for the server, 1..n for client
-  // reply endpoints, n+1..2n for duplex request endpoints.
-  const int sem_count = static_cast<int>(cfg.max_clients) * (cfg.duplex ? 2 : 1) + 1;
+  // reply endpoints, n+1..2n for duplex request endpoints (or, on pool
+  // channels, n+1..n+shards for the shard receive endpoints).
+  const int sem_count = static_cast<int>(cfg.max_clients) * (cfg.duplex ? 2 : 1) +
+                        1 + static_cast<int>(cfg.shards);
   ch.sem_set_ = SysvSemaphoreSet::create(sem_count);
   ch.header_->sysv_sem_id = ch.sem_set_.id();
   ch.owns_sysv_ = true;
 
   const std::uint32_t pool_nodes =
-      (cfg.max_clients * (cfg.duplex ? 2u : 1u) + 1) * (cfg.queue_capacity + 2);
+      (cfg.max_clients * (cfg.duplex ? 2u : 1u) + 1 + cfg.shards) *
+      (cfg.queue_capacity + 2);
   NodePool* pool = NodePool::create(ch.arena_, pool_nodes);
   ch.header_->node_pool_offset = ch.arena_.to_offset(pool);
 
@@ -92,16 +99,29 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
     return ch.arena_.to_offset(ep);
   };
 
+  // On pool channels the reply direction is NOT single-producer: an idle
+  // worker that steals a client's request answers it from a different
+  // thread/process than the shard owner, so replies must go through the
+  // MP-safe two-lock queue — no SPSC reply rings.
+  const bool reply_ring = cfg.shards == 0;
   ch.header_->srv_ep_offset = build_endpoint(0, 0, /*with_ring=*/false);
   for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
     ch.header_->client_ep_offset[i] =
-        build_endpoint(i, static_cast<int>(i) + 1, /*with_ring=*/true);
+        build_endpoint(i, static_cast<int>(i) + 1, reply_ring);
   }
   if (cfg.duplex) {
     for (std::uint32_t i = 0; i < cfg.max_clients; ++i) {
       ch.header_->client_req_ep_offset[i] = build_endpoint(
           i, static_cast<int>(cfg.max_clients + i) + 1, /*with_ring=*/true);
     }
+  }
+  if (cfg.shards > 0) {
+    ch.header_->num_shards = cfg.shards;
+    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+      ch.header_->shard_ep_offset[s] = build_endpoint(
+          s, static_cast<int>(cfg.max_clients + s) + 1, /*with_ring=*/false);
+    }
+    ch.header_->shard_map.init(cfg.shards);
   }
 
   // Observability block: one contiguous allocation holding the registry
@@ -205,6 +225,18 @@ ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
   // allocate() and a queue link (or between unlink and release()). Every
   // queue of the channel participates in the reachability mark — a queue
   // left out would have its in-flight nodes misread as leaks.
+  stats.nodes_reclaimed =
+      sweep_leaked_nodes(node_pool(), all_queues(), nullptr).nodes_reclaimed;
+
+  // Step 3: vacate the seat — the crash has been fully absorbed.
+  header_->client_peer[i].pid.store(0, std::memory_order_release);
+  stats.reaped = true;
+
+  publish_recovery(i, stats.drained_messages, stats.nodes_reclaimed);
+  return stats;
+}
+
+std::vector<TwoLockQueue*> ShmChannel::all_queues() {
   std::vector<TwoLockQueue*> queues;
   queues.push_back(server_endpoint().queue.get());
   for (std::uint32_t c = 0; c < header_->max_clients; ++c) {
@@ -213,26 +245,27 @@ ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
       queues.push_back(client_request_endpoint(c).queue.get());
     }
   }
-  stats.nodes_reclaimed =
-      sweep_leaked_nodes(node_pool(), queues, nullptr).nodes_reclaimed;
-
-  // Step 3: vacate the seat — the crash has been fully absorbed.
-  header_->client_peer[i].pid.store(0, std::memory_order_release);
-
-  // Publish what the sweep recovered. The recovery lock we hold serializes
-  // every writer of these counters and of the shared recovery ring (ring
-  // index slot_count); recovery is cold-path, so it is emitted even in
-  // trace-disabled builds.
-  if (has_obs()) {
-    obs::ObsHeader& oh = obs();
-    ++oh.recovery.sweeps;
-    oh.recovery.drained_messages += stats.drained_messages;
-    oh.recovery.nodes_reclaimed += stats.nodes_reclaimed;
-    auto* ring = static_cast<obs::TraceRing*>(oh.ring_blob(oh.slot_count));
-    ring->emit(obs::TraceEvent::kRecovery, static_cast<std::uint16_t>(i),
-               stats.drained_messages, stats.nodes_reclaimed);
+  for (std::uint32_t s = 0; s < header_->num_shards; ++s) {
+    queues.push_back(shard_endpoint(s).queue.get());
   }
-  return stats;
+  return queues;
+}
+
+void ShmChannel::publish_recovery(std::uint32_t participant,
+                                  std::uint32_t drained,
+                                  std::uint32_t nodes_reclaimed) noexcept {
+  // The recovery lock the caller holds serializes every writer of these
+  // counters and of the shared recovery ring (ring index slot_count);
+  // recovery is cold-path, so it is emitted even in trace-disabled builds.
+  if (!has_obs()) return;
+  obs::ObsHeader& oh = obs();
+  ++oh.recovery.sweeps;
+  oh.recovery.drained_messages += drained;
+  oh.recovery.nodes_reclaimed += nodes_reclaimed;
+  auto* ring = static_cast<obs::TraceRing*>(oh.ring_blob(oh.slot_count));
+  ring->emit(obs::TraceEvent::kRecovery,
+             static_cast<std::uint16_t>(participant), drained,
+             nodes_reclaimed);
 }
 
 ShmChannel::~ShmChannel() = default;

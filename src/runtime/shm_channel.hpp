@@ -21,6 +21,7 @@
 #include "obs/trace_ring.hpp"
 #include "protocols/channel.hpp"
 #include "protocols/platform.hpp"
+#include "protocols/shard_map.hpp"
 #include "queue/msg_pool.hpp"
 #include "queue/ms_two_lock_queue.hpp"
 #include "runtime/native_platform.hpp"
@@ -35,6 +36,13 @@
 namespace ulipc {
 
 inline constexpr std::uint32_t kMaxClients = 16;
+
+/// Upper bound on server-pool receive shards (one per worker). A channel's
+/// actual shard count is Config::shards <= min(kMaxShards, max_clients).
+inline constexpr std::uint32_t kMaxShards = 8;
+
+/// The placement table embedded in ShmChannelHeader (see shard_map.hpp).
+using PoolShardMap = ShardMap<kMaxShards, kMaxClients>;
 
 /// Per-process measurement report written into shared memory at the end of
 /// a run (children cannot return rich values through exit codes).
@@ -94,6 +102,21 @@ struct ShmChannelHeader {
   // Offset of the obs::ObsHeader block (metrics registry + trace rings);
   // 0 on regions formatted by pre-observability binaries.
   std::uint64_t obs_offset = 0;
+
+  // ---- server pool: sharded receive ----
+  //
+  // num_shards == 0 is the classic single-receive-queue channel. A pool
+  // channel carves one MPSC receive endpoint per worker out of the same
+  // arena, publishes the worker liveness registry next to the client one,
+  // and embeds the placement table every participant consults.
+  std::uint32_t num_shards = 0;
+  std::uint64_t shard_ep_offset[kMaxShards] = {};
+  PeerSlot worker_peer[kMaxShards];
+  PoolShardMap shard_map;
+  // Pool-wide count of clients that left (clean disconnects served by any
+  // worker, plus crashed clients reaped on an idle tick): every worker's
+  // termination condition, since no single worker sees all disconnects.
+  std::atomic<std::uint32_t> pool_disconnected{0};
 };
 
 /// Creates/attaches the channel structures. The creator owns the SysV
@@ -110,6 +133,10 @@ class ShmChannel {
                           //  full-duplex virtual connection", paper 2.1)
     std::uint32_t trace_ring_capacity = 1024;  // records per trace ring
                                                // (rounded up to a power of 2)
+    std::uint32_t shards = 0;  // > 0 builds a server-pool channel with one
+                               // receive queue per worker; mutually
+                               // exclusive with duplex (the pool reuses the
+                               // duplex obs-slot range), and <= max_clients
   };
 
   /// Formats `region` and builds all channel structures inside it.
@@ -142,6 +169,23 @@ class ShmChannel {
         header_->client_req_ep_offset[i]);
   }
   [[nodiscard]] ShmBarrier& barrier() noexcept { return header_->barrier; }
+
+  // ---- server pool ----
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return header_->num_shards;
+  }
+  /// Pool channels only: the receive endpoint worker `s` owns. All of a
+  /// shard's clients (and any thief worker's dequeue_batch) share it, so it
+  /// is MPSC and carries no SPSC ring.
+  [[nodiscard]] NativeEndpoint& shard_endpoint(std::uint32_t s) {
+    ULIPC_INVARIANT(s < header_->num_shards && header_->shard_ep_offset[s] != 0,
+                    "not a pool channel / bad shard index");
+    return *arena_.from_offset<NativeEndpoint>(header_->shard_ep_offset[s]);
+  }
+  [[nodiscard]] PoolShardMap& shard_map() noexcept {
+    return header_->shard_map;
+  }
 
   /// The node pool all of this channel's queues draw from.
   [[nodiscard]] NodePool& node_pool() noexcept {
@@ -182,6 +226,11 @@ class ShmChannel {
   }
   void bind_duplex_obs(NativePlatform& p, std::uint32_t i) noexcept {
     bind_obs_slot(p, duplex_obs_slot(i), obs::SlotRole::kDuplexThread);
+  }
+  /// Pool workers reuse the duplex slot range (pool and duplex channels are
+  /// mutually exclusive, and shards <= max_clients keeps it in bounds).
+  void bind_pool_worker_obs(NativePlatform& p, std::uint32_t s) noexcept {
+    bind_obs_slot(p, duplex_obs_slot(s), obs::SlotRole::kPoolWorker);
   }
 
   // ---- peer liveness registry ----
@@ -226,11 +275,36 @@ class ShmChannel {
     return pid != 0 && !process_alive(pid);
   }
 
+  // ---- pool worker liveness registry (mirrors the client registry) ----
+
+  void register_worker(std::uint32_t s) noexcept {
+    seat(header_->worker_peer[s], robust_self_pid());
+  }
+  void register_worker_pid(std::uint32_t s, std::uint32_t pid) noexcept {
+    seat(header_->worker_peer[s], pid);
+  }
+  void deregister_worker(std::uint32_t s) noexcept {
+    header_->worker_peer[s].pid.store(0, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint32_t worker_pid(std::uint32_t s) const noexcept {
+    return header_->worker_peer[s].pid.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t worker_generation(std::uint32_t s) const noexcept {
+    return header_->worker_peer[s].generation.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool worker_crashed(std::uint32_t s) const noexcept {
+    const std::uint32_t pid =
+        header_->worker_peer[s].pid.load(std::memory_order_acquire);
+    return pid != 0 && !process_alive(pid);
+  }
+
   /// What reclaim_client() recovered.
   struct ReclaimStats {
     std::uint32_t drained_messages = 0;  // messages discarded from the dead
                                          // client's queues
     std::uint32_t nodes_reclaimed = 0;   // leaked queue nodes swept back
+    bool reaped = false;  // this call vacated the seat (false = a concurrent
+                          // recoverer got there first)
   };
 
   /// Reclaims everything a crashed client left behind: drains its reply
@@ -239,6 +313,18 @@ class ShmChannel {
   /// concurrent reclaims by the header's recovery lock; safe to run while
   /// other clients keep trafficking the channel.
   ReclaimStats reclaim_client(std::uint32_t i) noexcept;
+
+  /// Every TwoLockQueue drawing from this channel's node pool — the exact
+  /// list a recovery sweep must mark (a queue left out would have its
+  /// in-flight nodes misread as leaks). Includes shard queues on pool
+  /// channels.
+  [[nodiscard]] std::vector<TwoLockQueue*> all_queues();
+
+  /// Publishes one recovery event (counters + the shared recovery ring).
+  /// Caller must hold the header's recovery lock, which serializes every
+  /// writer of these cells.
+  void publish_recovery(std::uint32_t participant, std::uint32_t drained,
+                        std::uint32_t nodes_reclaimed) noexcept;
 
   [[nodiscard]] SysvMsgQueue request_queue() const {
     return SysvMsgQueue::attach(header_->sysv_request_qid);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Report-only comparison of a fresh bench run against BENCH_baseline.json.
+
+    tools/bench_compare.py --build-dir <dir> [--baseline BENCH_baseline.json]
+                           [--messages N] [--tolerance PCT]
+
+Runs the two perf anchors (latency_percentiles for round-trip medians,
+micro_queue for queue-op ns) from the given build tree, then prints a
+markdown table of current vs baseline with the relative delta. Rows whose
+regression exceeds the tolerance (default 30%) are flagged.
+
+This is diagnostics, NOT a gate: shared CI runners make perf numbers
+weather, so the script always exits 0 — the CI job additionally wraps it in
+continue-on-error. Machine differences are expected; the committed baseline
+carries its machine tag for context.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run(cmd):
+    try:
+        return subprocess.run(
+            cmd, capture_output=True, text=True, timeout=600
+        ).stdout
+    except (OSError, subprocess.SubprocessError) as e:
+        print(f"bench_compare: failed to run {cmd[0]}: {e}", file=sys.stderr)
+        return ""
+
+
+def latency_medians(build_dir, messages):
+    """protocol -> round-trip p50 in us, from the TextTable output."""
+    binary = os.path.join(build_dir, "bench", "latency_percentiles")
+    if not os.path.exists(binary):
+        return {}
+    rows = {}
+    for line in run([binary, f"--messages={messages}"]).splitlines():
+        cells = [c.strip() for c in line.split("|") if c.strip()]
+        if len(cells) < 5 or cells[0] not in (
+            "BSS", "BSW", "BSWY", "BSLS", "SYSV"
+        ):
+            continue
+        try:
+            rows[cells[0]] = float(cells[1])
+        except ValueError:
+            continue
+    return rows
+
+
+def micro_queue_ns(build_dir):
+    """benchmark name -> ns/op from micro_queue's JSON reporter."""
+    binary = os.path.join(build_dir, "bench", "micro_queue")
+    if not os.path.exists(binary):
+        return {}
+    # Bare-double min_time: the "0.05s" spelling is rejected by older
+    # google-benchmark releases, the bare form works on both.
+    text = run([binary, "--benchmark_format=json",
+                "--benchmark_min_time=0.05"])
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return {}
+    return {
+        b["name"]: b["real_time"]
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def compare(title, current, baseline, tolerance, worse_when_higher=True):
+    print(f"\n### {title}\n")
+    if not current or not baseline:
+        print("_(no data on one side; skipped)_")
+        return 0
+    print("| name | baseline | current | delta |")
+    print("|---|---|---|---|")
+    flagged = 0
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        base, cur = baseline[name], current[name]
+        if base <= 0:
+            continue
+        delta = (cur - base) / base * 100.0
+        regressed = delta > tolerance if worse_when_higher else \
+            delta < -tolerance
+        mark = "  ⚠ regression?" if regressed else ""
+        flagged += regressed
+        print(f"| {name} | {base:.2f} | {cur:.2f} | {delta:+.1f}%{mark} |")
+    return flagged
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default="BENCH_baseline.json")
+    ap.add_argument("--messages", type=int, default=20000)
+    ap.add_argument("--tolerance", type=float, default=30.0,
+                    help="flag regressions beyond this %% (report only)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {args.baseline}: {e}",
+              file=sys.stderr)
+        return 0
+
+    machine = base.get("machine", {})
+    print("## Bench comparison vs committed baseline (report only)")
+    print(f"baseline: rev {base.get('git_rev', '?')} on "
+          f"{machine.get('hostname', '?')} ({machine.get('cpus', '?')} cpus)")
+
+    flagged = 0
+    base_p50 = {k: v.get("p50_us", 0.0)
+                for k, v in base.get("latency_percentiles", {}).items()}
+    flagged += compare("round-trip p50 (us, lower is better)",
+                       latency_medians(args.build_dir, args.messages),
+                       base_p50, args.tolerance)
+    flagged += compare("micro_queue (ns/op, lower is better)",
+                       micro_queue_ns(args.build_dir),
+                       base.get("micro_queue_ns", {}), args.tolerance)
+
+    if flagged:
+        print(f"\n{flagged} row(s) beyond ±{args.tolerance:.0f}% — check "
+              "whether the machine or the code changed.")
+    else:
+        print("\nno regressions beyond tolerance.")
+    return 0  # never a gate
+
+
+if __name__ == "__main__":
+    sys.exit(main())

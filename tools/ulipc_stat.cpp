@@ -109,6 +109,12 @@ struct ChannelView {
     return static_cast<const obs::TraceRing*>(obs->ring_blob(i));
   }
 
+  /// Pool channels only: shard s's receive endpoint (read-only; OffsetPtr
+  /// resolves relative to the mapping, so depth reads work from here too).
+  [[nodiscard]] const NativeEndpoint* shard_ep(std::uint32_t s) const {
+    return region.at<const NativeEndpoint>(channel->shard_ep_offset[s]);
+  }
+
   [[nodiscard]] TscClock::Calibration calibration() const {
     TscClock::Calibration c;
     c.ns_per_tick = std::bit_cast<double>(
@@ -128,6 +134,42 @@ std::uint64_t slot_messages(const ProtocolCounters& c) {
 
 double ratio(std::uint64_t num, std::uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+// ---- shard balance (pool channels) ----
+
+const char* shard_state_name(std::uint32_t st) {
+  switch (st) {
+    case PoolShardMap::kActive: return "active";
+    case PoolShardMap::kRetired: return "retired";
+    default: return "vacant";
+  }
+}
+
+void print_shards(const ChannelView& v) {
+  const std::uint32_t n = v.channel->num_shards;
+  if (n == 0) return;
+  const PoolShardMap& map = v.channel->shard_map;
+  std::printf("\nshards: %u  epoch=%u  departed=%u\n", n,
+              map.epoch.load(std::memory_order_acquire),
+              v.channel->pool_disconnected.load(std::memory_order_acquire));
+  std::printf("%-5s %-8s %-8s %7s %8s %8s %8s %9s\n", "shard", "state",
+              "wrk-pid", "depth", "clients", "steals", "stolen", "migrated");
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const PoolShardMap::Shard& sh = map.shards[s];
+    std::printf(
+        "%-5u %-8s %-8u %7u %8u %8llu %8llu %9llu\n", s,
+        shard_state_name(sh.state.load(std::memory_order_acquire)),
+        v.channel->worker_peer[s].pid.load(std::memory_order_acquire),
+        v.shard_ep(s)->queue.get()->size(),
+        sh.assigned.load(std::memory_order_acquire),
+        static_cast<unsigned long long>(
+            sh.steal_passes.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            sh.stolen_msgs.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            sh.migrated_msgs.load(std::memory_order_relaxed)));
+  }
 }
 
 // ---- table output ----
@@ -162,6 +204,7 @@ void print_table(const ChannelView& v) {
       static_cast<unsigned long long>(v.obs->recovery.nodes_reclaimed.load()),
       v.obs->trace_compiled ? "on" : "off", v.obs->ring_count(),
       v.obs->ring_capacity);
+  print_shards(v);
 }
 
 // ---- JSON output ----
@@ -174,7 +217,8 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       "\"spin_entries\":%llu,\"spin_iters\":%llu,\"spin_fallthroughs\":%llu,"
       "\"sem_absorbs\":%llu,\"full_sleeps\":%llu,\"timeouts\":%llu,"
       "\"batch_enqueues\":%llu,\"batch_dequeues\":%llu,"
-      "\"wakeups_coalesced\":%llu,\"adaptive_updates\":%llu}",
+      "\"wakeups_coalesced\":%llu,\"adaptive_updates\":%llu,"
+      "\"steals\":%llu,\"stolen_msgs\":%llu,\"migrated_msgs\":%llu}",
       static_cast<unsigned long long>(c.sends),
       static_cast<unsigned long long>(c.receives),
       static_cast<unsigned long long>(c.replies),
@@ -192,7 +236,10 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       static_cast<unsigned long long>(c.batch_enqueues),
       static_cast<unsigned long long>(c.batch_dequeues),
       static_cast<unsigned long long>(c.wakeups_coalesced),
-      static_cast<unsigned long long>(c.adaptive_updates));
+      static_cast<unsigned long long>(c.adaptive_updates),
+      static_cast<unsigned long long>(c.steals),
+      static_cast<unsigned long long>(c.stolen_msgs),
+      static_cast<unsigned long long>(c.migrated_msgs));
 }
 
 void json_hist(std::FILE* f, const obs::HistogramSnapshot& h) {
@@ -235,7 +282,36 @@ void print_json(std::FILE* f, const ChannelView& v) {
     }
     std::fprintf(f, "}}");
   }
-  std::fprintf(f, "]}\n");
+  std::fprintf(f, "]");
+  if (v.channel->num_shards > 0) {
+    const PoolShardMap& map = v.channel->shard_map;
+    std::fprintf(f, ",\"num_shards\":%u,\"shard_epoch\":%u,\"departed\":%u,"
+                    "\"shards\":[",
+                 v.channel->num_shards,
+                 map.epoch.load(std::memory_order_acquire),
+                 v.channel->pool_disconnected.load(std::memory_order_acquire));
+    for (std::uint32_t s = 0; s < v.channel->num_shards; ++s) {
+      const PoolShardMap::Shard& sh = map.shards[s];
+      std::fprintf(
+          f,
+          "%s{\"shard\":%u,\"state\":\"%s\",\"worker_pid\":%u,\"depth\":%u,"
+          "\"assigned\":%u,\"steal_passes\":%llu,\"stolen_msgs\":%llu,"
+          "\"migrated_msgs\":%llu}",
+          s == 0 ? "" : ",", s,
+          shard_state_name(sh.state.load(std::memory_order_acquire)),
+          v.channel->worker_peer[s].pid.load(std::memory_order_acquire),
+          v.shard_ep(s)->queue.get()->size(),
+          sh.assigned.load(std::memory_order_acquire),
+          static_cast<unsigned long long>(
+              sh.steal_passes.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              sh.stolen_msgs.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              sh.migrated_msgs.load(std::memory_order_relaxed)));
+    }
+    std::fprintf(f, "]");
+  }
+  std::fprintf(f, "}\n");
 }
 
 // ---- Chrome trace export ----
