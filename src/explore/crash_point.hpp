@@ -1,0 +1,47 @@
+// Crash-point mode: fork a victim and SIGKILL it at a chosen marker.
+//
+// The crash trigger lives in explore/hooks.hpp as process-global state, so
+// a forked child inherits the armed point and needs no controller: the nth
+// dynamic hit of the marker raises SIGKILL mid-operation, exactly as if
+// the scheduler had chosen that instant to kill the process. The parent
+// then runs the PR-1/PR-4 recovery machinery over the shared region and
+// feeds the result to explore::check_invariants().
+#pragma once
+
+#ifndef ULIPC_EXPLORE_ENABLED
+#error "crash_point.hpp requires ULIPC_EXPLORE_ENABLED (link ulipc_explore)"
+#endif
+
+#include <csignal>
+#include <cstdint>
+#include <utility>
+
+#include "explore/hooks.hpp"
+#include "shm/process.hpp"
+
+namespace ulipc::explore {
+
+/// Exit code the victim uses when `fn` ran to completion without the armed
+/// marker ever firing — distinguishes "marker not on this code path" from
+/// the expected join() == -SIGKILL.
+inline constexpr int kMarkerMissed = 7;
+
+/// Forks a victim that arms the crash trigger for the `nth` dynamic hit of
+/// `p` and then runs `fn`. The parent should expect join() == -SIGKILL;
+/// a return of kMarkerMissed means `fn` never reached the marker.
+template <typename Fn>
+ChildProcess run_victim_to_crash(Point p, std::uint32_t nth, Fn&& fn) {
+  return ChildProcess::spawn([p, nth, fn = std::forward<Fn>(fn)]() mutable {
+    arm_crash(p, nth);
+    fn();
+    return kMarkerMissed;
+  });
+}
+
+/// True iff the exit status from ChildProcess::join() is death-by-SIGKILL
+/// — i.e. the armed marker actually fired.
+inline bool died_at_marker(int join_status) noexcept {
+  return join_status == -SIGKILL;
+}
+
+}  // namespace ulipc::explore

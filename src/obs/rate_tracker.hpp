@@ -1,0 +1,66 @@
+// Counter-rate computation across ulipc-stat --watch refreshes.
+//
+// A rate is a delta between two snapshots of a monotonically increasing
+// counter — except the counters are NOT monotone across a slot's lifetime:
+// MetricSlot::reset_series() (and a new process re-bind()ing the slot)
+// bumps the slot generation and restarts the counters from zero. A naive
+// delta across that boundary shows up as a huge negative (or, unsigned, a
+// ~2^64 positive) spike in the watch display. The tracker therefore keys
+// every baseline by (slot, generation) and refuses to produce a rate for
+// any interval it cannot prove clean: first sight of a slot, a generation
+// change, a counter that moved backwards (a racy re-bind that kept the
+// generation), or a non-advancing clock all just re-baseline and report
+// the sample as invalid for one refresh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ulipc::obs {
+
+struct RateSample {
+  bool valid = false;  // false: re-baselined, no trustworthy interval yet
+  double msgs_per_s = 0.0;
+  double wakeups_per_s = 0.0;
+};
+
+class RateTracker {
+ public:
+  /// Feeds one slot snapshot; returns the rates over the interval since
+  /// the previous clean snapshot of the same (slot, generation), or an
+  /// invalid sample when the interval spans a reset/re-bind.
+  RateSample update(std::uint32_t slot, std::uint32_t generation,
+                    std::uint64_t msgs, std::uint64_t wakeups,
+                    std::int64_t now_ns) {
+    if (slot >= prev_.size()) prev_.resize(slot + 1);
+    Baseline& b = prev_[slot];
+    RateSample out;
+    const bool clean = b.seen && b.generation == generation &&
+                       msgs >= b.msgs && wakeups >= b.wakeups &&
+                       now_ns > b.t_ns;
+    if (clean) {
+      const double dt_s = static_cast<double>(now_ns - b.t_ns) / 1e9;
+      out.valid = true;
+      out.msgs_per_s = static_cast<double>(msgs - b.msgs) / dt_s;
+      out.wakeups_per_s = static_cast<double>(wakeups - b.wakeups) / dt_s;
+    }
+    b.seen = true;
+    b.generation = generation;
+    b.msgs = msgs;
+    b.wakeups = wakeups;
+    b.t_ns = now_ns;
+    return out;
+  }
+
+ private:
+  struct Baseline {
+    bool seen = false;
+    std::uint32_t generation = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t wakeups = 0;
+    std::int64_t t_ns = 0;
+  };
+  std::vector<Baseline> prev_;
+};
+
+}  // namespace ulipc::obs

@@ -208,10 +208,19 @@ class Bsls {
 
   void retune(P& p) noexcept {
     if (mode_ != SpinMode::kAdaptive || ewma_wake_ns_ == 0) return;
-    const std::int64_t poll = std::max<std::int64_t>(ewma_poll_ns_, 1);
-    spin_bound_ = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
-        ewma_wake_ns_ / poll, kMinSpinBound, kMaxSpinBound));
     ++p.counters().adaptive_updates;
+    if (ewma_poll_ns_ == 0) {
+      // No poll-cost sample yet (every spin pass so far had spincnt == 0,
+      // e.g. a zero initial bound, or the first poll always found a
+      // message). Treating the unsampled EWMA as "1 ns per poll" would
+      // compute wake/1 and peg the bound at kMaxSpinBound — ~milliseconds
+      // of spinning justified by a division artifact. Just ensure the
+      // bound is positive so future passes can take a real sample.
+      spin_bound_ = std::max(spin_bound_, kMinSpinBound);
+      return;
+    }
+    spin_bound_ = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+        ewma_wake_ns_ / ewma_poll_ns_, kMinSpinBound, kMaxSpinBound));
   }
 
   std::uint32_t max_spin_;

@@ -13,6 +13,7 @@
 //    from accumulating.
 #pragma once
 
+#include "explore/hooks.hpp"
 #include "obs/hooks.hpp"
 #include "protocols/platform.hpp"
 
@@ -21,8 +22,11 @@ namespace ulipc::detail {
 /// Producer side with a deadline: enqueue with queue-full flow control
 /// (paper: sleep(1)), then wake the consumer iff it may be asleep. Returns
 /// kTimeout if the queue stays full past `deadline_ns` (absolute time on
-/// p.time_ns(); kNoDeadline blocks forever). The flow-control sleep may
-/// overshoot the deadline by one sleep quantum.
+/// p.time_ns(); kNoDeadline blocks forever). Platforms that provide
+/// sleep_capped() get the flow-control sleep clamped to the remaining
+/// deadline, so a timed send returns within one timer tick of its deadline
+/// instead of overshooting by a full sleep quantum; platforms without it
+/// (the simulator models the paper's literal sleep(1)) keep the quantum.
 template <Platform P>
 Status enqueue_and_wake_until(P& p, typename P::Endpoint& q,
                               const Message& msg, std::int64_t deadline_ns) {
@@ -32,15 +36,24 @@ Status enqueue_and_wake_until(P& p, typename P::Endpoint& q,
       return Status::kTimeout;
     }
     ++p.counters().full_sleeps;
-    p.sleep_seconds(1);  // "waiting a full second should allow the consumer
-                         //  to reduce the backlog" (paper §3)
+    explore::about_to_block(explore::Point::kProtFullSleep);
+    if constexpr (requires { p.sleep_capped(deadline_ns); }) {
+      p.sleep_capped(deadline_ns);
+    } else {
+      p.sleep_seconds(1);  // "waiting a full second should allow the
+                           //  consumer to reduce the backlog" (paper §3)
+    }
+    explore::resumed();
   }
   obs::enqueued(p, q);
+  explore::point(explore::Point::kProtEnqueued);
   p.fence();  // order the enqueue before the awake-flag read (SB pattern)
   if (!p.tas_awake(q)) {
     ++p.counters().wakeups;
     obs::wakeup_sent(p, q);
+    explore::point(explore::Point::kProtPreWake);
     p.sem_v(q);
+    explore::point(explore::Point::kProtWakeDone);
   }
   return Status::kOk;
 }
@@ -56,16 +69,22 @@ void enqueue_and_wake(P& p, typename P::Endpoint& q, const Message& msg) {
 /// `pre_busy_wait` inserts the BSWY hand-off hint at the top of each retry
 /// (paper Figure 7: "busy_wait(); /* Try to handoff */").
 ///
-/// Timeout semantics preserve the no-lost-wakeup guarantee: when the timed
-/// sleep expires, the awake flag is restored before returning, so a
-/// producer that raced the expiry either (a) saw awake==0 and V'd — the
-/// count is retained and absorbed by the next sleeper — or (b) sees
-/// awake==1 and skips the V; in both cases its message is already in the
-/// queue and the next (timed or untimed) receive finds it at step C.1.
+/// Timeout semantics preserve the no-lost-wakeup guarantee AND avoid
+/// manufacturing stale semaphore tokens: when the timed sleep expires, the
+/// consumer re-runs the dequeue before giving up. A producer that raced
+/// the expiry (enqueue -> tas(awake) -> V between our timer firing and our
+/// C.5) would otherwise leave a banked token that wakes the NEXT sleeper
+/// spuriously with an empty queue; the expiry recheck instead delivers
+/// that message now — absorbing the matching token iff the producer's tas
+/// saw awake==0 — and only a genuinely-empty recheck restores the flag
+/// and returns kTimeout. Spurious wake-ups already re-sleep with the
+/// REMAINING deadline: deadline_ns is absolute, so every sem_p_until
+/// re-arm computes the leftover budget, never the full one.
 template <Platform P>
 Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
                               bool pre_busy_wait, std::int64_t deadline_ns) {
   while (!p.dequeue(q, out)) {          // C.1
+    explore::point(explore::Point::kProtDeqEmpty);
     if (deadline_ns != kNoDeadline && p.time_ns() >= deadline_ns) {
       ++p.counters().timeouts;
       return Status::kTimeout;
@@ -77,25 +96,52 @@ Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
       // the sleep protocol only if the queue is still empty.
     }
     p.clear_awake(q);                   // C.2
+    explore::point(explore::Point::kProtCleared);
     p.fence();  // order the flag clear before the recheck (SB pattern)
     if (!p.dequeue(q, out)) {           // C.3 -- still empty
+      explore::point(explore::Point::kProtRecheckEmpty);
       ++p.counters().blocks;
       const std::int64_t sleep_t0 = obs::sleep_begin(p, q);
+      explore::about_to_block(explore::Point::kProtSleep);
       if (!p.sem_p_until(q, deadline_ns)) {  // C.4 -- timed sleep
+        explore::resumed();
         obs::sleep_end(p, q, sleep_t0, /*timed_out=*/true);
+        explore::point(explore::Point::kProtTimedOut);
+        // Expiry recheck: a producer may have slipped a message (and
+        // possibly a V) in between our timer firing and this line. Take
+        // the message instead of leaving a stale token for the next
+        // sleeper to wake on with an empty queue.
+        if (p.dequeue(q, out)) {
+          if (p.tas_awake(q)) {
+            // Our tas found awake==1: the producer's tas ran first, saw
+            // our cleared flag, and V'd — its token is banked. Absorb it;
+            // the V already happened, so this P can never block.
+            ++p.counters().sem_absorbs;
+            explore::point(explore::Point::kProtAbsorb);
+            p.sem_p(q);
+          }
+          obs::dequeued(p, q);
+          return Status::kOk;
+        }
         p.set_awake(q);  // C.5 on the timeout path too: nobody is sleeping
+        explore::point(explore::Point::kProtSetAwake);
         ++p.counters().timeouts;
         return Status::kTimeout;
       }
+      explore::resumed();
       obs::sleep_end(p, q, sleep_t0, /*timed_out=*/false);
+      explore::point(explore::Point::kProtWoke);
       p.set_awake(q);                   // C.5
+      explore::point(explore::Point::kProtSetAwake);
       // Loop: the wake-up means a producer enqueued, but with multiple
       // producers the message may already be gone; iterate.
     } else {
+      explore::point(explore::Point::kProtRecheckHit);
       // Recheck succeeded. If a producer raced us (saw our cleared flag and
       // V'd), absorb the extra count so it cannot accumulate.
       if (p.tas_awake(q)) {
         ++p.counters().sem_absorbs;
+        explore::point(explore::Point::kProtAbsorb);
         p.sem_p(q);
       }
       obs::dequeued(p, q);
@@ -139,11 +185,14 @@ Status enqueue_batch_and_wake_until(P& p, typename P::Endpoint& q,
       ++p.counters().batch_enqueues;
       p.counters().wakeups_coalesced += k - 1;
       obs::batch_flush(p, q, k);
+      explore::point(explore::Point::kProtEnqueued);
       p.fence();  // order the enqueues before the awake-flag read
       if (!p.tas_awake(q)) {
         ++p.counters().wakeups;
         obs::wakeup_sent(p, q);
+        explore::point(explore::Point::kProtPreWake);
         p.sem_v(q);
+        explore::point(explore::Point::kProtWakeDone);
       }
       continue;  // queue may have drained already; retry before sleeping
     }
@@ -152,7 +201,13 @@ Status enqueue_batch_and_wake_until(P& p, typename P::Endpoint& q,
       return Status::kTimeout;
     }
     ++p.counters().full_sleeps;
-    p.sleep_seconds(1);
+    explore::about_to_block(explore::Point::kProtFullSleep);
+    if constexpr (requires { p.sleep_capped(deadline_ns); }) {
+      p.sleep_capped(deadline_ns);
+    } else {
+      p.sleep_seconds(1);
+    }
+    explore::resumed();
   }
   return Status::kOk;
 }

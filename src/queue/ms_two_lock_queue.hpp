@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "explore/hooks.hpp"
 #include "queue/message.hpp"
 #include "queue/msg_pool.hpp"
 #include "shm/offset_ptr.hpp"
@@ -106,13 +107,16 @@ class TwoLockQueue {
     MsgNode& node = pool.node(node_idx);
     node.msg = msg;
     node.next = kNullIndex;
+    explore::point(explore::Point::kQEnqueueNodeReady);
     {
       RobustGuard g(tail_lock_.value);
       if (g.stolen()) repair_tail_from_head(pool);
       next_ref(pool.node(tail_.value))
           .store(node_idx, std::memory_order_release);
+      explore::point(explore::Point::kQEnqueueLinked);
       tail_.value = node_idx;
     }
+    explore::point(explore::Point::kQEnqueueDone);
     return true;
   }
 
@@ -158,8 +162,10 @@ class TwoLockQueue {
       RobustGuard g(tail_lock_.value);
       if (g.stolen()) repair_tail_from_head(pool);
       next_ref(pool.node(tail_.value)).store(first, std::memory_order_release);
+      explore::point(explore::Point::kQEnqueueLinked);
       tail_.value = last;
     }
+    explore::point(explore::Point::kQEnqueueDone);
     return got;
   }
 
@@ -171,15 +177,25 @@ class TwoLockQueue {
       RobustGuard g(head_lock_.value);
       // A steal here needs no structural repair: head_ always points at a
       // valid dummy whose next link is either null or a complete node.
+      explore::point(explore::Point::kQDequeueLocked);
       old_head = head_.value;
       const ShmIndex next =
           next_ref(pool.node(old_head)).load(std::memory_order_acquire);
       if (next == kNullIndex) return false;  // only the dummy remains
       *out = pool.node(next).msg;  // new dummy keeps its (copied-out) msg
+      // Take ownership of the dummy BEFORE detaching it: once head_
+      // advances it is unreachable, and the recovery sweep only reclaims
+      // unreachable nodes with a provably-dead owner. The initial dummy's
+      // owner is 0 (the queue's), and a later dummy's owner is whichever
+      // enqueuer brought it — likely still alive; either way, if we die
+      // between the advance and release(), nobody could reclaim it.
+      pool.node(old_head).owner_pid = robust_self_pid();
       head_.value = next;
+      explore::point(explore::Point::kQDequeueAdvanced);
     }
     size_.fetch_sub(1, std::memory_order_release);
     pool.release(old_head);
+    explore::point(explore::Point::kQDequeueDone);
     return true;
   }
 
@@ -195,17 +211,26 @@ class TwoLockQueue {
     std::uint32_t got = 0;
     {
       RobustGuard g(head_lock_.value);
+      explore::point(explore::Point::kQDequeueLocked);
       ShmIndex head = head_.value;
       chain = head;
+      // Own every node of the soon-to-be-detached run (see scalar dequeue):
+      // the chain holds the old dummy plus nodes owned by their enqueuers,
+      // who may be alive — a crash between the head advance and the
+      // releases below must leave the run reclaimable by the sweep.
+      const std::uint32_t me = robust_self_pid();
+      pool.node(head).owner_pid = me;
       while (got < max) {
         const ShmIndex next =
             next_ref(pool.node(head)).load(std::memory_order_acquire);
         if (next == kNullIndex) break;
         out[got++] = pool.node(next).msg;
         head = next;
+        pool.node(head).owner_pid = me;
       }
       if (got == 0) return 0;
       head_.value = head;  // the last dequeued node is the new dummy
+      explore::point(explore::Point::kQDequeueAdvanced);
     }
     size_.fetch_sub(got, std::memory_order_release);
     // Release the old dummy plus the first got-1 message nodes. Their next
@@ -216,6 +241,7 @@ class TwoLockQueue {
       pool.release(chain);
       chain = next;
     }
+    explore::point(explore::Point::kQDequeueDone);
     return got;
   }
 
@@ -276,8 +302,12 @@ class TwoLockQueue {
   /// allocates and links the node — then returns with the tail lock STILL
   /// HELD and tail_ not advanced. Calling process must exit immediately;
   /// this models a producer dying at the worst possible point of the
-  /// critical section. Returns the linked node index.
-  ShmIndex crash_mid_enqueue_for_test(const Message& msg) noexcept {
+  /// critical section. Returns the linked node index. noinline: inlined
+  /// into a fork-child lambda, GCC's object-size pass misjudges the
+  /// arena-resident queue as size 0 and flags the fetch_add
+  /// (-Wstringop-overflow false positive); cold test-only code anyway.
+  [[gnu::noinline]] ShmIndex crash_mid_enqueue_for_test(
+      const Message& msg) noexcept {
     size_.fetch_add(1, std::memory_order_acquire);
     NodePool& pool = *pool_;
     const ShmIndex node_idx = pool.allocate();

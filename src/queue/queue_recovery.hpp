@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "explore/hooks.hpp"
 #include "queue/ms_two_lock_queue.hpp"
 #include "queue/msg_pool.hpp"
 #include "queue/payload_pool.hpp"
@@ -51,10 +52,12 @@ RecoveryStats sweep_leaked_nodes(NodePool& pool,
                                  PayloadPool* payloads,
                                  LivenessFn&& is_alive) {
   RecoveryStats stats;
+  explore::point(explore::Point::kSweepBegin);
 
   std::vector<char> node_mark(pool.capacity(), 0);
   pool.mark_free(node_mark);
   for (TwoLockQueue* q : queues) q->mark_reachable(node_mark);
+  explore::point(explore::Point::kSweepMarked);
 
   if (payloads != nullptr) {
     std::vector<char> slot_mark(payloads->capacity(), 0);
@@ -74,6 +77,7 @@ RecoveryStats sweep_leaked_nodes(NodePool& pool,
   }
 
   stats.nodes_reclaimed = pool.reclaim_unmarked_dead(node_mark, is_alive);
+  explore::point(explore::Point::kSweepDone);
   return stats;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/error.hpp"
+#include "explore/hooks.hpp"
 #include "queue/message.hpp"
 #include "shm/offset_ptr.hpp"
 #include "shm/shm_allocator.hpp"
@@ -53,7 +54,9 @@ class SpscRing {
       if (head - tail_cache_ > mask_) return false;
     }
     slots_.get()[head & mask_] = msg;
+    explore::point(explore::Point::kRingEnqueueSlot);
     head_.store(head + 1, std::memory_order_release);
+    explore::point(explore::Point::kRingEnqueuePublished);
     return true;
   }
 
@@ -73,7 +76,9 @@ class SpscRing {
     for (std::uint32_t i = 0; i < k; ++i) {
       slots[(head + i) & mask_] = msgs[i];
     }
+    explore::point(explore::Point::kRingEnqueueSlot);
     head_.store(head + k, std::memory_order_release);
+    explore::point(explore::Point::kRingEnqueuePublished);
     return k;
   }
 
@@ -85,7 +90,9 @@ class SpscRing {
       if (tail == head_cache_) return false;
     }
     *out = slots_.get()[tail & mask_];
+    explore::point(explore::Point::kRingDequeueCopy);
     tail_.store(tail + 1, std::memory_order_release);
+    explore::point(explore::Point::kRingDequeuePublished);
     return true;
   }
 
@@ -108,7 +115,9 @@ class SpscRing {
     for (std::uint32_t i = 0; i < k; ++i) {
       out[i] = slots[(tail + i) & mask_];
     }
+    explore::point(explore::Point::kRingDequeueCopy);
     tail_.store(tail + k, std::memory_order_release);
+    explore::point(explore::Point::kRingDequeuePublished);
     return k;
   }
 

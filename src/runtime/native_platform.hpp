@@ -16,6 +16,7 @@
 #include <sched.h>
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -204,6 +205,24 @@ class NativePlatform {
     // The paper's queue-full back-off is sleep(1); the configured duration
     // lets tests exercise the flow-control path without 1 s stalls.
     const std::int64_t total = cfg_.full_sleep_ns * secs;
+    timespec ts{};
+    ts.tv_sec = total / 1'000'000'000LL;
+    ts.tv_nsec = total % 1'000'000'000LL;
+    nanosleep(&ts, nullptr);
+  }
+
+  /// Flow-control back-off clamped to an absolute deadline: sleeps the
+  /// configured full_sleep_ns quantum or the remaining budget, whichever is
+  /// smaller, and returns immediately once the deadline has passed. Keeps
+  /// a timed send from overshooting its deadline by (up to) a whole
+  /// quantum — the sender re-checks the deadline right after this returns.
+  void sleep_capped(std::int64_t deadline_ns) noexcept {
+    std::int64_t total = cfg_.full_sleep_ns;
+    if (deadline_ns != kNoDeadline) {
+      const std::int64_t remaining = deadline_ns - time_ns();
+      if (remaining <= 0) return;
+      total = std::min(total, remaining);
+    }
     timespec ts{};
     ts.tv_sec = total / 1'000'000'000LL;
     ts.tv_nsec = total % 1'000'000'000LL;

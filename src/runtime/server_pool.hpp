@@ -44,6 +44,7 @@
 
 #include "common/affinity.hpp"
 #include "common/error.hpp"
+#include "explore/hooks.hpp"
 #include "protocols/channel.hpp"
 #include "protocols/detail.hpp"
 #include "protocols/shard_map.hpp"
@@ -152,6 +153,15 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
       const std::uint32_t cid = reqs[i].channel;
       std::uint32_t n = 0;
       while (i < got && reqs[i].channel == cid) {
+        // Departure bookkeeping for the crash reaper (see
+        // ShmChannelHeader::client_departed): record it BEFORE the reply
+        // goes out, so a client that dies the instant it reads the
+        // disconnect ack can never be double-counted as a crash departure.
+        if (reqs[i].opcode == Op::kDisconnect) {
+          hdr.client_departed[cid].store(1, std::memory_order_release);
+        } else if (reqs[i].opcode == Op::kConnect) {
+          hdr.client_departed[cid].store(0, std::memory_order_release);
+        }
         out[n++] = serve_one_request(p, reqs[i++], result.server,
                                      newly_disconnected);
       }
@@ -193,12 +203,15 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
     // Ordering (see file comment): retire -> re-place -> drain+serve ->
     // sweep -> vacate.
     map.retire(s);
+    explore::point(explore::Point::kPoolRetired);
     NativeEndpoint& dead_ep = channel.shard_endpoint(s);
     // Nobody sleeps on a retired shard's semaphore again; a raised awake
     // flag spares racing producers the pointless V().
     p.set_awake(dead_ep);
     ev.clients_replaced = map.replace_clients_of(s, opts.policy);
+    explore::point(explore::Point::kPoolReplaced);
     ev.migrated_messages = drain_and_serve(dead_ep);
+    explore::point(explore::Point::kPoolDrained);
     map.shards[s].migrated_msgs.fetch_add(ev.migrated_messages,
                                           std::memory_order_relaxed);
     p.counters().migrated_msgs += ev.migrated_messages;
@@ -206,7 +219,9 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
     ev.nodes_reclaimed =
         sweep_leaked_nodes(channel.node_pool(), channel.all_queues(), nullptr)
             .nodes_reclaimed;
+    explore::point(explore::Point::kPoolSwept);
     channel.deregister_worker(s);
+    explore::point(explore::Point::kPoolVacated);
     channel.publish_recovery(s, ev.migrated_messages, ev.nodes_reclaimed);
     ++result.reaped_workers;
     result.crash_events.push_back(ev);
@@ -239,7 +254,12 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
       if (rs.reaped) {
         map.unplace(c);
         ++result.reaped_clients;
-        hdr.pool_disconnected.fetch_add(1, std::memory_order_acq_rel);
+        // Leave-then-crash: a client that already had its kDisconnect
+        // served was counted by that worker; counting the corpse again
+        // would overshoot pool_disconnected and shut the pool down early.
+        if (hdr.client_departed[c].load(std::memory_order_acquire) == 0) {
+          hdr.pool_disconnected.fetch_add(1, std::memory_order_acq_rel);
+        }
       }
     }
     // 4. Bounded steal from the most-loaded live shard: an idle worker

@@ -117,6 +117,13 @@ struct ShmChannelHeader {
   // worker, plus crashed clients reaped on an idle tick): every worker's
   // termination condition, since no single worker sees all disconnects.
   std::atomic<std::uint32_t> pool_disconnected{0};
+  // One flag per client seat, set when a worker serves the seat's
+  // kDisconnect and cleared again on kConnect. Lets the crash reaper tell
+  // "disconnected cleanly, then died before deregistering its peer slot"
+  // from "crashed while connected": the first kind was already counted in
+  // pool_disconnected by the worker that served the disconnect, so the
+  // reaper must reclaim the seat WITHOUT counting a second departure.
+  std::atomic<std::uint8_t> client_departed[kMaxClients] = {};
 };
 
 /// Creates/attaches the channel structures. The creator owns the SysV

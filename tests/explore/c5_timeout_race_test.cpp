@@ -1,0 +1,168 @@
+// The C.5 timeout race, pinned: a producer that enqueues (and V's) in the
+// window between the consumer's timed sleep EXPIRING and the consumer
+// restoring its awake flag used to strand both the message (kTimeout with
+// traffic queued) and the semaphore token (the next sleeper woke spuriously
+// on an empty queue). The fixed timeout path re-runs the dequeue on expiry
+// and absorbs the matching token, returning kOk with zero residue.
+//
+// The schedule needs real time to pass mid-run — the consumer's deadline
+// must actually expire while the producer is parked — which is what the
+// controller's wait-choice pseudo-decision expresses: with the producer
+// frozen at its first marker (node filled, nothing published), "schedule
+// nobody" leaves the floor free until the consumer's timer returns it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/controller.hpp"
+#include "explore/hooks.hpp"
+#include "explore/invariants.hpp"
+#include "protocols/channel.hpp"
+#include "protocols/detail.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+using explore::Controller;
+using explore::Options;
+using explore::Point;
+using explore::Policy;
+using explore::TraceEntry;
+
+constexpr std::uint32_t kConsumer = 0;
+constexpr std::uint32_t kProducer = 1;
+
+std::ptrdiff_t find_entry(const std::vector<TraceEntry>& trace,
+                          std::uint32_t tid, Point p) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].tid == tid && trace[i].point == p) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+struct C5Run {
+  bool ran_ok = false;
+  bool matched = false;
+  std::string trace;
+  std::string schedule;
+  Status status = Status::kTimeout;
+  double value = 0.0;
+  std::uint64_t consumer_absorbs = 0;
+  std::uint64_t consumer_timeouts = 0;
+  std::uint64_t producer_wakeups = 0;
+  std::uint32_t sem_residue = 0;
+  bool awake_set = false;
+  bool invariants_ok = false;
+  std::string invariants;
+};
+
+C5Run run_c5(const std::vector<std::uint32_t>& sched) {
+  ShmChannel::Config cfg;
+  cfg.max_clients = 4;
+  cfg.queue_capacity = 16;
+  ShmRegion region = ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+  ShmChannel channel = ShmChannel::create(region, cfg);
+  NativeEndpoint& ep = channel.server_endpoint();
+
+  NativePlatform cons_plat, prod_plat;
+  Message m{};
+  C5Run r;
+  {
+    Options o;
+    o.policy = Policy::kReplay;
+    o.replay = sched;
+    o.allow_wait_choice = true;  // the race needs the timer to fire mid-run
+    o.step_timeout = std::chrono::milliseconds(5000);
+    Controller c(o);
+    c.spawn("consumer", [&] {
+      // 60 ms: long enough that the producer reliably parks at its first
+      // marker before expiry, short enough to keep the test quick.
+      r.status = detail::dequeue_or_sleep_until(
+          cons_plat, ep, &m, /*pre_busy_wait=*/false,
+          cons_plat.time_ns() + 60'000'000);
+    });
+    c.spawn("producer", [&] {
+      detail::enqueue_and_wake(prod_plat, ep, Message(Op::kEcho, 0, 7.0));
+    });
+    r.ran_ok = c.run();
+    r.trace = c.trace_string();
+    r.schedule = c.schedule_string();
+
+    // The race, in trace order: the consumer's timed sleep expires, THEN
+    // the producer publishes and V's, THEN the consumer's expiry recheck
+    // absorbs the token.
+    const auto& t = c.trace();
+    const std::ptrdiff_t timed_out =
+        find_entry(t, kConsumer, Point::kProtTimedOut);
+    const std::ptrdiff_t wake = find_entry(t, kProducer, Point::kProtPreWake);
+    const std::ptrdiff_t absorb = find_entry(t, kConsumer, Point::kProtAbsorb);
+    r.matched = timed_out >= 0 && wake >= 0 && absorb >= 0 &&
+                timed_out < wake && wake < absorb;
+  }
+  r.value = m.value;
+  r.consumer_absorbs = cons_plat.counters().sem_absorbs;
+  r.consumer_timeouts = cons_plat.counters().timeouts;
+  r.producer_wakeups = prod_plat.counters().wakeups;
+  r.sem_residue = ep.fsem.value();
+  r.awake_set = ep.awake.is_set();
+  const explore::InvariantReport rep = explore::check_invariants(
+      channel.node_pool(), channel.all_queues(), nullptr, {&ep});
+  r.invariants_ok = rep.ok();
+  r.invariants = rep.to_string();
+  return r;
+}
+
+/// 0^L, then "wait" / "producer" preferences: value 1 at the decision after
+/// the consumer blocks picks the wait-choice slot (floor free, timer runs),
+/// and value 1 afterwards hands every following step to the producer.
+std::vector<std::uint32_t> c5_schedule(std::size_t zeros) {
+  std::vector<std::uint32_t> s(zeros, 0);
+  s.insert(s.end(), 24, 1);
+  return s;
+}
+
+TEST(C5TimeoutRace, ExpiryRecheckDeliversRacedMessageAndAbsorbsToken) {
+  std::optional<C5Run> found;
+  for (std::size_t zeros = 1; zeros <= 14 && !found; ++zeros) {
+    C5Run r = run_c5(c5_schedule(zeros));
+    if (r.ran_ok && r.matched) found = std::move(r);
+  }
+  ASSERT_TRUE(found.has_value())
+      << "switch-point scan never produced the C.5 timeout race";
+
+  const std::vector<std::uint32_t> pinned =
+      explore::parse_schedule(found->schedule);
+  const C5Run first = run_c5(pinned);
+  const C5Run second = run_c5(pinned);
+  EXPECT_TRUE(first.ran_ok && second.ran_ok);
+  EXPECT_TRUE(first.matched) << "pinned schedule lost the race\n"
+                             << first.trace;
+  EXPECT_EQ(first.trace, second.trace)
+      << "same schedule must produce the identical marker trace";
+
+  // The fix, observable: the raced message is DELIVERED (not kTimeout),
+  // the banked token is absorbed, and the endpoint is left pristine — no
+  // stale token to wake the next sleeper spuriously.
+  EXPECT_EQ(first.status, Status::kOk)
+      << "expiry recheck must deliver the raced message";
+  EXPECT_DOUBLE_EQ(first.value, 7.0);
+  EXPECT_EQ(first.consumer_absorbs, 1u) << "the banked V must be absorbed";
+  EXPECT_EQ(first.consumer_timeouts, 0u)
+      << "a delivered message is not a timeout";
+  EXPECT_EQ(first.producer_wakeups, 1u);
+  EXPECT_EQ(first.sem_residue, 0u)
+      << "stale semaphore token left for the next sleeper";
+  EXPECT_TRUE(first.awake_set);
+  EXPECT_TRUE(first.invariants_ok) << first.invariants;
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,86 @@
+// RateTracker guards the --watch display against every way a counter delta
+// can lie: first sight, a reset_series() generation bump, a backwards
+// counter (racy re-bind that kept the generation), and a non-advancing
+// clock. The pinned regression: a generation bump between refreshes used
+// to be differenced as (new_small - old_big), printing a ~2^64 msgs/s
+// spike in the watch column.
+#include "obs/rate_tracker.hpp"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace ulipc::obs {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000;
+
+TEST(RateTracker, FirstSightIsInvalidThenSteadyRatesAreExact) {
+  RateTracker t;
+  EXPECT_FALSE(t.update(0, 1, 1000, 10, 1 * kSec).valid)
+      << "no baseline yet: nothing to difference against";
+
+  const RateSample s = t.update(0, 1, 3000, 30, 2 * kSec);
+  ASSERT_TRUE(s.valid);
+  EXPECT_DOUBLE_EQ(s.msgs_per_s, 2000.0);
+  EXPECT_DOUBLE_EQ(s.wakeups_per_s, 20.0);
+
+  // Half-second refresh: the dt normalization must use the real interval.
+  const RateSample h = t.update(0, 1, 3500, 35, 2 * kSec + kSec / 2);
+  ASSERT_TRUE(h.valid);
+  EXPECT_DOUBLE_EQ(h.msgs_per_s, 1000.0);
+  EXPECT_DOUBLE_EQ(h.wakeups_per_s, 10.0);
+}
+
+TEST(RateTracker, GenerationBumpInvalidatesExactlyOneRefresh) {
+  RateTracker t;
+  (void)t.update(0, 1, 5'000'000, 100, 1 * kSec);
+  ASSERT_TRUE(t.update(0, 1, 6'000'000, 200, 2 * kSec).valid);
+
+  // reset_series(): generation 1 -> 2, counters restart near zero. The
+  // naive delta (50 - 6'000'000) is the ~2^64 spike this type exists to
+  // suppress.
+  const RateSample cross = t.update(0, 2, 50, 1, 3 * kSec);
+  EXPECT_FALSE(cross.valid) << "a rate across a generation bump is a lie";
+
+  // One refresh later the new series has a clean baseline again.
+  const RateSample after = t.update(0, 2, 1050, 11, 4 * kSec);
+  ASSERT_TRUE(after.valid);
+  EXPECT_DOUBLE_EQ(after.msgs_per_s, 1000.0);
+  EXPECT_DOUBLE_EQ(after.wakeups_per_s, 10.0);
+}
+
+TEST(RateTracker, BackwardsCounterWithSameGenerationRebaselines) {
+  // A process that re-bind()s fast enough to reuse the generation still
+  // must not produce a negative-as-unsigned rate.
+  RateTracker t;
+  (void)t.update(0, 7, 900, 90, 1 * kSec);
+  const RateSample back = t.update(0, 7, 100, 90, 2 * kSec);
+  EXPECT_FALSE(back.valid);
+  // The backwards snapshot became the new baseline: next refresh is clean.
+  const RateSample next = t.update(0, 7, 600, 95, 3 * kSec);
+  ASSERT_TRUE(next.valid);
+  EXPECT_DOUBLE_EQ(next.msgs_per_s, 500.0);
+  EXPECT_DOUBLE_EQ(next.wakeups_per_s, 5.0);
+}
+
+TEST(RateTracker, NonAdvancingClockNeverDividesByZero) {
+  RateTracker t;
+  (void)t.update(0, 1, 100, 1, 1 * kSec);
+  const RateSample stuck = t.update(0, 1, 200, 2, 1 * kSec);
+  EXPECT_FALSE(stuck.valid) << "dt == 0 must re-baseline, not divide";
+}
+
+TEST(RateTracker, SlotsAreIndependent) {
+  RateTracker t;
+  (void)t.update(0, 1, 1000, 10, 1 * kSec);
+  (void)t.update(3, 5, 40, 4, 1 * kSec);
+  // A generation bump on slot 3 must not disturb slot 0's baseline.
+  EXPECT_FALSE(t.update(3, 6, 0, 0, 2 * kSec).valid);
+  const RateSample s0 = t.update(0, 1, 2000, 20, 2 * kSec);
+  ASSERT_TRUE(s0.valid);
+  EXPECT_DOUBLE_EQ(s0.msgs_per_s, 1000.0);
+}
+
+}  // namespace
+}  // namespace ulipc::obs

@@ -77,6 +77,30 @@ TEST(AdaptiveBsls, ZeroWakeEwmaLeavesBoundUntouched) {
   k.run();
 }
 
+TEST(AdaptiveBsls, UnsampledPollEwmaDoesNotPegBoundAtMax) {
+  SimKernel k(fast_machine());
+  SimPlatform plat(k);
+  k.spawn("tuner", [&] {
+    // A wake sample can land before ANY poll-cost sample exists (every
+    // spin pass so far had spincnt == 0). The retune used to substitute
+    // poll = 1 ns, compute wake/1, and peg the bound at kMaxSpinBound —
+    // a division artifact, not a measurement. The unsampled-poll retune
+    // must keep the configured bound (floored at kMinSpinBound) instead.
+    BslsSim proto(20, SpinMode::kAdaptive);
+    proto.seed_ewmas_for_test(plat, /*wake_ns=*/10'000'000, /*poll_ns=*/0);
+    EXPECT_EQ(proto.spin_bound(), 20u)
+        << "unsampled poll EWMA must not manufacture a wake/1ns ratio";
+    EXPECT_EQ(plat.counters().adaptive_updates, 1u);
+
+    // A zero configured bound still gets floored so the spin loop can
+    // eventually take a real poll sample and tune for real.
+    BslsSim zero(0, SpinMode::kAdaptive);
+    zero.seed_ewmas_for_test(plat, /*wake_ns=*/10'000'000, /*poll_ns=*/0);
+    EXPECT_EQ(zero.spin_bound(), BslsSim::kMinSpinBound);
+  });
+  k.run();
+}
+
 TEST(AdaptiveBsls, ZeroBoundRecoversOnline) {
   // MAX_SPIN = 0 is the worst hand-tuning mistake: every receive falls
   // straight through to the 4-syscall blocking regime. Fixed mode stays

@@ -211,6 +211,31 @@ TEST_F(NativeThreadsTest, SendUntilTimesOutWithNoServer) {
   EXPECT_DOUBLE_EQ(m.value, 1.0);
 }
 
+TEST_F(NativeThreadsTest, FullQueueTimedSendHonorsDeadline) {
+  // The queue-full flow-control sleep is the paper's sleep(1) — a full
+  // second by default. A timed send that hits a full queue used to park for
+  // the whole quantum before looking at its deadline again, overshooting a
+  // 30 ms budget by ~970 ms. sleep_capped() clamps each quantum to the
+  // remaining budget, so the timeout lands within a timer tick.
+  NativePlatform plat;  // DEFAULT config: full_sleep_ns = 1 s, the real one
+  NativeEndpoint& ep = channel_->server_endpoint();
+  while (plat.enqueue(ep, Message(Op::kEcho, 0, 0.0))) {
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = detail::enqueue_and_wake_until(
+      plat, ep, Message(Op::kEcho, 0, 1.0), plat.time_ns() + 30'000'000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(st, Status::kTimeout);
+  EXPECT_GT(plat.counters().full_sleeps, 0u)
+      << "the point is timing out FROM the flow-control sleep";
+  EXPECT_EQ(plat.counters().timeouts, 1u);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(30));
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500))
+      << "deadline overshot by a full sleep quantum";
+}
+
 TEST_F(NativeThreadsTest, ReceiveUntilReturnsOkWhenTrafficArrives) {
   NativeEndpoint& ep = channel_->server_endpoint();
   std::thread producer([&] {

@@ -1,0 +1,137 @@
+// Departure accounting for the sharded pool: pool_disconnected is every
+// worker's termination condition, so each client must be counted EXACTLY
+// once no matter how it leaves. The regression pinned here is
+// leave-then-crash: a client whose kDisconnect was served but that died
+// before deregistering its liveness seat used to be counted twice — once
+// by the serving worker, once by the crash reaper — shutting the pool down
+// one real departure early (and stranding any client still connected).
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "protocols/bsw.hpp"
+#include "runtime/server_pool.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+struct DepartureOut {
+  std::atomic<std::uint32_t> b_resume{0};
+  std::atomic<std::uint32_t> reaped_clients{0};
+};
+
+class PoolDepartureTest : public ::testing::Test {
+ protected:
+  void build(std::uint32_t shards, std::uint32_t clients) {
+    ShmChannel::Config cfg;
+    cfg.max_clients = clients;
+    cfg.queue_capacity = 64;
+    cfg.shards = shards;
+    region_ = ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+    channel_.emplace(ShmChannel::create(region_, cfg));
+    out_region_ = ShmRegion::create_anonymous(4096);
+    out_ = new (out_region_.base()) DepartureOut();
+  }
+
+  ChildProcess spawn_worker(std::uint32_t shard) {
+    ChildProcess w = ChildProcess::spawn([&, shard] {
+      ServerPoolOptions o;
+      o.expected_clients = 2;
+      o.liveness_timeout_ns = 20'000'000;
+      o.steal_batch = 0;
+      const PoolWorkerResult r =
+          run_pool_worker(*channel_, Bsw<NativePlatform>(), shard, o);
+      out_->reaped_clients.fetch_add(r.reaped_clients,
+                                     std::memory_order_acq_rel);
+      return 0;
+    });
+    channel_->register_worker_pid(shard, static_cast<std::uint32_t>(w.pid()));
+    return w;
+  }
+
+  ShmRegion region_;
+  ShmRegion out_region_;
+  std::optional<ShmChannel> channel_;
+  DepartureOut* out_ = nullptr;
+};
+
+TEST_F(PoolDepartureTest, ServedDisconnectThenDeathCountsExactlyOnce) {
+  build(2, 2);
+  constexpr std::uint64_t kMessages = 50;
+
+  std::vector<ChildProcess> workers;
+  workers.push_back(spawn_worker(0));
+  workers.push_back(spawn_worker(1));
+
+  // Client A: clean protocol-level disconnect (the worker serves the
+  // kDisconnect and counts it), then exits WITHOUT deregistering its
+  // liveness seat — so its corpse also trips the crash reaper.
+  ChildProcess a = ChildProcess::spawn([&] {
+    NativePlatform plat;
+    Bsw<NativePlatform> proto;
+    pool_client_connect(plat, proto, *channel_, 0,
+                        PlacementPolicy::kLeastLoaded, /*forced_shard=*/0);
+    const std::uint64_t ok =
+        pool_client_echo_loop(plat, proto, *channel_, 0, kMessages);
+    PoolShardMap& map = channel_->shard_map();
+    NativeEndpoint& srv = channel_->shard_endpoint(map.assignment(0));
+    client_disconnect(plat, proto, srv, channel_->client_endpoint(0), 0);
+    // Deliberately NO map.unplace / deregister_client: leave-then-crash.
+    return ok == kMessages ? 0 : 1;
+  });
+  channel_->register_client_pid(0, static_cast<std::uint32_t>(a.pid()));
+
+  // Client B: stays connected until A's corpse has definitely been reaped,
+  // then leaves cleanly. Pre-fix, the double count shut the pool down
+  // while B was still connected and B's disconnect was never answered.
+  ChildProcess b = ChildProcess::spawn([&] {
+    NativePlatform plat;
+    Bsw<NativePlatform> proto;
+    pool_client_connect(plat, proto, *channel_, 1,
+                        PlacementPolicy::kLeastLoaded, /*forced_shard=*/1);
+    std::uint64_t ok =
+        pool_client_echo_loop(plat, proto, *channel_, 1, kMessages);
+    while (out_->b_resume.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ok += pool_client_echo_loop(plat, proto, *channel_, 1, kMessages);
+    pool_client_disconnect(plat, proto, *channel_, 1);
+    return ok == 2 * kMessages ? 0 : 1;
+  });
+  channel_->register_client_pid(1, static_cast<std::uint32_t>(b.pid()));
+
+  EXPECT_EQ(a.join(), 0) << "client A lost replies";
+  // A is dead with its seat still registered. Give the reapers more than
+  // one liveness timeout to notice and reclaim the corpse while B is still
+  // connected — the window the double count lived in.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (channel_->client_pid(0) != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "A's corpse was never reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  out_->b_resume.store(1, std::memory_order_release);
+
+  EXPECT_EQ(b.join(), 0) << "client B lost replies (pool shut down early?)";
+  for (auto& w : workers) {
+    EXPECT_EQ(w.join(), 0) << "worker did not terminate cleanly";
+  }
+
+  // Exact accounting: two clients, two departures, one corpse reaped.
+  EXPECT_EQ(channel_->header().pool_disconnected.load(), 2u)
+      << "leave-then-crash was double-counted";
+  EXPECT_EQ(out_->reaped_clients.load(), 1u)
+      << "exactly one worker reclaims A's seat";
+  EXPECT_EQ(channel_->header().client_departed[0].load(), 1u);
+  EXPECT_EQ(channel_->client_pid(0), 0u) << "A's seat must be vacated";
+}
+
+}  // namespace
+}  // namespace ulipc

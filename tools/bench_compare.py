@@ -2,16 +2,20 @@
 """Report-only comparison of a fresh bench run against BENCH_baseline.json.
 
     tools/bench_compare.py --build-dir <dir> [--baseline BENCH_baseline.json]
-                           [--messages N] [--tolerance PCT]
+                           [--messages N] [--tolerance PCT] [--strict]
 
 Runs the two perf anchors (latency_percentiles for round-trip medians,
 micro_queue for queue-op ns) from the given build tree, then prints a
 markdown table of current vs baseline with the relative delta. Rows whose
-regression exceeds the tolerance (default 30%) are flagged.
+regression exceeds the tolerance (default 30%, or 10% under --strict) are
+flagged.
 
-This is diagnostics, NOT a gate: shared CI runners make perf numbers
-weather, so the script always exits 0 — the CI job additionally wraps it in
-continue-on-error. Machine differences are expected; the committed baseline
+By default this is diagnostics, NOT a gate: shared CI runners make perf
+numbers weather, so the script exits 0 — the CI job additionally wraps it
+in continue-on-error. --strict turns the flags into a gate (exit 1 when
+any row regresses beyond tolerance, or when the baseline cannot be read)
+for pinned local A/B runs where the machine IS controlled; CI stays
+report-only. Machine differences are expected; the committed baseline
 carries its machine tag for context.
 """
 
@@ -99,9 +103,15 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--baseline", default="BENCH_baseline.json")
     ap.add_argument("--messages", type=int, default=20000)
-    ap.add_argument("--tolerance", type=float, default=30.0,
-                    help="flag regressions beyond this %% (report only)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="flag regressions beyond this %% "
+                         "(default: 30, or 10 under --strict)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when any row regresses beyond "
+                         "tolerance (local A/B gate; CI stays report-only)")
     args = ap.parse_args()
+    if args.tolerance is None:
+        args.tolerance = 10.0 if args.strict else 30.0
 
     try:
         with open(args.baseline) as f:
@@ -109,7 +119,7 @@ def main():
     except (OSError, ValueError) as e:
         print(f"bench_compare: cannot read {args.baseline}: {e}",
               file=sys.stderr)
-        return 0
+        return 1 if args.strict else 0
 
     machine = base.get("machine", {})
     print("## Bench comparison vs committed baseline (report only)")
@@ -131,7 +141,9 @@ def main():
               "whether the machine or the code changed.")
     else:
         print("\nno regressions beyond tolerance.")
-    return 0  # never a gate
+    if args.strict and flagged:
+        return 1  # opt-in gate for controlled machines
+    return 0  # default: never a gate
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,7 @@
 
 #include "common/cacheline.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rate_tracker.hpp"
 #include "obs/trace_ring.hpp"
 #include "runtime/shm_channel.hpp"
 #include "shm/process.hpp"
@@ -174,17 +176,24 @@ void print_shards(const ChannelView& v) {
 
 // ---- table output ----
 
-void print_table(const ChannelView& v) {
-  std::printf("%-4s %-7s %-8s %9s %7s %7s %9s %8s %8s %9s %9s %9s\n", "slot",
+/// `rates` non-null only in --watch mode: rates need two snapshots of the
+/// same series, and the tracker re-baselines (printing "-") for one
+/// refresh whenever a slot's generation bumps (reset_series / re-bind)
+/// instead of showing the delta across the reset as a giant spike.
+void print_table(const ChannelView& v, obs::RateTracker* rates = nullptr,
+                 std::int64_t now_ns = 0) {
+  std::printf("%-4s %-7s %-8s %9s %7s %7s %9s %8s %8s %9s %9s %9s", "slot",
               "role", "pid", "msgs", "wk/msg", "coal", "sleeps", "spin-p50",
               "spin-p99", "rt-p50us", "rt-p99us", "slp-p50us");
+  if (rates != nullptr) std::printf(" %9s", "msg/s");
+  std::printf("\n");
   for (std::uint32_t i = 0; i < v.obs->slot_count; ++i) {
     obs::SlotSnapshot s;
     if (!v.obs->slot(i).read_snapshot(&s) || !s.bound()) continue;
     const std::uint64_t msgs = slot_messages(s.counters);
     std::printf(
         "%-4u %-7s %-8u %9llu %7.3f %7llu %9llu %8.0f %8.0f %9.2f %9.2f "
-        "%9.1f\n",
+        "%9.1f",
         i, obs::slot_role_name(s.role), s.pid,
         static_cast<unsigned long long>(msgs),
         ratio(s.counters.wakeups, msgs),
@@ -195,6 +204,16 @@ void print_table(const ChannelView& v) {
         s.h(obs::HistKind::kRoundTripNs).percentile(50) / 1e3,
         s.h(obs::HistKind::kRoundTripNs).percentile(99) / 1e3,
         s.h(obs::HistKind::kSleepNs).percentile(50) / 1e3);
+    if (rates != nullptr) {
+      const obs::RateSample r = rates->update(i, s.generation, msgs,
+                                              s.counters.wakeups, now_ns);
+      if (r.valid) {
+        std::printf(" %9.0f", r.msgs_per_s);
+      } else {
+        std::printf(" %9s", "-");
+      }
+    }
+    std::printf("\n");
   }
   std::printf(
       "recovery: sweeps=%llu drained=%llu nodes=%llu   trace=%s "
@@ -421,11 +440,16 @@ int main(int argc, char** argv) {
       return export_trace(view, opt.trace_export);
     }
     if (opt.watch) {
+      obs::RateTracker rates;
       for (;;) {
         std::printf("\033[H\033[2J");  // clear + home
         std::printf("ulipc-stat %s  (refresh %d ms; ^C to quit)\n\n",
                     opt.shm_name.c_str(), opt.interval_ms);
-        print_table(view);
+        const std::int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        print_table(view, &rates, now_ns);
         std::fflush(stdout);
         if (!server_alive(view)) {
           std::printf("\n(server seat empty or dead — final snapshot)\n");
