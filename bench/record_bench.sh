@@ -54,6 +54,14 @@ if [ -x "$BENCH_DIR/fig11b_server_pool" ]; then
   "$BENCH_DIR/fig11b_server_pool" "--messages=$MESSAGES" \
     > "$TMP/pool.txt" 2>&1 || true
 fi
+# Scenario engine ("[scenario]" JSON lines with per-run SLO pass/fail), if
+# ulipc-perf is built. || true: a chaos SLO failure is a data point to
+# record, not a reason to lose the rest of the snapshot — and a crashed run
+# leaves at worst a truncated last line, which the parser below discards.
+PERF_BIN="$BUILD_DIR/tools/ulipc-perf/ulipc-perf"
+if [ -x "$PERF_BIN" ]; then
+  "$PERF_BIN" --quick > "$TMP/scenarios.txt" 2>&1 || true
+fi
 
 python3 - "$TMP" "$OUT" "$MESSAGES" "$TRAJ" <<'EOF'
 import json, os, platform, re, subprocess, sys, datetime
@@ -122,6 +130,32 @@ def pool_lines(path):
                 continue
     return rows
 
+def scenario_lines(path):
+    # "[scenario] {...}" JSON lines from ulipc-perf: one per scenario run,
+    # with nested SLO verdicts. The run may have crashed mid-scenario, so
+    # every line is validated (parses AND has the keys we fold) before it
+    # contributes; malformed/truncated lines are counted and dropped.
+    rows, dropped = {}, 0
+    if not os.path.exists(path):
+        return rows, dropped
+    with open(path, errors="replace") as f:
+        for line in f:
+            if not line.startswith("[scenario] "):
+                continue
+            try:
+                rec = json.loads(line[len("[scenario] "):])
+                name = rec["scenario"]
+                slo = rec["slo"]
+                if not isinstance(slo, dict) or "pass" not in slo:
+                    raise KeyError("slo.pass")
+                rows[name] = rec
+            except (ValueError, KeyError, TypeError):
+                dropped += 1
+    if dropped:
+        print(f"warning: dropped {dropped} malformed [scenario] line(s)",
+              file=sys.stderr)
+    return rows, dropped
+
 def git(*args):
     try:
         return subprocess.check_output(("git",) + args, text=True).strip()
@@ -156,6 +190,9 @@ if registry_batched:
 pool = pool_lines(os.path.join(tmp, "pool.txt"))
 if pool:
     doc["server_pool"] = pool
+scenarios, _ = scenario_lines(os.path.join(tmp, "scenarios.txt"))
+if scenarios:
+    doc["scenarios"] = scenarios
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -183,10 +220,37 @@ if pool:
     point["pool_msgs_per_ms"] = {
         str(p["workers"]): p["msgs_per_ms"] for p in pool
         if "workers" in p and "msgs_per_ms" in p}
+if scenarios:
+    point["scenario_slo"] = {
+        name: bool(rec["slo"]["pass"]) for name, rec in scenarios.items()}
+    point["scenario_msgs_per_ms"] = {
+        name: rec["msgs_per_ms"] for name, rec in scenarios.items()
+        if isinstance(rec.get("msgs_per_ms"), (int, float))}
 traj = traj_arg or os.path.join(os.path.dirname(os.path.abspath(out)) or ".",
                                 "BENCH_trajectory.jsonl")
-with open(traj, "a") as f:
-    f.write(json.dumps(point) + "\n")
+
+# Append-only trajectory, hardened against crashed/partial runs:
+#   1. the serialized point must round-trip through json before anything
+#      touches the file (a bug here must not corrupt history);
+#   2. if a previous run died mid-write and left the file without a
+#      trailing newline, terminate that fragment first so it stays confined
+#      to its own (invalid, hence skipped-by-readers) line;
+#   3. the point goes out as ONE os.write on an O_APPEND fd — either the
+#      whole line lands or (on a crash before the syscall) none of it.
+line = json.dumps(point) + "\n"
+json.loads(line)  # self-check: never append what a reader cannot parse
+fd = os.open(traj, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+try:
+    if os.fstat(fd).st_size > 0:
+        with open(traj, "rb") as rf:
+            rf.seek(-1, os.SEEK_END)
+            if rf.read(1) != b"\n":
+                os.write(fd, b"\n")
+                print(f"warning: {traj} had a truncated last line; "
+                      "terminated it", file=sys.stderr)
+    os.write(fd, line.encode())
+finally:
+    os.close(fd)
 
 print(f"wrote {out} and appended {traj}")
 EOF

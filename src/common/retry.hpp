@@ -1,0 +1,44 @@
+// EINTR-safe retry helpers.
+//
+// Chaos mode (tools/ulipc-perf) SIGKILLs workers and clients while traffic
+// is running, so every surviving process sees signal storms (SIGCHLD from
+// reaped children in the orchestrator, spurious wake-ups under ptrace/
+// sanitizers). The shm layer already re-arms its own waits (semop/
+// futex_wait/waitpid retry on EINTR with absolute deadlines); these helpers
+// close the remaining gaps — plain nanosleep/usleep back-offs, which
+// otherwise return early and silently shorten a back-off or a watch
+// interval.
+#pragma once
+
+#include <time.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace ulipc {
+
+/// Retries `call` (int-returning, -1 + errno on failure) until it stops
+/// failing with EINTR. Returns the final result, errno preserved.
+template <typename Fn>
+inline int retry_eintr(Fn&& call) noexcept {
+  int r;
+  do {
+    r = call();
+  } while (r == -1 && errno == EINTR);
+  return r;
+}
+
+/// Sleeps the FULL duration even across signal deliveries: nanosleep is
+/// re-armed with the kernel-reported remainder until it completes. A plain
+/// nanosleep(ts, nullptr) interrupted by a signal returns early — under a
+/// SIGCHLD storm that turns an exponential back-off into a busy loop.
+inline void sleep_ns_eintr(std::int64_t ns) noexcept {
+  if (ns <= 0) return;
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(ns / 1'000'000'000LL);
+  req.tv_nsec = static_cast<long>(ns % 1'000'000'000LL);
+  timespec rem{};
+  while (nanosleep(&req, &rem) == -1 && errno == EINTR) req = rem;
+}
+
+}  // namespace ulipc

@@ -74,6 +74,8 @@ struct LiveCounters {
   RelaxedU64 steals;
   RelaxedU64 stolen_msgs;
   RelaxedU64 migrated_msgs;
+  RelaxedU64 retries;
+  RelaxedU64 sheds;
 
   /// Copies the live cells into the plain value type (relaxed reads; pair
   /// with MetricSlot's seqlock for a consistent multi-field view).
@@ -100,6 +102,8 @@ struct LiveCounters {
     c.steals = steals.load();
     c.stolen_msgs = stolen_msgs.load();
     c.migrated_msgs = migrated_msgs.load();
+    c.retries = retries.load();
+    c.sheds = sheds.load();
     return c;
   }
 
@@ -126,12 +130,14 @@ struct LiveCounters {
     steals = c.steals;
     stolen_msgs = c.stolen_msgs;
     migrated_msgs = c.migrated_msgs;
+    retries = c.retries;
+    sheds = c.sheds;
   }
 
   void reset() noexcept { restore(ProtocolCounters{}); }
 };
 
-static_assert(sizeof(LiveCounters) == 21 * sizeof(std::uint64_t),
+static_assert(sizeof(LiveCounters) == 23 * sizeof(std::uint64_t),
               "LiveCounters must stay layout-compatible across binaries");
 
 }  // namespace ulipc::obs

@@ -56,6 +56,7 @@ enum class SlotRole : std::uint32_t {
   kClient,
   kDuplexThread,
   kPoolWorker,
+  kLoadgen,  // scenario-engine client (tools/ulipc-perf)
 };
 
 constexpr const char* slot_role_name(SlotRole r) noexcept {
@@ -65,6 +66,7 @@ constexpr const char* slot_role_name(SlotRole r) noexcept {
     case SlotRole::kClient: return "client";
     case SlotRole::kDuplexThread: return "duplex";
     case SlotRole::kPoolWorker: return "pool";
+    case SlotRole::kLoadgen: return "loadgen";
   }
   return "?";
 }

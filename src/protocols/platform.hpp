@@ -58,6 +58,10 @@ struct ProtocolCounters {
   std::uint64_t steals = 0;         // pool: idle-steal passes that got work
   std::uint64_t stolen_msgs = 0;    // pool: messages taken from other shards
   std::uint64_t migrated_msgs = 0;  // pool: messages drained off dead shards
+  std::uint64_t retries = 0;        // resilience: request re-sends after a
+                                    // deadline expiry (runtime/resilience.hpp)
+  std::uint64_t sheds = 0;          // resilience: requests refused at
+                                    // admission (shard depth over watermark)
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -81,6 +85,8 @@ struct ProtocolCounters {
     steals += o.steals;
     stolen_msgs += o.stolen_msgs;
     migrated_msgs += o.migrated_msgs;
+    retries += o.retries;
+    sheds += o.sheds;
     return *this;
   }
 };

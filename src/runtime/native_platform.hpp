@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "common/clock.hpp"
+#include "common/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "protocols/platform.hpp"
@@ -204,11 +205,7 @@ class NativePlatform {
   void sleep_seconds(int secs) noexcept {
     // The paper's queue-full back-off is sleep(1); the configured duration
     // lets tests exercise the flow-control path without 1 s stalls.
-    const std::int64_t total = cfg_.full_sleep_ns * secs;
-    timespec ts{};
-    ts.tv_sec = total / 1'000'000'000LL;
-    ts.tv_nsec = total % 1'000'000'000LL;
-    nanosleep(&ts, nullptr);
+    sleep_ns_eintr(cfg_.full_sleep_ns * secs);
   }
 
   /// Flow-control back-off clamped to an absolute deadline: sleeps the
@@ -223,10 +220,7 @@ class NativePlatform {
       if (remaining <= 0) return;
       total = std::min(total, remaining);
     }
-    timespec ts{};
-    ts.tv_sec = total / 1'000'000'000LL;
-    ts.tv_nsec = total % 1'000'000'000LL;
-    nanosleep(&ts, nullptr);
+    sleep_ns_eintr(total);
   }
 
   void fence() noexcept {

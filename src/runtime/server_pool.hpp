@@ -70,6 +70,11 @@ struct ServerPoolOptions {
   std::uint32_t park_worker = kNoShard;
   std::uint64_t park_after_messages = 0;
   std::atomic<std::uint32_t>* park_signal = nullptr;
+  // External shutdown flag (chaos runs): when clients are SIGKILLed mid-
+  // load, pool_disconnected can never reach expected_clients, so the
+  // orchestrator raises this once it has finished its own recovery sweep.
+  // nullptr (the default) keeps the disconnect-count termination only.
+  std::atomic<std::uint32_t>* stop_flag = nullptr;
 };
 
 /// One reaped worker, as observed by the survivor that did the reaping.
@@ -157,13 +162,23 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
         // ShmChannelHeader::client_departed): record it BEFORE the reply
         // goes out, so a client that dies the instant it reads the
         // disconnect ack can never be double-counted as a crash departure.
+        // exchange, not store: a resilient client that timed out waiting
+        // for its disconnect ack re-sends kDisconnect, and the duplicate
+        // must not bump pool_disconnected a second time (that would shut
+        // the pool down before the remaining clients finish).
+        bool duplicate_disconnect = false;
         if (reqs[i].opcode == Op::kDisconnect) {
-          hdr.client_departed[cid].store(1, std::memory_order_release);
+          duplicate_disconnect =
+              hdr.client_departed[cid].exchange(1, std::memory_order_acq_rel)
+              != 0;
         } else if (reqs[i].opcode == Op::kConnect) {
           hdr.client_departed[cid].store(0, std::memory_order_release);
         }
         out[n++] = serve_one_request(p, reqs[i++], result.server,
                                      newly_disconnected);
+        if (duplicate_disconnect && newly_disconnected > 0) {
+          --newly_disconnected;
+        }
       }
       const Status st = detail::enqueue_batch_and_wake_until(
           p, channel.client_endpoint(cid), out, n,
@@ -294,18 +309,33 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
 
   const auto done = [&] {
     return hdr.pool_disconnected.load(std::memory_order_acquire) >=
-           opts.expected_clients;
+               opts.expected_clients ||
+           (opts.stop_flag != nullptr &&
+            opts.stop_flag->load(std::memory_order_acquire) != 0);
   };
 
+  // Maintenance (reap/re-drain/steal) must run even when this worker never
+  // goes idle: under saturated load the timed receive never expires, and a
+  // crashed peer would otherwise stay unreaped until traffic happened to
+  // pause — unbounded, which the chaos scenarios' orphan-drain SLO forbids.
+  // The forced tick bounds the gap between maintenance passes to one
+  // liveness window regardless of load.
+  std::int64_t next_tick = p.time_ns() + opts.liveness_timeout_ns;
   while (!done()) {
     if (parked) {  // test hook: serve nothing, just watch for termination
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;
     }
-    const std::int64_t deadline = p.time_ns() + opts.liveness_timeout_ns;
+    const std::int64_t now = p.time_ns();
+    if (now >= next_tick) {
+      idle_tick();
+      next_tick = p.time_ns() + opts.liveness_timeout_ns;
+    }
+    const std::int64_t deadline = now + opts.liveness_timeout_ns;
     const Status st = proto.receive_until(p, my_ep, &in[0], deadline);
     if (st != Status::kOk) {
       idle_tick();
+      next_tick = p.time_ns() + opts.liveness_timeout_ns;
       continue;
     }
     // The protocol's timed receive delivered the burst head (and counted

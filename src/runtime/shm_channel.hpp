@@ -239,6 +239,11 @@ class ShmChannel {
   void bind_pool_worker_obs(NativePlatform& p, std::uint32_t s) noexcept {
     bind_obs_slot(p, duplex_obs_slot(s), obs::SlotRole::kPoolWorker);
   }
+  /// Scenario-engine clients (ulipc-perf) take the client slot but tag it
+  /// with the loadgen role, so ulipc-stat can tell synthetic traffic apart.
+  void bind_loadgen_obs(NativePlatform& p, std::uint32_t i) noexcept {
+    bind_obs_slot(p, client_obs_slot(i), obs::SlotRole::kLoadgen);
+  }
 
   // ---- peer liveness registry ----
 

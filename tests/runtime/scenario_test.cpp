@@ -1,0 +1,110 @@
+// Scenario engine, plain-runtime flavor: run_scenario() forks a real pool
+// and real clients, so these tests exercise the same orchestration path as
+// tools/ulipc-perf — minus the explore crash points (this binary links the
+// uninstrumented runtime, so chaos uses the parent-kill trigger).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "runtime/scenario.hpp"
+
+namespace ulipc {
+namespace {
+
+TEST(ScenarioTest, RequestResponsePassesAllSlos) {
+  ScenarioSpec spec;
+  spec.name = "rr-small";
+  spec.workload = Workload::kRequestResponse;
+  spec.workers = 2;
+  spec.clients = 3;
+  spec.messages = 60;
+
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.attempted, 3u * 60u);
+  EXPECT_EQ(r.verified, r.attempted) << "every round trip must verify";
+  EXPECT_TRUE(r.slo_no_lost_replies);
+  EXPECT_TRUE(r.slo_orphan_drain);
+  EXPECT_TRUE(r.slo_nodes_conserved) << "node pool leaked across the run";
+  EXPECT_TRUE(r.slo_pass());
+  EXPECT_GT(r.msgs_per_ms, 0.0);
+}
+
+TEST(ScenarioTest, ChurnCyclesReconnectCleanly) {
+  ScenarioSpec spec;
+  spec.name = "churn-small";
+  spec.workload = Workload::kChurn;
+  spec.workers = 2;
+  spec.clients = 4;
+  spec.cycles = 3;
+  spec.messages = 20;
+
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_TRUE(r.slo_pass());
+  EXPECT_EQ(r.verified, 4u * 3u * 20u);
+}
+
+TEST(ScenarioTest, ChurnChaosKillsWorkerAndClientAndRecovers) {
+  // The headline SLO scenario: one worker AND one client SIGKILLed
+  // mid-load (parent-kill trigger in this binary). Survivors must lose
+  // nothing, the dead shard must drain, and the node pool must balance.
+  ScenarioSpec spec;
+  spec.name = "chaos-small";
+  spec.workload = Workload::kChurn;
+  spec.workers = 2;
+  spec.clients = 3;
+  spec.cycles = 2;
+  spec.messages = 30;
+  spec.resilience.request_deadline_ns = 100'000'000;
+  spec.chaos.kill_workers = 1;
+  spec.chaos.kill_clients = 1;
+  spec.chaos.kill_after_replies = 20;
+
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.workers_killed, 1u);
+  EXPECT_EQ(r.clients_killed, 1u);
+  EXPECT_TRUE(r.slo_no_lost_replies) << "a surviving client lost a reply";
+  EXPECT_TRUE(r.slo_orphan_drain)
+      << "dead shard not retired+drained within the bound";
+  EXPECT_TRUE(r.slo_nodes_conserved);
+  EXPECT_TRUE(r.slo_pass());
+  EXPECT_GT(r.orphan_drain_ns, 0);
+  EXPECT_LT(r.orphan_drain_ns, spec.chaos.orphan_drain_bound_ns);
+}
+
+TEST(ScenarioTest, JsonLineCarriesSloVerdicts) {
+  ScenarioSpec spec;
+  spec.name = "json-shape";
+  spec.workers = 1;
+  spec.clients = 1;
+  spec.messages = 10;
+
+  const ScenarioResult r = run_scenario(spec);
+  const std::string j = r.json();
+  EXPECT_NE(j.find("\"scenario\":\"json-shape\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"workload\":\"request-response\""), std::string::npos);
+  EXPECT_NE(j.find("\"slo\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"pass\":true"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"msgs_per_ms\":"), std::string::npos);
+}
+
+TEST(ScenarioTest, BuiltinSetCoversTheNamedWorkloads) {
+  const auto specs = builtin_scenarios(/*quick=*/true, /*seed=*/42);
+  ASSERT_GE(specs.size(), 6u) << ">=5 named scenarios plus churn-chaos";
+  std::set<std::string> names;
+  std::set<Workload> workloads;
+  bool chaos = false;
+  for (const auto& s : specs) {
+    names.insert(s.name);
+    workloads.insert(s.workload);
+    chaos |= s.chaos.enabled();
+  }
+  EXPECT_EQ(names.size(), specs.size()) << "scenario names must be unique";
+  EXPECT_GE(workloads.size(), 5u);
+  EXPECT_TRUE(chaos) << "the set must include a chaos scenario";
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -27,13 +27,26 @@ import sys
 
 
 def run(cmd):
+    """Run a bench binary; on failure, say WHY (exit status, stderr tail).
+
+    A crashed or killed benchmark still returns whatever stdout it produced
+    — the table parsers validate every row, so partial output degrades to
+    fewer rows, never to an exception.
+    """
     try:
-        return subprocess.run(
+        proc = subprocess.run(
             cmd, capture_output=True, text=True, timeout=600
-        ).stdout
+        )
     except (OSError, subprocess.SubprocessError) as e:
         print(f"bench_compare: failed to run {cmd[0]}: {e}", file=sys.stderr)
         return ""
+    if proc.returncode != 0:
+        tail = proc.stderr.strip().splitlines()[-3:]
+        print(f"bench_compare: {cmd[0]} exited with status "
+              f"{proc.returncode}" + (f"; stderr: {' / '.join(tail)}"
+                                      if tail else ""),
+              file=sys.stderr)
+    return proc.stdout
 
 
 def latency_medians(build_dir, messages):
@@ -75,6 +88,31 @@ def micro_queue_ns(build_dir):
     }
 
 
+def latest_scenario_slos(traj_path):
+    """Most recent scenario_slo map from the trajectory file.
+
+    Crashed record_bench runs can leave malformed lines; each line is
+    validated independently and invalid ones are skipped (with a count) so
+    one bad append never hides the history around it.
+    """
+    if not os.path.exists(traj_path):
+        return {}, 0
+    latest, bad = {}, 0
+    with open(traj_path, errors="replace") as f:
+        for line in f:
+            if not line.strip():
+                continue
+            try:
+                point = json.loads(line)
+                slo = point.get("scenario_slo")
+            except ValueError:
+                bad += 1
+                continue
+            if isinstance(slo, dict) and slo:
+                latest = slo  # later lines win: the file is append-only
+    return latest, bad
+
+
 def compare(title, current, baseline, tolerance, worse_when_higher=True):
     print(f"\n### {title}\n")
     if not current or not baseline:
@@ -87,7 +125,10 @@ def compare(title, current, baseline, tolerance, worse_when_higher=True):
         if name not in current:
             continue
         base, cur = baseline[name], current[name]
-        if base <= 0:
+        # A hand-edited or partially-written baseline can hold non-numeric
+        # values; skip such rows rather than crash the whole report.
+        if not isinstance(base, (int, float)) or \
+                not isinstance(cur, (int, float)) or base <= 0:
             continue
         delta = (cur - base) / base * 100.0
         regressed = delta > tolerance if worse_when_higher else \
@@ -109,6 +150,9 @@ def main():
     ap.add_argument("--strict", action="store_true",
                     help="exit non-zero when any row regresses beyond "
                          "tolerance (local A/B gate; CI stays report-only)")
+    ap.add_argument("--trajectory", default="BENCH_trajectory.jsonl",
+                    help="trajectory file to surface the latest scenario "
+                         "SLO verdicts from (skipped if absent)")
     args = ap.parse_args()
     if args.tolerance is None:
         args.tolerance = 10.0 if args.strict else 30.0
@@ -127,14 +171,32 @@ def main():
           f"{machine.get('hostname', '?')} ({machine.get('cpus', '?')} cpus)")
 
     flagged = 0
+    lat = base.get("latency_percentiles", {})
+    if not isinstance(lat, dict):
+        print("bench_compare: baseline latency_percentiles is malformed; "
+              "skipping that section", file=sys.stderr)
+        lat = {}
     base_p50 = {k: v.get("p50_us", 0.0)
-                for k, v in base.get("latency_percentiles", {}).items()}
+                for k, v in lat.items() if isinstance(v, dict)}
     flagged += compare("round-trip p50 (us, lower is better)",
                        latency_medians(args.build_dir, args.messages),
                        base_p50, args.tolerance)
+    mq = base.get("micro_queue_ns", {})
+    if not isinstance(mq, dict):
+        print("bench_compare: baseline micro_queue_ns is malformed; "
+              "skipping that section", file=sys.stderr)
+        mq = {}
     flagged += compare("micro_queue (ns/op, lower is better)",
                        micro_queue_ns(args.build_dir),
-                       base.get("micro_queue_ns", {}), args.tolerance)
+                       mq, args.tolerance)
+
+    slos, bad_lines = latest_scenario_slos(args.trajectory)
+    if slos or bad_lines:
+        print("\n### scenario SLOs (latest trajectory point)\n")
+        if bad_lines:
+            print(f"_skipped {bad_lines} malformed trajectory line(s)_")
+        for name in sorted(slos):
+            print(f"- {name}: {'PASS' if slos[name] else 'FAIL'}")
 
     if flagged:
         print(f"\n{flagged} row(s) beyond ±{args.tolerance:.0f}% — check "

@@ -1,0 +1,114 @@
+// ulipc-perf: scenario-driven load generator over the pool stack.
+//
+// Runs the named workload scenarios (src/runtime/scenario.hpp) — steady
+// request-response, windowed streaming, fan-in, bursty on/off arrivals,
+// pareto-weighted compute, connect/disconnect churn — plus the churn+chaos
+// scenario that SIGKILLs a worker and a client mid-load and asserts the
+// recovery SLOs. One `[scenario] {json}` line per run is emitted for
+// bench/record_bench.sh to fold into BENCH_trajectory.jsonl.
+//
+// This binary links ulipc_runtime_explore, so chaos victims SIGKILL
+// themselves at an armed crash point (deterministic per process) instead of
+// relying on parent timing.
+//
+// Usage:
+//   ulipc-perf [--list] [--scenario=NAME] [--quick] [--seed=N]
+//
+// Exit status: 0 iff every executed scenario passed its SLOs.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "runtime/scenario.hpp"
+
+using namespace ulipc;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "  --list            print the scenario names and exit\n"
+      << "  --scenario=NAME   run only this scenario (default: all)\n"
+      << "  --quick           shrink message counts (CI smoke runs)\n"
+      << "  --seed=N          jitter/pareto RNG seed (default 42)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool list = false;
+  std::uint64_t seed = 42;
+  std::string only;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      only = arg.substr(std::strlen("--scenario="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 10);
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<ScenarioSpec> specs = builtin_scenarios(quick, seed);
+  if (list) {
+    for (const ScenarioSpec& s : specs) {
+      std::cout << s.name << "  (" << workload_name(s.workload) << ", "
+                << s.workers << " workers, " << s.clients << " clients"
+                << (s.chaos.enabled() ? ", chaos" : "") << ")\n";
+    }
+    return 0;
+  }
+
+  bool matched = false;
+  bool all_pass = true;
+  std::cout << "ulipc-perf — scenario engine (" << cpu_count() << " CPUs, "
+            << (quick ? "quick" : "full") << ", seed " << seed << ")\n\n";
+  for (const ScenarioSpec& s : specs) {
+    if (!only.empty() && s.name != only) continue;
+    matched = true;
+    std::cout << "== " << s.name << " ==\n" << std::flush;
+    const ScenarioResult r = run_scenario(s);
+    std::cout << "   verified " << r.verified << "/" << r.attempted
+              << " requests";
+    if (r.retries > 0) std::cout << ", " << r.retries << " retries";
+    if (r.sheds > 0) std::cout << ", " << r.sheds << " sheds";
+    if (r.stale_dropped > 0) {
+      std::cout << ", " << r.stale_dropped << " stale replies dropped";
+    }
+    if (r.workers_killed > 0 || r.clients_killed > 0) {
+      std::cout << "; killed " << r.workers_killed << " worker(s) + "
+                << r.clients_killed << " client(s), orphan drain "
+                << static_cast<double>(r.orphan_drain_ns) / 1e6 << " ms";
+    }
+    std::cout << "\n   SLO " << (r.slo_pass() ? "PASS" : "FAIL")
+              << " (no_lost_replies=" << r.slo_no_lost_replies
+              << " orphan_drain=" << r.slo_orphan_drain
+              << " nodes_conserved=" << r.slo_nodes_conserved
+              << " completed=" << r.completed << ")\n";
+    std::cout << "[scenario] " << r.json() << "\n\n" << std::flush;
+    all_pass &= r.slo_pass();
+  }
+
+  if (!matched) {
+    std::cerr << "no scenario named '" << only << "' (try --list)\n";
+    return 2;
+  }
+  return all_pass ? 0 : 1;
+}

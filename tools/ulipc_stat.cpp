@@ -17,10 +17,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rate_tracker.hpp"
 #include "obs/trace_ring.hpp"
@@ -88,23 +90,92 @@ struct ChannelView {
   const ShmChannelHeader* channel = nullptr;
   const obs::ObsHeader* obs = nullptr;
 
+  /// Attaching to a LIVE region that its creator may tear down at any
+  /// moment: every offset is bounds-checked against the mapped size before
+  /// it is dereferenced, and every magic mismatch produces a diagnostic
+  /// (thrown, caught in main -> stderr + exit 1) rather than an invariant
+  /// abort. A region zeroed or re-formatted mid-attach reads as garbage
+  /// offsets, never as a wild pointer.
   static ChannelView open(const std::string& name) {
     ChannelView v;
     v.region = ShmRegion::open_named_readonly(name);
+    const std::size_t size = v.region.size();
+    const std::size_t hdr_off = align_up(sizeof(ArenaHeader), kCacheLineSize);
+    if (size < hdr_off + sizeof(ShmChannelHeader)) {
+      throw std::runtime_error(name + ": region too small for a channel (" +
+                               std::to_string(size) +
+                               " bytes) — torn down mid-attach?");
+    }
     const auto* arena = v.region.at<const ArenaHeader>(0);
-    ULIPC_INVARIANT(arena->magic == ArenaHeader::kMagic,
-                    "not a ulipc arena region");
-    v.channel = v.region.at<const ShmChannelHeader>(
-        align_up(sizeof(ArenaHeader), kCacheLineSize));
-    ULIPC_INVARIANT(v.channel->magic == ShmChannelHeader::kMagic,
-                    "not a ulipc channel region");
-    ULIPC_INVARIANT(v.channel->obs_offset != 0,
-                    "channel has no observability block (created by a "
-                    "pre-observability binary?)");
+    if (arena->magic != ArenaHeader::kMagic) {
+      throw std::runtime_error(
+          name + ": bad arena magic — not a ulipc region, or the channel "
+                 "was torn down mid-attach");
+    }
+    v.channel = v.region.at<const ShmChannelHeader>(hdr_off);
+    if (v.channel->magic != ShmChannelHeader::kMagic) {
+      throw std::runtime_error(
+          name + ": bad channel magic — the region is not (or no longer) a "
+                 "formatted ulipc channel");
+    }
+    if (v.channel->num_shards > kMaxShards ||
+        v.channel->max_clients > kMaxClients) {
+      throw std::runtime_error(name +
+                               ": corrupt channel header (shard/client "
+                               "counts out of range)");
+    }
+    for (std::uint32_t s = 0; s < v.channel->num_shards; ++s) {
+      const std::uint64_t off = v.channel->shard_ep_offset[s];
+      if (off == 0 || off + sizeof(NativeEndpoint) > size) {
+        throw std::runtime_error(name + ": shard endpoint " +
+                                 std::to_string(s) +
+                                 " lies outside the mapping");
+      }
+    }
+    if (v.channel->obs_offset == 0) {
+      throw std::runtime_error(
+          name + ": channel has no observability block (created by a "
+                 "pre-observability binary?)");
+    }
+    if (v.channel->obs_offset + sizeof(obs::ObsHeader) > size) {
+      throw std::runtime_error(name +
+                               ": observability block lies outside the "
+                               "mapping — truncated or mid-teardown");
+    }
     v.obs = v.region.at<const obs::ObsHeader>(v.channel->obs_offset);
-    ULIPC_INVARIANT(v.obs->magic == obs::ObsHeader::kMagic,
-                    "bad observability block magic");
+    if (v.obs->magic != obs::ObsHeader::kMagic) {
+      throw std::runtime_error(name + ": bad observability block magic");
+    }
+    if (v.obs->version != obs::ObsHeader::kVersion) {
+      throw std::runtime_error(
+          name + ": observability block version " +
+          std::to_string(v.obs->version) + " (this tool speaks version " +
+          std::to_string(obs::ObsHeader::kVersion) + ")");
+    }
+    // Slot/ring arrays must fit inside the mapping: a half-initialized or
+    // recycled region must not send the reader walking off the end.
+    const std::uint64_t obs_base = v.channel->obs_offset;
+    if (v.obs->slot_count > 4096 ||
+        obs_base + v.obs->slots_offset +
+                std::uint64_t{v.obs->slot_count} * sizeof(obs::MetricSlot) >
+            size ||
+        obs_base + v.obs->rings_offset +
+                std::uint64_t{v.obs->ring_count()} * v.obs->ring_stride >
+            size) {
+      throw std::runtime_error(name +
+                               ": observability slot/ring layout exceeds "
+                               "the mapping — corrupt header");
+    }
     return v;
+  }
+
+  /// Cheap liveness re-check for --watch: the creator tearing the channel
+  /// down (or recycling the region for something else) clobbers a magic.
+  [[nodiscard]] bool still_valid() const noexcept {
+    const auto* arena = region.at<const ArenaHeader>(0);
+    return arena->magic == ArenaHeader::kMagic &&
+           channel->magic == ShmChannelHeader::kMagic &&
+           obs->magic == obs::ObsHeader::kMagic;
   }
 
   [[nodiscard]] const obs::TraceRing* ring(std::uint32_t i) const {
@@ -237,7 +308,8 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       "\"sem_absorbs\":%llu,\"full_sleeps\":%llu,\"timeouts\":%llu,"
       "\"batch_enqueues\":%llu,\"batch_dequeues\":%llu,"
       "\"wakeups_coalesced\":%llu,\"adaptive_updates\":%llu,"
-      "\"steals\":%llu,\"stolen_msgs\":%llu,\"migrated_msgs\":%llu}",
+      "\"steals\":%llu,\"stolen_msgs\":%llu,\"migrated_msgs\":%llu,"
+      "\"retries\":%llu,\"sheds\":%llu}",
       static_cast<unsigned long long>(c.sends),
       static_cast<unsigned long long>(c.receives),
       static_cast<unsigned long long>(c.replies),
@@ -258,7 +330,9 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       static_cast<unsigned long long>(c.adaptive_updates),
       static_cast<unsigned long long>(c.steals),
       static_cast<unsigned long long>(c.stolen_msgs),
-      static_cast<unsigned long long>(c.migrated_msgs));
+      static_cast<unsigned long long>(c.migrated_msgs),
+      static_cast<unsigned long long>(c.retries),
+      static_cast<unsigned long long>(c.sheds));
 }
 
 void json_hist(std::FILE* f, const obs::HistogramSnapshot& h) {
@@ -442,6 +516,16 @@ int main(int argc, char** argv) {
     if (opt.watch) {
       obs::RateTracker rates;
       for (;;) {
+        // The creator can tear the channel down (or recycle the region)
+        // between refreshes; a clobbered magic means every offset we cached
+        // is suspect, so bail with a diagnostic instead of reading garbage.
+        if (!view.still_valid()) {
+          std::fprintf(stderr,
+                       "\nulipc-stat: %s: channel torn down or re-created "
+                       "during --watch (header magic changed) — detaching\n",
+                       opt.shm_name.c_str());
+          return 1;
+        }
         std::printf("\033[H\033[2J");  // clear + home
         std::printf("ulipc-stat %s  (refresh %d ms; ^C to quit)\n\n",
                     opt.shm_name.c_str(), opt.interval_ms);
@@ -455,7 +539,7 @@ int main(int argc, char** argv) {
           std::printf("\n(server seat empty or dead — final snapshot)\n");
           return 0;
         }
-        usleep(static_cast<unsigned>(opt.interval_ms) * 1000u);
+        sleep_ns_eintr(static_cast<std::int64_t>(opt.interval_ms) * 1'000'000);
       }
     }
     if (opt.json) {
