@@ -48,6 +48,11 @@ trap 'rm -rf "$TMP"' EXIT
   > "$TMP/latency.txt" 2>&1 || true
 "$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --batched \
   --registry-dump > "$TMP/latency_batched.txt" 2>&1 || true
+# Payload-plane bytes/s sweep ("[payload]" JSON lines): loaned (zero-copy)
+# vs copy-through-slot at each size, 64 B..1 MiB. Binaries from before
+# --payload exit with "unknown"-free output containing no "[payload]" lines.
+"$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --payload=sweep \
+  > "$TMP/payload.txt" 2>&1 || true
 # Pool scale-out points ("[pool]" JSON lines), if the binary exists (trees
 # built before fig11b simply contribute no pool section).
 if [ -x "$BENCH_DIR/fig11b_server_pool" ]; then
@@ -111,6 +116,23 @@ def registry_lines(path):
                 rec = json.loads(line[len("[registry] "):])
                 rows[rec.pop("protocol")] = rec
             except (ValueError, KeyError):
+                continue
+    return rows
+
+def payload_lines(path):
+    # "[payload] {...}" JSON lines from latency_percentiles --payload=sweep:
+    # one per (size, mode) run; mode is "loan" (in-place) or "copy"
+    # (copy-through-slot baseline).
+    rows = []
+    if not os.path.exists(path):
+        return rows
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("[payload] "):
+                continue
+            try:
+                rows.append(json.loads(line[len("[payload] "):]))
+            except ValueError:
                 continue
     return rows
 
@@ -187,6 +209,9 @@ if registry:
 registry_batched = registry_lines(os.path.join(tmp, "latency_batched.txt"))
 if registry_batched:
     doc["registry_batched"] = registry_batched
+payload = payload_lines(os.path.join(tmp, "payload.txt"))
+if payload:
+    doc["payload_plane"] = payload
 pool = pool_lines(os.path.join(tmp, "pool.txt"))
 if pool:
     doc["server_pool"] = pool
@@ -216,6 +241,11 @@ if registry_batched:
     point["coal_per_msg_batched"] = {
         k: round(v["wakeups_coalesced"] / max(1, v["messages"]), 4)
         for k, v in registry_batched.items()}
+if payload:
+    point["payload_bytes_per_s"] = {
+        f'{p["mode"]}@{p["bytes"]}': p["bytes_per_s"] for p in payload
+        if "mode" in p and "bytes" in p
+        and isinstance(p.get("bytes_per_s"), (int, float))}
 if pool:
     point["pool_msgs_per_ms"] = {
         str(p["workers"]): p["msgs_per_ms"] for p in pool

@@ -8,10 +8,12 @@
 // Keys are *strings*, demonstrating the paper's variable-size message
 // mechanism: "Variable sized messages can be accommodated by using one of
 // the fields of the fixed sized message to point to a variable sized
-// component in shared memory." The key text lives in a PayloadPool slot;
-// the 24-byte message carries its offset in ext_offset. The slot travels
-// with the request like a baton — the server reads it, the reply returns
-// it, the client releases it.
+// component in shared memory." The key text lives in a loaned slot of the
+// channel's payload plane; the 24-byte message carries its token in
+// ext_offset. The loan travels with the request like a baton — the client
+// loans and publishes the key, the server adopts it while it works (so a
+// client crash mid-request can't have the sweep pull the slot out from
+// under the server), the reply hands it back, the client releases it.
 //
 // Run:  ./kv_store [clients] [ops_per_client]
 #include <cstdio>
@@ -53,11 +55,13 @@ int run_kv_server(ShmChannel& channel, PayloadPool* keys,
     NativeEndpoint& reply_to = channel.client_endpoint(msg.channel);
     switch (msg.opcode) {
       case Op::kPut: {
+        keys->adopt(msg.ext_offset);  // baton: ours while we hold it
         store[std::string(keys->read(msg.ext_offset))] = msg.value;
         ++puts;
         break;
       }
       case Op::kGet: {
+        keys->adopt(msg.ext_offset);
         const auto it = store.find(std::string(keys->read(msg.ext_offset)));
         ++gets;
         if (it == store.end()) {
@@ -77,7 +81,7 @@ int run_kv_server(ShmChannel& channel, PayloadPool* keys,
         msg.opcode = Op::kError;
         break;
     }
-    proto.reply(platform, reply_to, msg);  // the slot batons back
+    proto.reply(platform, reply_to, msg);  // the loan batons back
   }
   std::printf("[kv-server] %llu puts, %llu gets (%llu misses), "
               "%zu keys resident\n",
@@ -101,9 +105,10 @@ int run_kv_client(ShmChannel& channel, PayloadPool* keys, std::uint32_t id,
   Xoshiro256 rng(id + 1);
   std::uint64_t errors = 0;
   auto request = [&](Op op, const std::string& key, double value) {
-    const std::uint64_t token = keys->acquire();
+    const std::uint64_t token =
+        keys->loan(static_cast<std::uint32_t>(key.size()));
     if (token == PayloadPool::kNoPayload) return Message(Op::kError, id, 0.0);
-    keys->write(token, key);
+    keys->write(token, key);  // copy-in + publish in one step
     Message ans;
     proto.send(platform, srv, mine, Message(op, id, value, token),
                &ans);
@@ -140,16 +145,14 @@ int main(int argc, char** argv) {
   ShmChannel::Config cfg;
   cfg.max_clients = clients;
   cfg.queue_capacity = 64;
+  cfg.payload_max_bytes = 256;  // keys are short strings
   ShmRegion region =
       ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
   ShmChannel channel = ShmChannel::create(region, cfg);
 
-  // A second shared region holds the variable-size key payloads.
-  ShmRegion key_region = ShmRegion::create_anonymous(1 << 20);
-  ShmArena key_arena = ShmArena::format(key_region);
-  PayloadPool* keys =
-      PayloadPool::create(key_arena, /*slot_bytes=*/120,
-                          /*slots=*/clients * 4 + 8);
+  // The variable-size key payloads live in the channel's own plane — no
+  // side region to create, size, or pass around.
+  PayloadPool* keys = channel.payload_plane();
 
   std::vector<ChildProcess> procs;
   procs.push_back(ChildProcess::spawn(

@@ -74,6 +74,12 @@ enum class Point : std::int32_t {
   kPoolDrained,   // orphaned backlog drained + served
   kPoolSwept,     // leaked nodes swept
   kPoolVacated,   // worker seat cleared
+  // Payload plane (queue/payload_pool.hpp loan/publish/release)
+  kPayloadLoaned,         // slot popped + pid-stamped, lock released
+  kPayloadPublished,      // used_bytes recorded, token not yet sent
+  kPayloadReleasing,      // class lock held, slot not yet on free list
+  kPayloadReleaseLinked,  // free_head committed, owner stamp not yet cleared
+  kPayloadReleased,       // class lock released
   kCount,
 };
 
@@ -111,6 +117,11 @@ constexpr const char* point_name(Point p) noexcept {
     case Point::kPoolDrained: return "pool_drained";
     case Point::kPoolSwept: return "pool_swept";
     case Point::kPoolVacated: return "pool_vacated";
+    case Point::kPayloadLoaned: return "payload_loaned";
+    case Point::kPayloadPublished: return "payload_published";
+    case Point::kPayloadReleasing: return "payload_releasing";
+    case Point::kPayloadReleaseLinked: return "payload_release_linked";
+    case Point::kPayloadReleased: return "payload_released";
     case Point::kCount: return "count";
   }
   return "?";

@@ -8,8 +8,10 @@
 //     indicates a corrupted link;
 //   * queue link integrity — mark_reachable() walks head->tail under both
 //     locks, so a cycle or a dangling next pointer surfaces here;
-//   * payload conservation — every payload slot is free-listed or
-//     referenced by a live message;
+//   * payload conservation (free XOR loaned) — every payload slot is
+//     exactly one of {free-listed, loaned to a live process}; a non-free
+//     slot with no owner is an unreclaimable leak, one owned by a dead
+//     pid is a leak the sweep should have taken back;
 //   * sleep/wake consistency per endpoint (futex semaphores): a non-empty
 //     queue with the awake flag clear and zero tokens is a lost wake-up
 //     (the consumer would sleep forever); an all-quiet endpoint with
@@ -89,20 +91,36 @@ inline InvariantReport check_invariants(
   }
 
   if (payloads != nullptr) {
-    std::vector<char> slot_mark(payloads->capacity(), 0);
-    payloads->mark_free(slot_mark);
-    for (std::uint32_t i = 0; i < pool.capacity(); ++i) {
-      if (!free_mark[i] && !reach_mark[i]) continue;
-      const std::uint64_t token = pool.node(i).msg.ext_offset;
-      if (token != PayloadPool::kNoPayload && payloads->owns_token(token)) {
-        slot_mark[payloads->index_of_token(token)] = 1;
-      }
-    }
+    std::vector<char> slot_free(payloads->capacity(), 0);
+    payloads->mark_free(slot_free);
+    std::uint32_t walked_free = 0;
     for (std::uint32_t i = 0; i < payloads->capacity(); ++i) {
-      if (!slot_mark[i]) {
-        r.violations.push_back("payload slot " + std::to_string(i) +
-                               " leaked");
+      const std::uint32_t owner = payloads->slot_owner(i);
+      if (slot_free[i]) {
+        // mark_free() repairs owner stamps on free-listed slots, so a
+        // free slot claiming an owner here means the repair itself broke.
+        ++walked_free;
+        if (owner != 0) {
+          r.violations.push_back("payload slot " + std::to_string(i) +
+                                 " free-listed but owned by pid " +
+                                 std::to_string(owner));
+        }
+        continue;
       }
+      if (owner == 0) {
+        r.violations.push_back("payload slot " + std::to_string(i) +
+                               " leaked (no owner)");
+      } else if (!process_alive(owner)) {
+        r.violations.push_back("payload slot " + std::to_string(i) +
+                               " held by dead pid " + std::to_string(owner));
+      }
+      // Loaned to a live process: legal mid-protocol state, not a leak.
+    }
+    if (payloads->free_count() != walked_free) {
+      r.violations.push_back("payload free_count " +
+                             std::to_string(payloads->free_count()) +
+                             " != walked free list " +
+                             std::to_string(walked_free));
     }
   }
 

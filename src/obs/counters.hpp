@@ -76,6 +76,8 @@ struct LiveCounters {
   RelaxedU64 migrated_msgs;
   RelaxedU64 retries;
   RelaxedU64 sheds;
+  RelaxedU64 loans;
+  RelaxedU64 loan_releases;
 
   /// Copies the live cells into the plain value type (relaxed reads; pair
   /// with MetricSlot's seqlock for a consistent multi-field view).
@@ -104,6 +106,8 @@ struct LiveCounters {
     c.migrated_msgs = migrated_msgs.load();
     c.retries = retries.load();
     c.sheds = sheds.load();
+    c.loans = loans.load();
+    c.loan_releases = loan_releases.load();
     return c;
   }
 
@@ -132,12 +136,14 @@ struct LiveCounters {
     migrated_msgs = c.migrated_msgs;
     retries = c.retries;
     sheds = c.sheds;
+    loans = c.loans;
+    loan_releases = c.loan_releases;
   }
 
   void reset() noexcept { restore(ProtocolCounters{}); }
 };
 
-static_assert(sizeof(LiveCounters) == 23 * sizeof(std::uint64_t),
+static_assert(sizeof(LiveCounters) == 25 * sizeof(std::uint64_t),
               "LiveCounters must stay layout-compatible across binaries");
 
 }  // namespace ulipc::obs

@@ -90,4 +90,29 @@ inline void round_trip_end(P& p, std::int64_t t0,
   }
 }
 
+/// A payload buffer was loaned. Returns the loan timestamp the matching
+/// loan_released() call wants (-1 when this loan's timing is not sampled,
+/// 0 on platforms without hooks — counters stay exact either way).
+template <typename P>
+inline std::int64_t loan_made(P& p) noexcept {
+  if constexpr (requires { p.obs_loan_made(); }) {
+    return p.obs_loan_made();
+  } else {
+    if constexpr (requires { ++p.counters().loans; }) ++p.counters().loans;
+    return 0;
+  }
+}
+
+/// The loan begun at `t0` was released (by either side of the baton).
+template <typename P>
+inline void loan_released(P& p, std::int64_t t0) noexcept {
+  if constexpr (requires { p.obs_loan_released(t0); }) {
+    p.obs_loan_released(t0);
+  } else {
+    if constexpr (requires { ++p.counters().loan_releases; }) {
+      ++p.counters().loan_releases;
+    }
+  }
+}
+
 }  // namespace ulipc::obs

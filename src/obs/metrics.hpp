@@ -32,6 +32,7 @@ enum class HistKind : std::uint32_t {
   kSleepNs,          // time spent blocked in sem_p (step C.4)
   kSpinIters,        // BSLS bounded-spin iterations per entry
   kBatchSize,        // messages moved per batch enqueue flush
+  kLoanHoldNs,       // payload plane: loan -> release hold time
   kHistKinds,
 };
 inline constexpr std::uint32_t kHistKinds =
@@ -44,6 +45,7 @@ constexpr const char* hist_kind_name(HistKind k) noexcept {
     case HistKind::kSleepNs: return "sleep_ns";
     case HistKind::kSpinIters: return "spin_iters";
     case HistKind::kBatchSize: return "batch_size";
+    case HistKind::kLoanHoldNs: return "loan_hold_ns";
     case HistKind::kHistKinds: break;
   }
   return "?";
@@ -161,6 +163,7 @@ struct RecoveryCounters {
   RelaxedU64 sweeps;             // reclaim_client passes that found a corpse
   RelaxedU64 drained_messages;   // messages discarded from dead clients
   RelaxedU64 nodes_reclaimed;    // leaked pool nodes swept back
+  RelaxedU64 payload_slots_reclaimed;  // leaked payload loans swept back
 };
 
 /// Header of the observability block inside the channel arena. The block is
@@ -182,7 +185,10 @@ struct RecoveryCounters {
 /// `trace_compiled` flag saying why).
 struct alignas(kCacheLineSize) ObsHeader {
   static constexpr std::uint64_t kMagic = 0x756c6970'636f6273ULL;  // "ulipcobs"
-  static constexpr std::uint32_t kVersion = 1;
+  // v2: LiveCounters grew loans/loan_releases, histograms grew kLoanHoldNs,
+  // RecoveryCounters grew payload_slots_reclaimed — all layout changes, so
+  // pre-payload-plane readers must refuse to attach.
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t magic = 0;
   std::uint32_t version = 0;

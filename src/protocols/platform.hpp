@@ -62,6 +62,8 @@ struct ProtocolCounters {
                                     // deadline expiry (runtime/resilience.hpp)
   std::uint64_t sheds = 0;          // resilience: requests refused at
                                     // admission (shard depth over watermark)
+  std::uint64_t loans = 0;          // payload plane: buffers loaned
+  std::uint64_t loan_releases = 0;  // payload plane: loans returned
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -87,6 +89,8 @@ struct ProtocolCounters {
     migrated_msgs += o.migrated_msgs;
     retries += o.retries;
     sheds += o.sheds;
+    loans += o.loans;
+    loan_releases += o.loan_releases;
     return *this;
   }
 };

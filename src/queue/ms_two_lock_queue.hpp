@@ -288,6 +288,29 @@ class TwoLockQueue {
     return count;
   }
 
+  /// Visits every PENDING message under both locks — head->next through
+  /// tail, skipping the dummy, whose msg is a stale copy of the last
+  /// DELIVERED message. The recovery sweep uses this to pin payload slots
+  /// referenced by messages still in flight: a delivered message's slot is
+  /// protected by its holder's owner stamp instead, so the dummy (and
+  /// free-listed nodes, which also retain stale copies) must not pin —
+  /// they would leak dead holders' slots forever once traffic stops.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) noexcept {
+    NodePool& pool = *pool_;
+    RobustGuard gt(tail_lock_.value);
+    RobustGuard gh(head_lock_.value);
+    repair_tail_under_both_locks(pool);
+    std::uint32_t visited = 0;
+    ShmIndex i = head_.value;
+    if (i != kNullIndex) i = pool.node(i).next;  // skip the dummy
+    for (; i != kNullIndex && visited < pool.capacity();
+         i = pool.node(i).next) {
+      fn(pool.node(i).msg);
+      ++visited;
+    }
+  }
+
   /// Drains every message currently in the queue (discarding them),
   /// releasing their nodes back to the pool. Used when reclaiming a dead
   /// peer's queues. Returns the number of messages discarded.

@@ -1,22 +1,42 @@
-// Variable-size message payloads in shared memory.
+// Zero-copy variable-size payload plane in shared memory.
 //
 // The paper (§2.1): "The interface uses fixed sized messages to permit
 // efficient free-pool management. Variable sized messages can be
 // accommodated by using one of the fields of the fixed sized message to
 // point to a variable sized component in shared memory."
 //
-// PayloadPool manages fixed-capacity payload slots in a shared arena; a
-// Message's ext_offset field carries the slot's arena offset across the
-// queue. Ownership is a simple baton: the sender acquires and fills a slot,
-// the receiver reads it and either releases it or reuses it for the reply
-// (the kv_store example replies in place).
+// PayloadPool is the loaned-buffer realization of that sentence: a client
+// loans a buffer of the size it actually needs, writes the payload IN PLACE
+// (no copy through a staging buffer), publishes the byte count, and sends
+// only the slot's token in Message::ext_offset. The receiver consumes the
+// bytes in place and either releases the slot or reuses the loan for its
+// reply (the kv_store example replies in place — the "ownership baton").
 //
-// Slots are cache-line aligned and the free list is index-linked under a
-// RobustSpinlock (same discipline as NodePool), so the pool works across
-// address spaces AND survives a slot holder dying mid-operation: every
-// acquired slot is stamped with its holder's pid, a stolen lock triggers a
-// free-count recount, and the recovery sweep (queue/queue_recovery.hpp)
-// returns slots orphaned by corpses.
+// Size classes: slots come in geometric size classes (64 B, 128 B, … up to
+// a configured maximum, 1 MiB by default wherever benches sweep), each
+// class with its own index-linked free list under its own RobustSpinlock —
+// concurrent clients loaning different sizes never serialize on one lock,
+// and a loan takes the smallest class that fits (falling back to larger
+// classes when the ideal one is exhausted, exactly like a segregated-fit
+// allocator).
+//
+// Tokens: a token is `generation << kTokenGenShift | arena offset of the
+// slot header`. The offset makes the token meaningful in every process
+// (arena offsets are mapping-address independent); the per-slot generation,
+// bumped on every loan, makes tokens unique across slot reuse — which is
+// what lets the resilience layer use the loan token itself as its
+// stale-reply dedup tag. 0 (kNoPayload) is never a valid token because
+// offset 0 is the arena header.
+//
+// Crash safety (same discipline as NodePool):
+//  * every loaned slot is stamped with the holder's pid; the recovery sweep
+//    (queue/queue_recovery.hpp) releases slots whose holder died and whose
+//    token is referenced by no live message;
+//  * a stolen class lock triggers a free-list recount for that class;
+//  * release() commits by the single free_head store, with the owner stamp
+//    cleared only AFTER the commit: dying before the commit leaves a
+//    dead-owned loan (swept), dying after leaves a free-listed slot with a
+//    stale owner stamp, which mark_free() repairs on the next walk.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +46,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/error.hpp"
+#include "explore/hooks.hpp"
 #include "shm/offset_ptr.hpp"
 #include "shm/robust_spinlock.hpp"
 #include "shm/shm_allocator.hpp"
@@ -38,29 +59,73 @@ class PayloadPool {
   /// a default-constructed Message).
   static constexpr std::uint64_t kNoPayload = 0;
 
-  /// Carves a pool of `slots` payload buffers of `slot_bytes` each out of
-  /// `arena`. slot_bytes is rounded up to a cache line.
-  static PayloadPool* create(ShmArena& arena, std::uint32_t slot_bytes,
-                             std::uint32_t slots) {
-    ULIPC_INVARIANT(slots > 0, "payload pool needs at least one slot");
-    auto* pool = arena.construct<PayloadPool>();
-    pool->slot_bytes_ = static_cast<std::uint32_t>(
-        align_up(slot_bytes + sizeof(SlotHeader), kCacheLineSize) -
-        sizeof(SlotHeader));
-    pool->slot_count_ = slots;
-    const std::uint64_t stride = sizeof(SlotHeader) + pool->slot_bytes_;
-    char* base = static_cast<char*>(
-        arena.allocate(stride * slots, kCacheLineSize));
-    pool->slots_.set(base);
-    pool->arena_base_offset_ = arena.to_offset(base);
-    for (std::uint32_t i = 0; i < slots; ++i) {
-      auto* hdr = reinterpret_cast<SlotHeader*>(base + i * stride);
-      hdr->next_free = (i + 1 < slots) ? i + 1 : kNullIndex;
-      hdr->owner_pid = 0;
-      hdr->used_bytes = 0;
+  /// Hard ceiling on size classes: 64 B .. 1 MiB geometric is 15 classes.
+  static constexpr std::uint32_t kMaxClasses = 16;
+
+  /// Token layout: low kTokenGenShift bits carry the slot header's arena
+  /// offset, the high bits the slot generation. 2^40 bytes of arena is far
+  /// beyond any region this library maps; 2^24 generations wrap harmlessly
+  /// (a dedup tag only needs to differ from the previous incarnation).
+  static constexpr std::uint32_t kTokenGenShift = 40;
+  static constexpr std::uint64_t kTokenOffsetMask =
+      (std::uint64_t{1} << kTokenGenShift) - 1;
+
+  struct Config {
+    std::uint32_t min_bytes = 64;        // smallest class (rounded to >= 16)
+    std::uint32_t max_bytes = 1u << 20;  // largest class
+    std::uint32_t slots_per_class = 8;   // uniform per-class slot count
+  };
+
+  /// Arena bytes create() will consume for `cfg` (pool header + slot
+  /// storage + per-allocation alignment), for region sizing.
+  static std::size_t bytes_for(const Config& cfg) {
+    std::size_t bytes = sizeof(PayloadPool) + kCacheLineSize;
+    std::uint32_t cls = class_bytes_floor(cfg.min_bytes);
+    for (std::uint32_t c = 0; c < kMaxClasses && cls <= cfg.max_bytes;
+         ++c, cls <<= 1) {
+      bytes += cfg.slots_per_class * stride_for(cls) + kCacheLineSize;
     }
-    pool->free_head_ = 0;
-    pool->free_count_ = slots;
+    return bytes;
+  }
+
+  /// Carves the size-class plane out of `arena`.
+  static PayloadPool* create(ShmArena& arena, const Config& cfg) {
+    ULIPC_INVARIANT(cfg.slots_per_class > 0 &&
+                        cfg.min_bytes <= cfg.max_bytes,
+                    "bad payload plane config");
+    auto* pool = arena.construct<PayloadPool>();
+    std::uint32_t cls = class_bytes_floor(cfg.min_bytes);
+    std::uint32_t n = 0;
+    std::uint32_t base_index = 0;
+    for (; n < kMaxClasses && cls <= cfg.max_bytes; ++n, cls <<= 1) {
+      SizeClass& sc = pool->classes_[n];
+      sc.slot_bytes = cls;
+      sc.slot_count = cfg.slots_per_class;
+      sc.base_index = base_index;
+      const std::uint64_t stride = stride_for(cls);
+      char* base = static_cast<char*>(
+          arena.allocate(stride * cfg.slots_per_class, kCacheLineSize));
+      sc.base_offset = arena.to_offset(base);
+      for (std::uint32_t i = 0; i < cfg.slots_per_class; ++i) {
+        auto* hdr = reinterpret_cast<SlotHeader*>(base + i * stride);
+        hdr->next_free = (i + 1 < cfg.slots_per_class) ? i + 1 : kNullIndex;
+        hdr->owner_pid = 0;
+        hdr->used_bytes = 0;
+        hdr->generation = 0;
+        hdr->size_class = n;
+      }
+      sc.free_head = 0;
+      sc.free_count = cfg.slots_per_class;
+      sc.loaned_high_water = 0;
+      if (n == 0) {
+        pool->plane_base_.set(base);
+        pool->plane_base_offset_ = sc.base_offset;
+      }
+      base_index += cfg.slots_per_class;
+    }
+    ULIPC_INVARIANT(n > 0, "payload plane needs at least one size class");
+    pool->class_count_ = n;
+    pool->slot_count_ = base_index;
     return pool;
   }
 
@@ -68,54 +133,97 @@ class PayloadPool {
   PayloadPool(const PayloadPool&) = delete;
   PayloadPool& operator=(const PayloadPool&) = delete;
 
-  /// Claims a slot; returns its ext_offset token, or kNoPayload if the pool
-  /// is exhausted (callers back off exactly like on a full queue). The slot
-  /// is stamped with the caller's pid until release().
-  std::uint64_t acquire() noexcept {
-    RobustGuard g(lock_.value);
-    if (g.stolen()) recount_free_locked();
-    if (free_head_ == kNullIndex) return kNoPayload;
-    const ShmIndex idx = free_head_;
-    SlotHeader* hdr = header(idx);
-    free_head_ = hdr->next_free;
-    hdr->next_free = kNullIndex;
-    hdr->owner_pid = robust_self_pid();
-    hdr->used_bytes = 0;
-    --free_count_;
-    return token_of(idx);
+  // ---- loan / publish / release ----
+
+  /// Loans a buffer of at least `bytes` capacity from the smallest class
+  /// that fits (spilling to larger classes when it is exhausted). Returns
+  /// the slot's token, or kNoPayload when no class can serve the request
+  /// (callers back off exactly like on a full queue). The slot is stamped
+  /// with the caller's pid until release().
+  [[nodiscard]] std::uint64_t loan(std::uint32_t bytes) noexcept {
+    for (std::uint32_t c = class_for(bytes); c < class_count_; ++c) {
+      SizeClass& sc = classes_[c];
+      std::uint64_t token = kNoPayload;
+      {
+        RobustGuard g(sc.lock.value);
+        if (g.stolen()) recount_free_locked(sc);
+        if (sc.free_head == kNullIndex) continue;
+        const ShmIndex local = sc.free_head;
+        SlotHeader* hdr = class_header(sc, local);
+        sc.free_head = hdr->next_free;
+        hdr->next_free = kNullIndex;
+        hdr->owner_pid = robust_self_pid();
+        hdr->used_bytes = 0;
+        ++hdr->generation;
+        --sc.free_count;
+        const std::uint32_t loaned = sc.slot_count - sc.free_count;
+        if (loaned > sc.loaned_high_water) sc.loaned_high_water = loaned;
+        token = token_of(sc, local, hdr->generation);
+      }
+      explore::point(explore::Point::kPayloadLoaned);
+      return token;
+    }
+    return kNoPayload;
   }
 
-  /// Returns a slot to the pool.
+  /// Publishes the bytes written in place: records the length so receivers
+  /// (and read()) know the payload extent. Call after filling data(token)
+  /// and before sending the token. Returns false if `bytes` exceeds the
+  /// slot's class capacity (nothing is recorded).
+  bool publish(std::uint64_t token, std::uint32_t bytes) noexcept {
+    SlotHeader* hdr = header_of(token);
+    if (bytes > classes_[hdr->size_class].slot_bytes) return false;
+    hdr->used_bytes = bytes;
+    explore::point(explore::Point::kPayloadPublished);
+    return true;
+  }
+
+  /// Returns a slot to its class's free list. The free_head store is the
+  /// commit point; the owner stamp is cleared after it and repaired by
+  /// mark_free() if the releaser dies in between.
   void release(std::uint64_t token) noexcept {
-    const ShmIndex idx = index_of(token);
-    RobustGuard g(lock_.value);
-    if (g.stolen()) recount_free_locked();
-    header(idx)->owner_pid = 0;
-    header(idx)->next_free = free_head_;
-    free_head_ = idx;
-    ++free_count_;
+    SlotHeader* hdr = header_of(token);
+    SizeClass& sc = classes_[hdr->size_class];
+    const ShmIndex local = local_index(sc, token);
+    {
+      RobustGuard g(sc.lock.value);
+      if (g.stolen()) recount_free_locked(sc);
+      explore::point(explore::Point::kPayloadReleasing);
+      hdr->next_free = sc.free_head;
+      sc.free_head = local;  // commit: the slot is free from here on
+      explore::point(explore::Point::kPayloadReleaseLinked);
+      hdr->owner_pid = 0;
+      hdr->used_bytes = 0;
+      ++sc.free_count;
+    }
+    explore::point(explore::Point::kPayloadReleased);
   }
 
   /// Re-stamps the slot with the calling process's pid. The receive side of
   /// a baton pass calls this so the slot is reclaimed against the *current*
   /// holder's life, not the (possibly already dead) sender's.
   void adopt(std::uint64_t token) noexcept {
-    header(index_of(token))->owner_pid = robust_self_pid();
+    header_of(token)->owner_pid = robust_self_pid();
   }
 
-  /// Raw data pointer and capacity of a slot.
+  // ---- in-place access ----
+
+  /// Raw data pointer of a loaned slot (write here, then publish()).
   [[nodiscard]] char* data(std::uint64_t token) noexcept {
-    return reinterpret_cast<char*>(header(index_of(token)) + 1);
-  }
-  [[nodiscard]] std::uint32_t slot_bytes() const noexcept {
-    return slot_bytes_;
+    return reinterpret_cast<char*>(header_of(token) + 1);
   }
 
-  /// Copies `bytes` into the slot; records the length. Returns false if the
-  /// payload does not fit.
-  bool write(std::uint64_t token, const void* src, std::uint32_t bytes) noexcept {
-    if (bytes > slot_bytes_) return false;
-    SlotHeader* hdr = header(index_of(token));
+  /// Byte capacity of the slot the token names (its class size).
+  [[nodiscard]] std::uint32_t capacity_of(std::uint64_t token) const noexcept {
+    return classes_[header_of(token)->size_class].slot_bytes;
+  }
+
+  /// Copy-in convenience: writes `bytes` into the slot and publishes the
+  /// length. Returns false if the payload does not fit the slot's class.
+  bool write(std::uint64_t token, const void* src,
+             std::uint32_t bytes) noexcept {
+    SlotHeader* hdr = header_of(token);
+    if (bytes > classes_[hdr->size_class].slot_bytes) return false;
     std::memcpy(hdr + 1, src, bytes);
     hdr->used_bytes = bytes;
     return true;
@@ -125,48 +233,103 @@ class PayloadPool {
     return write(token, text.data(), static_cast<std::uint32_t>(text.size()));
   }
 
-  /// View of the bytes previously written to the slot.
-  [[nodiscard]] std::string_view read(std::uint64_t token) noexcept {
-    SlotHeader* hdr = header(index_of(token));
+  /// View of the published bytes.
+  [[nodiscard]] std::string_view read(std::uint64_t token) const noexcept {
+    const SlotHeader* hdr = header_of(token);
     return std::string_view(reinterpret_cast<const char*>(hdr + 1),
                             hdr->used_bytes);
   }
 
+  // ---- accounting (racy snapshots; safe from read-only mappings) ----
+
   [[nodiscard]] std::uint32_t capacity() const noexcept { return slot_count_; }
   [[nodiscard]] std::uint32_t free_count() const noexcept {
-    return free_count_;
+    std::uint32_t n = 0;
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      n += classes_[c].free_count;
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint32_t class_count() const noexcept {
+    return class_count_;
+  }
+  [[nodiscard]] std::uint32_t class_slot_bytes(std::uint32_t c) const noexcept {
+    return classes_[c].slot_bytes;
+  }
+  [[nodiscard]] std::uint32_t class_capacity(std::uint32_t c) const noexcept {
+    return classes_[c].slot_count;
+  }
+  [[nodiscard]] std::uint32_t class_free(std::uint32_t c) const noexcept {
+    return classes_[c].free_count;
+  }
+  /// Most slots of class `c` ever loaned out simultaneously.
+  [[nodiscard]] std::uint32_t class_high_water(std::uint32_t c) const noexcept {
+    return classes_[c].loaned_high_water;
+  }
+  /// Slots currently out on loan across all classes.
+  [[nodiscard]] std::uint32_t loans_outstanding() const noexcept {
+    return slot_count_ - free_count();
   }
 
   // ---- recovery primitives (see queue/queue_recovery.hpp) ----
 
-  /// The free-list lock, for recovery tooling and tests.
-  [[nodiscard]] RobustSpinlock& lock() noexcept { return lock_.value; }
-
   /// Slot index for a token — lets the recovery sweep mark slots referenced
-  /// by messages still sitting in queues.
+  /// by messages still sitting in queues. Indices are global across
+  /// classes (0 .. capacity()-1).
   [[nodiscard]] ShmIndex index_of_token(std::uint64_t token) const noexcept {
-    return index_of(token);
+    const std::uint64_t off = token & kTokenOffsetMask;
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      const SizeClass& sc = classes_[c];
+      const std::uint64_t stride = stride_for(sc.slot_bytes);
+      if (off >= sc.base_offset &&
+          off < sc.base_offset + stride * sc.slot_count) {
+        return sc.base_index +
+               static_cast<ShmIndex>((off - sc.base_offset) / stride);
+      }
+    }
+    return kNullIndex;
   }
 
   /// True if the token plausibly names a slot of this pool (recovery sweeps
-  /// see arbitrary ext_offset values, including kNoPayload).
+  /// see arbitrary ext_offset values, including kNoPayload). Generation is
+  /// deliberately ignored: a stale-generation token still pins its slot.
   [[nodiscard]] bool owns_token(std::uint64_t token) const noexcept {
-    if (token < arena_base_offset_) return false;
-    const std::uint64_t rel = token - arena_base_offset_;
-    return rel % stride() == 0 && rel / stride() < slot_count_;
+    const std::uint64_t off = token & kTokenOffsetMask;
+    if (off == 0) return false;
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      const SizeClass& sc = classes_[c];
+      const std::uint64_t stride = stride_for(sc.slot_bytes);
+      if (off >= sc.base_offset &&
+          off < sc.base_offset + stride * sc.slot_count) {
+        return (off - sc.base_offset) % stride == 0;
+      }
+    }
+    return false;
   }
 
-  /// Marks every slot currently on the free list in `mark` (capacity()
-  /// entries) and repairs free_count_.
+  /// The pid stamped on a slot (0 = free), for invariant checking.
+  [[nodiscard]] std::uint32_t slot_owner(ShmIndex global) const noexcept {
+    return global_header(global)->owner_pid;
+  }
+
+  /// Marks every slot currently on a free list in `mark` (capacity()
+  /// entries, global indices), repairs per-class free counts, and clears
+  /// owner stamps left behind by a releaser that died after the list
+  /// commit but before the stamp clear.
   void mark_free(std::vector<char>& mark) noexcept {
-    RobustGuard g(lock_.value);
-    std::uint32_t count = 0;
-    for (ShmIndex i = free_head_;
-         i != kNullIndex && count < slot_count_; i = header(i)->next_free) {
-      mark[i] = 1;
-      ++count;
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      SizeClass& sc = classes_[c];
+      RobustGuard g(sc.lock.value);
+      std::uint32_t count = 0;
+      for (ShmIndex i = sc.free_head;
+           i != kNullIndex && count < sc.slot_count;
+           i = class_header(sc, i)->next_free) {
+        mark[sc.base_index + i] = 1;
+        class_header(sc, i)->owner_pid = 0;  // repair a mid-release corpse
+        ++count;
+      }
+      sc.free_count = count;
     }
-    free_count_ = count;
   }
 
   /// Releases every slot that is NOT marked (neither free nor referenced by
@@ -176,12 +339,16 @@ class PayloadPool {
   std::uint32_t reclaim_unmarked_dead(const std::vector<char>& mark,
                                       LivenessFn&& is_alive) noexcept {
     std::uint32_t reclaimed = 0;
-    for (ShmIndex i = 0; i < slot_count_; ++i) {
-      if (mark[i]) continue;
-      const std::uint32_t owner = header(i)->owner_pid;
-      if (owner != 0 && !is_alive(owner)) {
-        release(token_of(i));
-        ++reclaimed;
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      SizeClass& sc = classes_[c];
+      for (ShmIndex i = 0; i < sc.slot_count; ++i) {
+        if (mark[sc.base_index + i]) continue;
+        SlotHeader* hdr = class_header(sc, i);
+        const std::uint32_t owner = hdr->owner_pid;
+        if (owner != 0 && !is_alive(owner)) {
+          release(token_of(sc, i, hdr->generation));
+          ++reclaimed;
+        }
       }
     }
     return reclaimed;
@@ -189,47 +356,106 @@ class PayloadPool {
 
  private:
   struct SlotHeader {
-    ShmIndex next_free;
-    std::uint32_t owner_pid;   // 0 while free; else current holder
-    std::uint32_t used_bytes;
+    ShmIndex next_free;         // class-local link; kNullIndex while loaned
+    std::uint32_t owner_pid;    // 0 while free; else current holder
+    std::uint32_t used_bytes;   // published payload extent
+    std::uint32_t generation;   // bumped on every loan (token uniqueness)
+    std::uint32_t size_class;   // index into classes_
+    std::uint32_t pad_;         // keep header 8-byte multiple
+  };
+  static_assert(sizeof(SlotHeader) % 8 == 0, "slot data must stay aligned");
+
+  /// One size class: its own lock, free list, and slot region. Cache-line
+  /// aligned so two classes' lock words never false-share.
+  struct alignas(kCacheLineSize) SizeClass {
+    CacheAligned<RobustSpinlock> lock;
+    ShmIndex free_head = kNullIndex;
+    std::uint32_t free_count = 0;
+    std::uint32_t slot_count = 0;
+    std::uint32_t slot_bytes = 0;
+    std::uint32_t base_index = 0;        // first global slot index
+    std::uint32_t loaned_high_water = 0;
+    std::uint64_t base_offset = 0;       // arena offset of the slot region
   };
 
-  [[nodiscard]] std::uint64_t stride() const noexcept {
-    return sizeof(SlotHeader) + slot_bytes_;
-  }
-  [[nodiscard]] SlotHeader* header(ShmIndex idx) noexcept {
-    return reinterpret_cast<SlotHeader*>(slots_.get() + idx * stride());
-  }
-  [[nodiscard]] const SlotHeader* header(ShmIndex idx) const noexcept {
-    return reinterpret_cast<const SlotHeader*>(slots_.get() + idx * stride());
-  }
-  // Tokens are arena offsets of the slot header, so they are meaningful in
-  // every process and 0 stays free for kNoPayload.
-  [[nodiscard]] std::uint64_t token_of(ShmIndex idx) const noexcept {
-    return arena_base_offset_ + idx * stride();
-  }
-  [[nodiscard]] ShmIndex index_of(std::uint64_t token) const noexcept {
-    return static_cast<ShmIndex>((token - arena_base_offset_) / stride());
+  /// Smallest power of two >= 16 that is <= `bytes` (class ladder start).
+  static constexpr std::uint32_t class_bytes_floor(std::uint32_t bytes) {
+    std::uint32_t b = 16;
+    while (b < bytes) b <<= 1;
+    return b;
   }
 
-  /// Walks the free list under the (already held) lock and resets
-  /// free_count_ — the only field a corpse can leave stale here.
-  void recount_free_locked() noexcept {
+  /// Bytes from one slot header to the next: header + data, rounded so
+  /// every slot's data area starts cache-line-offset consistent.
+  static constexpr std::uint64_t stride_for(std::uint32_t slot_bytes) {
+    return align_up(sizeof(SlotHeader) + slot_bytes, kCacheLineSize);
+  }
+
+  /// Index of the smallest class whose slots fit `bytes`.
+  [[nodiscard]] std::uint32_t class_for(std::uint32_t bytes) const noexcept {
+    std::uint32_t c = 0;
+    while (c < class_count_ && classes_[c].slot_bytes < bytes) ++c;
+    return c;
+  }
+
+  /// Arena offset -> pointer, via the stored class-0 region anchor (every
+  /// class region lives in the same contiguous mapping).
+  [[nodiscard]] char* at(std::uint64_t arena_off) const noexcept {
+    return plane_base_.get() +
+           (static_cast<std::int64_t>(arena_off) -
+            static_cast<std::int64_t>(plane_base_offset_));
+  }
+
+  [[nodiscard]] SlotHeader* class_header(const SizeClass& sc,
+                                         ShmIndex local) const noexcept {
+    return reinterpret_cast<SlotHeader*>(
+        at(sc.base_offset + local * stride_for(sc.slot_bytes)));
+  }
+
+  [[nodiscard]] SlotHeader* header_of(std::uint64_t token) const noexcept {
+    return reinterpret_cast<SlotHeader*>(at(token & kTokenOffsetMask));
+  }
+
+  [[nodiscard]] SlotHeader* global_header(ShmIndex global) const noexcept {
+    for (std::uint32_t c = 0; c < class_count_; ++c) {
+      const SizeClass& sc = classes_[c];
+      if (global >= sc.base_index && global < sc.base_index + sc.slot_count) {
+        return class_header(sc, global - sc.base_index);
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] ShmIndex local_index(const SizeClass& sc,
+                                     std::uint64_t token) const noexcept {
+    return static_cast<ShmIndex>(((token & kTokenOffsetMask) - sc.base_offset) /
+                                 stride_for(sc.slot_bytes));
+  }
+
+  [[nodiscard]] std::uint64_t token_of(const SizeClass& sc, ShmIndex local,
+                                       std::uint32_t generation) const noexcept {
+    const std::uint64_t off =
+        sc.base_offset + local * stride_for(sc.slot_bytes);
+    return (std::uint64_t{generation & 0xFFFFFFu} << kTokenGenShift) | off;
+  }
+
+  /// Walks one class's free list under the (already held) lock and resets
+  /// its free count — the only field a corpse can leave stale here.
+  void recount_free_locked(SizeClass& sc) noexcept {
     std::uint32_t count = 0;
-    for (ShmIndex i = free_head_;
-         i != kNullIndex && count < slot_count_; i = header(i)->next_free) {
+    for (ShmIndex i = sc.free_head;
+         i != kNullIndex && count < sc.slot_count;
+         i = class_header(sc, i)->next_free) {
       ++count;
     }
-    free_count_ = count;
+    sc.free_count = count;
   }
 
-  CacheAligned<RobustSpinlock> lock_;
-  ShmIndex free_head_ = kNullIndex;
-  std::uint32_t free_count_ = 0;
+  SizeClass classes_[kMaxClasses];
+  std::uint32_t class_count_ = 0;
   std::uint32_t slot_count_ = 0;
-  std::uint32_t slot_bytes_ = 0;
-  std::uint64_t arena_base_offset_ = 0;
-  OffsetPtr<char> slots_;
+  std::uint64_t plane_base_offset_ = 0;  // arena offset of class 0's region
+  OffsetPtr<char> plane_base_;           // mapped address of the same
 };
 
 }  // namespace ulipc

@@ -17,7 +17,8 @@
 //      its stamped owner is dead — a LIVE owner may be microseconds from
 //      linking it in.
 // Payload slots get the same treatment, with "reachable" meaning
-// "referenced by the ext_offset of a free or queue-reachable message".
+// "referenced by the ext_offset of a message still pending in a queue";
+// delivered payloads are guarded by their holder's owner-pid stamp.
 //
 // Concurrency: steps run under the structures' own locks, so the sweep is
 // safe against live producers/consumers. But two concurrent sweeps could
@@ -62,15 +63,21 @@ RecoveryStats sweep_leaked_nodes(NodePool& pool,
   if (payloads != nullptr) {
     std::vector<char> slot_mark(payloads->capacity(), 0);
     payloads->mark_free(slot_mark);
-    // Any payload referenced by a live (free-listed or queued) message is
-    // in play: the free-list case covers a receiver that copied the message
-    // out and still reads the slot (the old dummy retains the msg copy).
-    for (std::uint32_t i = 0; i < pool.capacity(); ++i) {
-      if (!node_mark[i]) continue;
-      const std::uint64_t token = pool.node(i).msg.ext_offset;
-      if (token != PayloadPool::kNoPayload && payloads->owns_token(token)) {
-        slot_mark[payloads->index_of_token(token)] = 1;
-      }
+    // A payload is in play iff it is free-listed or referenced by a message
+    // still PENDING in some queue (a dead sender's in-flight request will
+    // be served; its slot must survive until the reply is consumed, and
+    // the reply message re-pins it). Delivered messages — queue dummies and
+    // free-listed nodes retain stale copies of those — must NOT pin: the
+    // live holder of a delivered payload is protected by the owner stamp
+    // (loan/adopt), and a dead holder's slot has to be reclaimable, or
+    // every drained queue would leak its last messages' slots forever.
+    for (TwoLockQueue* q : queues) {
+      q->for_each_pending([&](const Message& m) {
+        if (m.ext_offset != PayloadPool::kNoPayload &&
+            payloads->owns_token(m.ext_offset)) {
+          slot_mark[payloads->index_of_token(m.ext_offset)] = 1;
+        }
+      });
     }
     stats.payloads_reclaimed =
         payloads->reclaim_unmarked_dead(slot_mark, is_alive);

@@ -340,6 +340,22 @@ class NativePlatform {
     slot_->hist(obs::HistKind::kRoundTripNs)
         .record(static_cast<std::uint64_t>(ns > 0 ? ns : 0), weight);
   }
+  /// Payload-plane loan made; returns the loan tick (-1 when unsampled).
+  /// The counter is exact, the hold-time histogram is decimated like the
+  /// other timing hooks.
+  [[nodiscard]] std::int64_t obs_loan_made() noexcept {
+    ++counters().loans;
+    if ((loan_decim_++ & ((1u << kBatchSampleShift) - 1)) != 0) return -1;
+    return static_cast<std::int64_t>(TscClock::now());
+  }
+  void obs_loan_released(std::int64_t t0) noexcept {
+    ++counters().loan_releases;
+    if (t0 <= 0) return;
+    const auto now = static_cast<std::int64_t>(TscClock::now());
+    slot_->hist(obs::HistKind::kLoanHoldNs)
+        .record(obs_ticks_to_ns(now - t0),
+                std::uint64_t{1} << kBatchSampleShift);
+  }
 
   // Round-trip bracket (obs::round_trip_begin/end): rdtsc, not
   // clock_gettime — this pair runs INSIDE the latency it measures, and two
@@ -384,6 +400,7 @@ class NativePlatform {
   std::uint32_t wake_decim_ = 0;
   std::uint32_t batch_decim_ = 0;
   std::uint32_t spin_decim_ = 0;
+  std::uint32_t loan_decim_ = 0;
 };
 
 static_assert(Platform<NativePlatform>);

@@ -46,8 +46,10 @@
 #include "common/error.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
+#include "obs/hooks.hpp"
 #include "protocols/detail.hpp"
 #include "protocols/shard_map.hpp"
+#include "queue/payload_pool.hpp"
 #include "runtime/shm_channel.hpp"
 
 namespace ulipc {
@@ -138,6 +140,34 @@ class ResilientPoolClient {
     return roundtrip(p, op, value, ans, /*sheddable=*/true);
   }
 
+  /// One synchronous data request carrying a published payload loan. The
+  /// token rides in ext_offset, where it doubles as the stale-reply dedup
+  /// tag: tokens carry the slot's loan generation, so a reply echoing the
+  /// token of a superseded attempt against a since-recycled slot can never
+  /// match the in-flight request.
+  ///
+  /// Loan ownership: on kOk the loan is the caller's again — consume the
+  /// reply payload in place, then release. On kOverloaded (never sent) or
+  /// kTimedOut (every attempt expired), this method has already released
+  /// the loan — exactly once — and the caller must not touch the token
+  /// again. `loan_t0` is the obs::loan_made() timestamp, threaded through
+  /// so the internal release keeps the hold-time histogram matched.
+  template <typename P>
+  RequestOutcome request_loaned(P& p, Op op, double value,
+                                std::uint64_t token, Message* ans,
+                                std::int64_t loan_t0 = 0) {
+    const RequestOutcome o =
+        roundtrip_tagged(p, op, value, token, ans, /*sheddable=*/true);
+    if (o != RequestOutcome::kOk) {
+      PayloadPool* plane = channel_.payload_plane();
+      if (plane != nullptr && plane->owns_token(token)) {
+        plane->release(token);
+        obs::loan_released(p, loan_t0);
+      }
+    }
+    return o;
+  }
+
   /// Disconnect: the kDisconnect round trip (retried like any other — the
   /// server dedups repeats via client_departed), then release the placement
   /// slot and the liveness seat. Best-effort: even on kTimedOut the local
@@ -169,11 +199,17 @@ class ResilientPoolClient {
   template <typename P>
   RequestOutcome roundtrip(P& p, Op op, double value, Message* ans,
                            bool sheddable) {
-    ++stats_.requests;
     // The dedup tag rides in ext_offset, which serve_one_request echoes
     // verbatim for every op the pool serves. Unique per logical request,
     // shared by all its attempts: any attempt's reply settles the request.
-    const std::uint64_t tag = ++seq_;
+    return roundtrip_tagged(p, op, value, ++seq_, ans, sheddable);
+  }
+
+  template <typename P>
+  RequestOutcome roundtrip_tagged(P& p, Op op, double value,
+                                  std::uint64_t tag, Message* ans,
+                                  bool sheddable) {
+    ++stats_.requests;
     const Message msg(op, id_, value, tag);
     NativeEndpoint& mine = channel_.client_endpoint(id_);
     for (std::uint32_t attempt = 0; attempt <= cfg_.max_retries; ++attempt) {

@@ -7,12 +7,14 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "common/affinity.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "explore/hooks.hpp"
+#include "obs/hooks.hpp"
 #include "protocols/bsw.hpp"
 #include "runtime/server_pool.hpp"
 #include "shm/process.hpp"
@@ -31,6 +33,7 @@ struct ClientCell {
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> sheds{0};
   std::atomic<std::uint64_t> stale{0};
+  std::atomic<std::uint64_t> bytes{0};  // payload bytes verified end-to-end
 };
 
 struct ScenarioShared {
@@ -45,6 +48,17 @@ double pareto_us(Xoshiro256& rng, const ScenarioSpec& spec) {
   return w > spec.pareto_cap_us ? spec.pareto_cap_us : w;
 }
 
+/// Pareto-distributed payload size in [payload_min, payload_max] — the
+/// heavy-tailed "mostly small keys, occasional megabyte blob" shape real
+/// IPC payloads follow.
+std::uint32_t pareto_bytes(Xoshiro256& rng, const ScenarioSpec& spec) {
+  const double xm = spec.payload_min > 0 ? spec.payload_min : 1.0;
+  const double u = rng.uniform01();
+  const double x = xm * std::pow(1.0 - u, -1.0 / spec.payload_alpha);
+  const auto cap = static_cast<double>(spec.payload_max);
+  return static_cast<std::uint32_t>(x > cap ? cap : x);
+}
+
 /// Streaming clients bypass the resilience layer: the windowed batched
 /// echo loop is the throughput shape (one lock pass + one coalesced wake
 /// per window), and the streaming scenario runs without chaos.
@@ -53,13 +67,23 @@ int run_streaming_client(const ScenarioSpec& spec, std::uint32_t id,
                          NativePlatform& p) {
   Bsw<NativePlatform> proto;
   ClientCell& cell = sh.clients[id];
+  Xoshiro256 rng(spec.seed * 0x2545f4914f6cdd1dULL + id);
   bool ok = true;
   for (std::uint32_t cy = 0; cy < spec.cycles; ++cy) {
     channel.register_client(id);
     pool_client_connect(p, proto, channel, id, PlacementPolicy::kLeastLoaded);
     cell.attempted.fetch_add(spec.messages, std::memory_order_relaxed);
-    const std::uint64_t v = pool_client_echo_loop_windowed(
-        p, proto, channel, id, spec.messages, spec.window, spec.work_us);
+    std::uint64_t v = 0;
+    if (spec.payloads()) {
+      std::uint64_t bytes = 0;
+      v = pool_client_echo_loop_windowed_loaned(
+          p, proto, channel, id, spec.messages, spec.window,
+          [&] { return pareto_bytes(rng, spec); }, &bytes);
+      cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      v = pool_client_echo_loop_windowed(
+          p, proto, channel, id, spec.messages, spec.window, spec.work_us);
+    }
     cell.verified.fetch_add(v, std::memory_order_relaxed);
     ok &= v == spec.messages;
     pool_client_disconnect(p, proto, channel, id);
@@ -93,7 +117,36 @@ int run_client(const ScenarioSpec& spec, std::uint32_t id, bool victim,
   ResilientPoolClient client(channel, id, rcfg);
   Xoshiro256 rng(spec.seed * 0x9e3779b97f4a7c15ULL + id);
   ClientCell& cell = sh.clients[id];
+  PayloadPool* plane = spec.payloads() ? channel.payload_plane() : nullptr;
   bool ok = true;
+
+  // One resilient data request, loaning a payload when the spec asks for
+  // one. A shed or timed-out loaned request has its loan released by the
+  // resilience layer, so every retry round loans afresh; an exhausted
+  // plane falls back to a payload-less request rather than stalling.
+  const auto issue = [&](Op op, double arg, std::uint32_t psz,
+                         Message* ans) {
+    std::uint64_t token = PayloadPool::kNoPayload;
+    if (plane != nullptr && psz > 0) token = plane->loan(psz);
+    if (token == PayloadPool::kNoPayload) {
+      return client.request(p, op, arg, ans);
+    }
+    const std::int64_t lt0 = obs::loan_made(p);
+    std::memset(plane->data(token), static_cast<int>('a' + psz % 26), psz);
+    plane->publish(token, psz);
+    const RequestOutcome o =
+        client.request_loaned(p, op, arg, token, ans, lt0);
+    if (o == RequestOutcome::kOk) {
+      // The verified reply batons the loan back (the echo is in place —
+      // same slot, same bytes): consume, then release exactly once here.
+      if (plane->read(ans->ext_offset).size() == psz) {
+        cell.bytes.fetch_add(psz, std::memory_order_relaxed);
+      }
+      plane->release(ans->ext_offset);
+      obs::loan_released(p, lt0);
+    }
+    return o;
+  };
 
   for (std::uint32_t cy = 0; ok && (victim || cy < spec.cycles); ++cy) {
     if (client.connect(p, PlacementPolicy::kLeastLoaded) !=
@@ -109,14 +162,16 @@ int run_client(const ScenarioSpec& spec, std::uint32_t id, bool victim,
         op = Op::kCompute;
         arg = pareto_us(rng, spec);
       }
+      const std::uint32_t psz =
+          spec.payloads() ? pareto_bytes(rng, spec) : 0;
       cell.attempted.fetch_add(1, std::memory_order_relaxed);
       Message ans;
-      RequestOutcome o = client.request(p, op, arg, &ans);
+      RequestOutcome o = issue(op, arg, psz, &ans);
       while (o == RequestOutcome::kOverloaded) {
         // Shed = delayed, never lost: back off, then re-issue the same
         // logical request (a fresh tag; the shed one was never sent).
         sleep_ns_eintr(rcfg.backoff_base_ns);
-        o = client.request(p, op, arg, &ans);
+        o = issue(op, arg, psz, &ans);
       }
       if (o == RequestOutcome::kOk && ans.value == arg &&
           ans.channel == id) {
@@ -159,9 +214,13 @@ std::string ScenarioResult::json() const {
   os << ",\"elapsed_ms\":" << num;
   std::snprintf(num, sizeof(num), "%.2f", msgs_per_ms);
   os << ",\"msgs_per_ms\":" << num;
+  os << ",\"payload_bytes\":" << payload_bytes;
+  std::snprintf(num, sizeof(num), "%.0f", bytes_per_s);
+  os << ",\"bytes_per_s\":" << num;
   os << ",\"slo\":{\"no_lost_replies\":" << b(slo_no_lost_replies)
      << ",\"orphan_drain\":" << b(slo_orphan_drain)
      << ",\"nodes_conserved\":" << b(slo_nodes_conserved)
+     << ",\"payloads_conserved\":" << b(slo_payloads_conserved)
      << ",\"pass\":" << b(slo_pass()) << "}}";
   return os.str();
 }
@@ -186,6 +245,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   cfg.max_clients = spec.clients;
   cfg.queue_capacity = spec.queue_capacity;
   cfg.shards = spec.workers;
+  if (spec.payloads()) cfg.payload_max_bytes = spec.payload_max;
   ShmRegion region =
       ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
   ShmChannel channel = ShmChannel::create(region, cfg);
@@ -195,6 +255,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   auto* shared = new (shared_region.base()) ScenarioShared();
 
   const std::uint32_t free0 = channel.node_pool().free_count();
+  const std::uint32_t pfree0 = channel.has_payload_plane()
+                                   ? channel.payload_plane()->free_count()
+                                   : 0;
 
   NativePlatform::Config pcfg;
   pcfg.multiprocessor = cpu_count() > 1;
@@ -317,6 +380,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     res.retries += cell.retries.load(std::memory_order_acquire);
     res.sheds += cell.sheds.load(std::memory_order_acquire);
     res.stale_dropped += cell.stale.load(std::memory_order_acquire);
+    res.payload_bytes += cell.bytes.load(std::memory_order_acquire);
     none_lost &= att == ver && att > 0;
   }
   res.slo_no_lost_replies = none_lost;
@@ -324,6 +388,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (res.elapsed_ns > 0) {
     res.msgs_per_ms = static_cast<double>(res.verified) /
                       (static_cast<double>(res.elapsed_ns) / 1e6);
+    res.bytes_per_s = static_cast<double>(res.payload_bytes) /
+                      (static_cast<double>(res.elapsed_ns) / 1e9);
   }
 
   // Node-conservation SLO: drain what the dead left behind (replies
@@ -350,9 +416,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   {
     RobustGuard g(channel.header().recovery_lock);
     (void)sweep_leaked_nodes(channel.node_pool(), channel.all_queues(),
-                             nullptr);
+                             channel.payload_plane());
   }
   res.slo_nodes_conserved = channel.node_pool().free_count() == free0;
+  // Payload-slot conservation: every loan — including those of SIGKILLed
+  // clients, reclaimed by the sweep just above — is back on a free list.
+  res.slo_payloads_conserved =
+      !channel.has_payload_plane() ||
+      channel.payload_plane()->free_count() == pfree0;
   res.completed = completed;
   return res;
 }

@@ -95,8 +95,18 @@ struct ScenarioSpec {
   std::int64_t burst_off_ns = 2'000'000;  // bursty: idle gap between bursts
   std::uint32_t queue_capacity = 256;
   std::uint64_t seed = 42;
+  // Payload plane: when payload_max > 0, every data request loans a
+  // pareto(alpha)-distributed payload of [payload_min, payload_max] bytes,
+  // written in place and batoned back by the echo (ulipc-perf flag:
+  // --payload-dist pareto:alpha,min,max). Exhausted plane = payload-less
+  // fallback, never a stall.
+  double payload_alpha = 1.2;
+  std::uint32_t payload_min = 0;
+  std::uint32_t payload_max = 0;
   ResilienceConfig resilience;
   ChaosConfig chaos;
+
+  [[nodiscard]] bool payloads() const noexcept { return payload_max > 0; }
 };
 
 /// What one run produced, including the SLO verdicts.
@@ -115,14 +125,17 @@ struct ScenarioResult {
   std::int64_t orphan_drain_ns = 0;  // worker death -> dead shard drained
   std::int64_t elapsed_ns = 0;
   double msgs_per_ms = 0.0;
+  std::uint64_t payload_bytes = 0;  // payload bytes verified end-to-end
+  double bytes_per_s = 0.0;
 
   bool slo_no_lost_replies = false;
   bool slo_orphan_drain = false;
   bool slo_nodes_conserved = false;
+  bool slo_payloads_conserved = false;
 
   [[nodiscard]] bool slo_pass() const noexcept {
     return completed && slo_no_lost_replies && slo_orphan_drain &&
-           slo_nodes_conserved;
+           slo_nodes_conserved && slo_payloads_conserved;
   }
 
   /// One machine-readable line (what `[scenario]` output and the bench

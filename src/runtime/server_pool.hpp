@@ -39,6 +39,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,7 @@ struct WorkerCrashEvent {
   std::uint32_t clients_replaced = 0;
   std::uint32_t migrated_messages = 0;
   std::uint32_t nodes_reclaimed = 0;
+  std::uint32_t payloads_reclaimed = 0;
 };
 
 struct PoolWorkerResult {
@@ -231,13 +233,15 @@ PoolWorkerResult run_pool_worker(ShmChannel& channel, Proto proto,
                                           std::memory_order_relaxed);
     p.counters().migrated_msgs += ev.migrated_messages;
     result.migrated_messages += ev.migrated_messages;
-    ev.nodes_reclaimed =
-        sweep_leaked_nodes(channel.node_pool(), channel.all_queues(), nullptr)
-            .nodes_reclaimed;
+    const RecoveryStats swept = sweep_leaked_nodes(
+        channel.node_pool(), channel.all_queues(), channel.payload_plane());
+    ev.nodes_reclaimed = swept.nodes_reclaimed;
+    ev.payloads_reclaimed = swept.payloads_reclaimed;
     explore::point(explore::Point::kPoolSwept);
     channel.deregister_worker(s);
     explore::point(explore::Point::kPoolVacated);
-    channel.publish_recovery(s, ev.migrated_messages, ev.nodes_reclaimed);
+    channel.publish_recovery(s, ev.migrated_messages, ev.nodes_reclaimed,
+                             ev.payloads_reclaimed);
     ++result.reaped_workers;
     result.crash_events.push_back(ev);
   };
@@ -466,6 +470,81 @@ std::uint64_t pool_client_echo_loop_windowed(P& p, Proto& proto,
       if (answers[i].opcode == op && answers[i].channel == id) {
         ++good;
         got_sum += answers[i].value;
+      }
+    }
+    if (good == w && got_sum == sent_sum) verified += w;
+  }
+  return verified;
+}
+
+/// Payload-bearing windowed variant: every request of the window loans a
+/// `next_bytes()`-sized payload from the channel's plane, writes it in
+/// place, and sends the token in ext_offset; the echo batons each loan back
+/// (possibly permuted across the window) and the loop releases it after the
+/// batch verifies. An exhausted plane degrades that request to payload-less
+/// rather than stalling the window. `*bytes_moved` accumulates the payload
+/// bytes of replies that came back.
+template <typename P, typename Proto, typename SizeFn>
+std::uint64_t pool_client_echo_loop_windowed_loaned(
+    P& p, Proto& proto, ShmChannel& channel, std::uint32_t id,
+    std::uint64_t n, std::uint32_t window, SizeFn&& next_bytes,
+    std::uint64_t* bytes_moved) {
+  constexpr std::uint32_t kMaxWindow = 128;
+  window = std::clamp<std::uint32_t>(window, 1, kMaxWindow);
+  Message reqs[kMaxWindow];
+  Message answers[kMaxWindow];
+  std::uint64_t tokens[kMaxWindow];
+  std::int64_t loan_t0[kMaxWindow];
+  std::uint64_t verified = 0;
+  PayloadPool* plane = channel.payload_plane();
+  PoolShardMap& map = channel.shard_map();
+  NativeEndpoint& mine = channel.client_endpoint(id);
+  for (std::uint64_t base = 0; base < n; base += window) {
+    NativeEndpoint& srv = channel.shard_endpoint(map.assignment(id));
+    const auto w = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(window, n - base));
+    double sent_sum = 0.0;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      const auto arg = static_cast<double>(base + i);
+      const std::uint32_t sz = next_bytes();
+      std::uint64_t token = PayloadPool::kNoPayload;
+      if (plane != nullptr && sz > 0) token = plane->loan(sz);
+      if (token != PayloadPool::kNoPayload) {
+        loan_t0[i] = obs::loan_made(p);
+        std::memset(plane->data(token), static_cast<int>('a' + i % 26), sz);
+        plane->publish(token, sz);
+      } else {
+        loan_t0[i] = 0;
+      }
+      tokens[i] = token;
+      reqs[i] = Message(Op::kEcho, id, arg, token);
+      sent_sum += arg;
+    }
+    const std::int64_t rt0 = obs::round_trip_begin(p);
+    proto.send_batch(p, srv, mine, reqs, w, answers);
+    obs::round_trip_end(p, rt0, w);
+    std::uint32_t good = 0;
+    double got_sum = 0.0;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      if (answers[i].opcode == Op::kEcho && answers[i].channel == id) {
+        ++good;
+        got_sum += answers[i].value;
+      }
+      const std::uint64_t tok = answers[i].ext_offset;
+      if (plane == nullptr || tok == PayloadPool::kNoPayload ||
+          !plane->owns_token(tok)) {
+        continue;
+      }
+      // The window may come back permuted: find the loan this reply
+      // batons back to close its hold-time measurement.
+      for (std::uint32_t j = 0; j < w; ++j) {
+        if (tokens[j] == tok) {
+          *bytes_moved += plane->read(tok).size();
+          plane->release(tok);
+          obs::loan_released(p, loan_t0[j]);
+          tokens[j] = PayloadPool::kNoPayload;
+          break;
+        }
       }
     }
     if (good == w && got_sum == sent_sum) verified += w;

@@ -31,6 +31,21 @@ std::size_t obs_block_bytes(const ShmChannel::Config& cfg) {
   return bytes;
 }
 
+/// Concrete per-class slot count for a config (0 = auto-size so every
+/// client can hold a couple of loans concurrently).
+std::uint32_t payload_slots_per_class(const ShmChannel::Config& cfg) {
+  if (cfg.payload_slots_per_class != 0) return cfg.payload_slots_per_class;
+  return 2 * cfg.max_clients + 4;
+}
+
+PayloadPool::Config payload_plane_config(const ShmChannel::Config& cfg) {
+  PayloadPool::Config pc;
+  pc.min_bytes = 64;
+  pc.max_bytes = cfg.payload_max_bytes;
+  pc.slots_per_class = payload_slots_per_class(cfg);
+  return pc;
+}
+
 }  // namespace
 
 std::size_t ShmChannel::required_bytes(const Config& cfg) {
@@ -49,6 +64,9 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
   bytes += (queues - 1) * (sizeof(SpscRing) + ring_slots * sizeof(Message));
   bytes += (2 * queues + 8) * 2 * kCacheLineSize;  // alignment slack
   bytes += obs_block_bytes(cfg);                   // metrics + trace rings
+  if (cfg.payload_max_bytes > 0) {
+    bytes += PayloadPool::bytes_for(payload_plane_config(cfg));
+  }
   return align_up(bytes * 2, 4096);                // 2x safety margin
 }
 
@@ -169,6 +187,14 @@ ShmChannel ShmChannel::create(ShmRegion& region, const Config& cfg) {
     ch.header_->obs_offset = obs_off;
   }
 
+  // Zero-copy payload plane: size-class loan buffers next to the node pool,
+  // referenced by Message::ext_offset tokens.
+  if (cfg.payload_max_bytes > 0) {
+    PayloadPool* plane =
+        PayloadPool::create(ch.arena_, payload_plane_config(cfg));
+    ch.header_->payload_plane_offset = ch.arena_.to_offset(plane);
+  }
+
   if (cfg.create_sysv_queues) {
     ch.owned_queues_.push_back(SysvMsgQueue::create());
     ch.header_->sysv_request_qid = ch.owned_queues_.back().id();
@@ -222,17 +248,21 @@ ShmChannel::ReclaimStats ShmChannel::reclaim_client(std::uint32_t i) noexcept {
   }
 
   // Step 2: sweep the shared node pool for nodes the corpse leaked between
-  // allocate() and a queue link (or between unlink and release()). Every
-  // queue of the channel participates in the reachability mark — a queue
-  // left out would have its in-flight nodes misread as leaks.
-  stats.nodes_reclaimed =
-      sweep_leaked_nodes(node_pool(), all_queues(), nullptr).nodes_reclaimed;
+  // allocate() and a queue link (or between unlink and release()), and the
+  // payload plane for loans the corpse never released. Every queue of the
+  // channel participates in the reachability mark — a queue left out would
+  // have its in-flight nodes misread as leaks.
+  const RecoveryStats swept =
+      sweep_leaked_nodes(node_pool(), all_queues(), payload_plane());
+  stats.nodes_reclaimed = swept.nodes_reclaimed;
+  stats.payloads_reclaimed = swept.payloads_reclaimed;
 
   // Step 3: vacate the seat — the crash has been fully absorbed.
   header_->client_peer[i].pid.store(0, std::memory_order_release);
   stats.reaped = true;
 
-  publish_recovery(i, stats.drained_messages, stats.nodes_reclaimed);
+  publish_recovery(i, stats.drained_messages, stats.nodes_reclaimed,
+                   stats.payloads_reclaimed);
   return stats;
 }
 
@@ -253,7 +283,8 @@ std::vector<TwoLockQueue*> ShmChannel::all_queues() {
 
 void ShmChannel::publish_recovery(std::uint32_t participant,
                                   std::uint32_t drained,
-                                  std::uint32_t nodes_reclaimed) noexcept {
+                                  std::uint32_t nodes_reclaimed,
+                                  std::uint32_t payloads_reclaimed) noexcept {
   // The recovery lock the caller holds serializes every writer of these
   // counters and of the shared recovery ring (ring index slot_count);
   // recovery is cold-path, so it is emitted even in trace-disabled builds.
@@ -262,6 +293,7 @@ void ShmChannel::publish_recovery(std::uint32_t participant,
   ++oh.recovery.sweeps;
   oh.recovery.drained_messages += drained;
   oh.recovery.nodes_reclaimed += nodes_reclaimed;
+  oh.recovery.payload_slots_reclaimed += payloads_reclaimed;
   auto* ring = static_cast<obs::TraceRing*>(oh.ring_blob(oh.slot_count));
   ring->emit(obs::TraceEvent::kRecovery,
              static_cast<std::uint16_t>(participant), drained,

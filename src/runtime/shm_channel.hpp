@@ -24,6 +24,7 @@
 #include "protocols/shard_map.hpp"
 #include "queue/msg_pool.hpp"
 #include "queue/ms_two_lock_queue.hpp"
+#include "queue/payload_pool.hpp"
 #include "runtime/native_platform.hpp"
 #include "shm/process.hpp"
 #include "shm/robust_spinlock.hpp"
@@ -103,6 +104,10 @@ struct ShmChannelHeader {
   // 0 on regions formatted by pre-observability binaries.
   std::uint64_t obs_offset = 0;
 
+  // Offset of the zero-copy payload plane (queue/payload_pool.hpp); 0 when
+  // the channel was created with payload_max_bytes == 0.
+  std::uint64_t payload_plane_offset = 0;
+
   // ---- server pool: sharded receive ----
   //
   // num_shards == 0 is the classic single-receive-queue channel. A pool
@@ -144,6 +149,11 @@ class ShmChannel {
                                // receive queue per worker; mutually
                                // exclusive with duplex (the pool reuses the
                                // duplex obs-slot range), and <= max_clients
+    // Zero-copy payload plane: size classes 64 B .. payload_max_bytes
+    // (geometric), payload_slots_per_class slots each (0 = auto-size from
+    // max_clients). payload_max_bytes == 0 builds no plane at all.
+    std::uint32_t payload_max_bytes = 4096;
+    std::uint32_t payload_slots_per_class = 0;
   };
 
   /// Formats `region` and builds all channel structures inside it.
@@ -197,6 +207,17 @@ class ShmChannel {
   /// The node pool all of this channel's queues draw from.
   [[nodiscard]] NodePool& node_pool() noexcept {
     return *arena_.from_offset<NodePool>(header_->node_pool_offset);
+  }
+
+  /// The zero-copy payload plane, or nullptr on channels created with
+  /// payload_max_bytes == 0 (every recovery call site passes this pointer
+  /// straight through, so plane-less channels keep the old behavior).
+  [[nodiscard]] PayloadPool* payload_plane() noexcept {
+    if (header_->payload_plane_offset == 0) return nullptr;
+    return arena_.from_offset<PayloadPool>(header_->payload_plane_offset);
+  }
+  [[nodiscard]] bool has_payload_plane() const noexcept {
+    return header_->payload_plane_offset != 0;
   }
 
   // ---- observability ----
@@ -315,6 +336,7 @@ class ShmChannel {
     std::uint32_t drained_messages = 0;  // messages discarded from the dead
                                          // client's queues
     std::uint32_t nodes_reclaimed = 0;   // leaked queue nodes swept back
+    std::uint32_t payloads_reclaimed = 0;  // leaked payload loans swept back
     bool reaped = false;  // this call vacated the seat (false = a concurrent
                           // recoverer got there first)
   };
@@ -336,7 +358,8 @@ class ShmChannel {
   /// Caller must hold the header's recovery lock, which serializes every
   /// writer of these cells.
   void publish_recovery(std::uint32_t participant, std::uint32_t drained,
-                        std::uint32_t nodes_reclaimed) noexcept;
+                        std::uint32_t nodes_reclaimed,
+                        std::uint32_t payloads_reclaimed = 0) noexcept;
 
   [[nodiscard]] SysvMsgQueue request_queue() const {
     return SysvMsgQueue::attach(header_->sysv_request_qid);

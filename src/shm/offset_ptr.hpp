@@ -35,18 +35,24 @@ class OffsetPtr {
     return *this;
   }
 
+  // Encode/decode through uintptr_t, not char* arithmetic: subtracting
+  // pointers into different complete objects is UB, and GCC's provenance
+  // analysis is entitled to (and at -O2 under ASan does) fold a comparison
+  // of the re-derived pointer against the original to false even when the
+  // addresses are identical. Integer arithmetic carries no provenance.
   [[nodiscard]] T* get() const noexcept {
     if (offset_ == 0) return nullptr;
-    return reinterpret_cast<T*>(
-        const_cast<char*>(reinterpret_cast<const char*>(this)) + offset_);
+    return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(this) +
+                                static_cast<std::uintptr_t>(offset_));
   }
 
   void set(T* p) noexcept {
     if (p == nullptr) {
       offset_ = 0;
     } else {
-      offset_ = reinterpret_cast<const char*>(p) -
-                reinterpret_cast<const char*>(this);
+      offset_ = static_cast<std::ptrdiff_t>(
+          reinterpret_cast<std::uintptr_t>(p) -
+          reinterpret_cast<std::uintptr_t>(this));
     }
   }
 

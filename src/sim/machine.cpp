@@ -15,6 +15,7 @@ const char* policy_name(PolicyKind k) noexcept {
 std::int64_t Machine::yield_cost(int n_ready) const noexcept {
   const auto& pts = yield_cost_points;
   if (pts.empty()) return 16'000;
+  if (pts.size() == 1) return pts.front().second;  // no slope to extrapolate
   if (n_ready <= pts.front().first) return pts.front().second;
   for (std::size_t i = 1; i < pts.size(); ++i) {
     if (n_ready <= pts[i].first) {

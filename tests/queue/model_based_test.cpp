@@ -80,12 +80,16 @@ TEST_P(ModelBasedTest, SpscRingMatchesDeque) {
 
 TEST_P(ModelBasedTest, PayloadPoolNeverDoubleAllocates) {
   Xoshiro256 rng(GetParam() ^ 0xAAAA);
-  PayloadPool* pool = PayloadPool::create(arena_, 48, 6);
+  PayloadPool::Config pcfg;
+  pcfg.min_bytes = 64;
+  pcfg.max_bytes = 64;
+  pcfg.slots_per_class = 6;
+  PayloadPool* pool = PayloadPool::create(arena_, pcfg);
   std::set<std::uint64_t> live;
 
   for (int step = 0; step < 20'000; ++step) {
     if (rng.chance(0.5)) {
-      const std::uint64_t token = pool->acquire();
+      const std::uint64_t token = pool->loan(48);
       if (live.size() < 6) {
         ASSERT_NE(token, PayloadPool::kNoPayload);
         ASSERT_TRUE(live.insert(token).second) << "token handed out twice";

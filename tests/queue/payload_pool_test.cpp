@@ -16,56 +16,147 @@ namespace {
 class PayloadPoolTest : public ::testing::Test {
  protected:
   PayloadPoolTest()
-      : region_(ShmRegion::create_anonymous(1 << 20)),
+      : region_(ShmRegion::create_anonymous(8u << 20)),
         arena_(ShmArena::format(region_)) {}
+
+  PayloadPool* make(std::uint32_t min_bytes, std::uint32_t max_bytes,
+                    std::uint32_t slots_per_class) {
+    PayloadPool::Config cfg;
+    cfg.min_bytes = min_bytes;
+    cfg.max_bytes = max_bytes;
+    cfg.slots_per_class = slots_per_class;
+    return PayloadPool::create(arena_, cfg);
+  }
 
   ShmRegion region_;
   ShmArena arena_;
 };
 
-TEST_F(PayloadPoolTest, AcquireReleaseCycle) {
-  PayloadPool* pool = PayloadPool::create(arena_, 128, 4);
+TEST_F(PayloadPoolTest, LoanReleaseCycle) {
+  PayloadPool* pool = make(128, 128, 4);
+  EXPECT_EQ(pool->class_count(), 1u);
   EXPECT_EQ(pool->capacity(), 4u);
   EXPECT_EQ(pool->free_count(), 4u);
-  const std::uint64_t token = pool->acquire();
+  const std::uint64_t token = pool->loan(100);
   ASSERT_NE(token, PayloadPool::kNoPayload);
   EXPECT_EQ(pool->free_count(), 3u);
+  EXPECT_EQ(pool->loans_outstanding(), 1u);
   pool->release(token);
   EXPECT_EQ(pool->free_count(), 4u);
+  EXPECT_EQ(pool->loans_outstanding(), 0u);
+}
+
+TEST_F(PayloadPoolTest, GeometricClassLadder) {
+  PayloadPool* pool = make(64, 1024, 2);
+  ASSERT_EQ(pool->class_count(), 5u);  // 64 128 256 512 1024
+  for (std::uint32_t c = 0; c < pool->class_count(); ++c) {
+    EXPECT_EQ(pool->class_slot_bytes(c), 64u << c);
+    EXPECT_EQ(pool->class_capacity(c), 2u);
+    EXPECT_EQ(pool->class_free(c), 2u);
+  }
+  EXPECT_EQ(pool->capacity(), 10u);
+}
+
+TEST_F(PayloadPoolTest, LoanTakesSmallestFittingClass) {
+  PayloadPool* pool = make(64, 1024, 2);
+  const std::uint64_t small = pool->loan(10);
+  const std::uint64_t mid = pool->loan(65);
+  const std::uint64_t big = pool->loan(1000);
+  ASSERT_NE(small, PayloadPool::kNoPayload);
+  ASSERT_NE(mid, PayloadPool::kNoPayload);
+  ASSERT_NE(big, PayloadPool::kNoPayload);
+  EXPECT_EQ(pool->capacity_of(small), 64u);
+  EXPECT_EQ(pool->capacity_of(mid), 128u);
+  EXPECT_EQ(pool->capacity_of(big), 1024u);
+  EXPECT_EQ(pool->class_free(0), 1u);
+  EXPECT_EQ(pool->class_free(1), 1u);
+  EXPECT_EQ(pool->class_free(4), 1u);
+}
+
+TEST_F(PayloadPoolTest, ExhaustedClassSpillsToLargerClass) {
+  PayloadPool* pool = make(64, 256, 2);
+  const std::uint64_t a = pool->loan(32);
+  const std::uint64_t b = pool->loan(32);
+  EXPECT_EQ(pool->capacity_of(a), 64u);
+  EXPECT_EQ(pool->capacity_of(b), 64u);
+  // Class 0 is dry: the next small loan spills to the 128 B class.
+  const std::uint64_t c = pool->loan(32);
+  ASSERT_NE(c, PayloadPool::kNoPayload);
+  EXPECT_EQ(pool->capacity_of(c), 128u);
+  // Oversized request: nothing can serve it.
+  EXPECT_EQ(pool->loan(4096), PayloadPool::kNoPayload);
+}
+
+TEST_F(PayloadPoolTest, HighWaterTracksPeakLoans) {
+  PayloadPool* pool = make(64, 64, 4);
+  const std::uint64_t a = pool->loan(8);
+  const std::uint64_t b = pool->loan(8);
+  const std::uint64_t c = pool->loan(8);
+  pool->release(b);
+  pool->release(c);
+  pool->release(a);
+  EXPECT_EQ(pool->class_high_water(0), 3u);
+  EXPECT_EQ(pool->loans_outstanding(), 0u);
 }
 
 TEST_F(PayloadPoolTest, TokensAreDistinctAndNonZero) {
-  PayloadPool* pool = PayloadPool::create(arena_, 64, 8);
+  PayloadPool* pool = make(64, 64, 8);
   std::set<std::uint64_t> tokens;
   for (int i = 0; i < 8; ++i) {
-    const std::uint64_t t = pool->acquire();
+    const std::uint64_t t = pool->loan(64);
     ASSERT_NE(t, PayloadPool::kNoPayload);
     EXPECT_TRUE(tokens.insert(t).second);
   }
-  EXPECT_EQ(pool->acquire(), PayloadPool::kNoPayload) << "pool exhausted";
+  EXPECT_EQ(pool->loan(64), PayloadPool::kNoPayload) << "pool exhausted";
+}
+
+TEST_F(PayloadPoolTest, ReusedSlotGetsFreshGeneration) {
+  // The generation in the token is what lets the resilience layer use a
+  // loan token as a stale-reply dedup tag: a recycled slot must never
+  // produce the token of its previous incarnation.
+  PayloadPool* pool = make(64, 64, 1);
+  const std::uint64_t first = pool->loan(8);
+  pool->release(first);
+  const std::uint64_t second = pool->loan(8);
+  ASSERT_NE(second, PayloadPool::kNoPayload);
+  EXPECT_NE(first, second);
+  // Same slot though: the offset bits match.
+  EXPECT_EQ(first & PayloadPool::kTokenOffsetMask,
+            second & PayloadPool::kTokenOffsetMask);
+  pool->release(second);
 }
 
 TEST_F(PayloadPoolTest, WriteReadRoundTrip) {
-  PayloadPool* pool = PayloadPool::create(arena_, 64, 2);
-  const std::uint64_t token = pool->acquire();
+  PayloadPool* pool = make(64, 64, 2);
+  const std::uint64_t token = pool->loan(32);
   ASSERT_TRUE(pool->write(token, std::string_view("variable payload!")));
   EXPECT_EQ(pool->read(token), "variable payload!");
 }
 
-TEST_F(PayloadPoolTest, RejectsOversizedWrite) {
-  PayloadPool* pool = PayloadPool::create(arena_, 16, 2);
-  const std::uint64_t token = pool->acquire();
-  const std::string big(pool->slot_bytes() + 1, 'x');
+TEST_F(PayloadPoolTest, InPlaceWriteThenPublish) {
+  PayloadPool* pool = make(64, 64, 2);
+  const std::uint64_t token = pool->loan(13);
+  ASSERT_NE(token, PayloadPool::kNoPayload);
+  std::memcpy(pool->data(token), "zero-copy lane", 14);
+  ASSERT_TRUE(pool->publish(token, 14));
+  EXPECT_EQ(pool->read(token), std::string_view("zero-copy lane"));
+}
+
+TEST_F(PayloadPoolTest, RejectsOversizedWriteAndPublish) {
+  PayloadPool* pool = make(16, 16, 2);
+  const std::uint64_t token = pool->loan(16);
+  const std::string big(pool->capacity_of(token) + 1, 'x');
   EXPECT_FALSE(pool->write(token, big));
-  const std::string fits(pool->slot_bytes(), 'y');
+  EXPECT_FALSE(pool->publish(token, pool->capacity_of(token) + 1));
+  const std::string fits(pool->capacity_of(token), 'y');
   EXPECT_TRUE(pool->write(token, fits));
   EXPECT_EQ(pool->read(token).size(), fits.size());
 }
 
 TEST_F(PayloadPoolTest, SlotsDoNotAlias) {
-  PayloadPool* pool = PayloadPool::create(arena_, 64, 4);
-  const std::uint64_t a = pool->acquire();
-  const std::uint64_t b = pool->acquire();
+  PayloadPool* pool = make(64, 64, 4);
+  const std::uint64_t a = pool->loan(64);
+  const std::uint64_t b = pool->loan(64);
   ASSERT_TRUE(pool->write(a, std::string_view("aaaa")));
   ASSERT_TRUE(pool->write(b, std::string_view("bbbbbb")));
   EXPECT_EQ(pool->read(a), "aaaa");
@@ -74,11 +165,11 @@ TEST_F(PayloadPoolTest, SlotsDoNotAlias) {
 
 TEST_F(PayloadPoolTest, TokenTravelsThroughMessage) {
   // The paper's mechanism end-to-end: ext_offset carries the payload.
-  PayloadPool* pool = PayloadPool::create(arena_, 128, 4);
+  PayloadPool* pool = make(128, 128, 4);
   NodePool* nodes = NodePool::create(arena_, 8);
   TwoLockQueue* queue = TwoLockQueue::create(arena_, nodes);
 
-  const std::uint64_t token = pool->acquire();
+  const std::uint64_t token = pool->loan(32);
   ASSERT_TRUE(pool->write(token, std::string_view("hello via ext_offset")));
   ASSERT_TRUE(queue->enqueue(Message(Op::kPut, 0, 1.0, token)));
 
@@ -90,7 +181,7 @@ TEST_F(PayloadPoolTest, TokenTravelsThroughMessage) {
 }
 
 TEST_F(PayloadPoolTest, CrossProcessBaton) {
-  PayloadPool* pool = PayloadPool::create(arena_, 256, 4);
+  PayloadPool* pool = make(256, 256, 4);
   NodePool* nodes = NodePool::create(arena_, 8);
   TwoLockQueue* request = TwoLockQueue::create(arena_, nodes);
   TwoLockQueue* reply = TwoLockQueue::create(arena_, nodes);
@@ -100,7 +191,9 @@ TEST_F(PayloadPoolTest, CrossProcessBaton) {
     for (int i = 0; i < kRounds; ++i) {
       Message m;
       while (!request->dequeue(&m)) sched_yield();
-      // Reuse the slot for the reply: uppercase the text in place.
+      // Take the baton, then reuse the loan for the reply: uppercase the
+      // text in place.
+      pool->adopt(m.ext_offset);
       std::string text(pool->read(m.ext_offset));
       for (char& c : text) c = static_cast<char>(c - 32 * (c >= 'a' && c <= 'z'));
       pool->write(m.ext_offset, text);
@@ -110,7 +203,7 @@ TEST_F(PayloadPoolTest, CrossProcessBaton) {
   });
 
   for (int i = 0; i < kRounds; ++i) {
-    const std::uint64_t token = pool->acquire();
+    const std::uint64_t token = pool->loan(64);
     ASSERT_NE(token, PayloadPool::kNoPayload);
     ASSERT_TRUE(pool->write(token, std::string_view("payload text")));
     while (!request->enqueue(Message(Op::kTask, 0, 0.0, token))) sched_yield();
@@ -123,11 +216,33 @@ TEST_F(PayloadPoolTest, CrossProcessBaton) {
   EXPECT_EQ(pool->free_count(), 4u);
 }
 
-TEST_F(PayloadPoolTest, ManyAcquireReleaseNoLeak) {
-  PayloadPool* pool = PayloadPool::create(arena_, 32, 3);
+TEST_F(PayloadPoolTest, CrossProcessLoanVisibility) {
+  // A loan made in the parent must be visible (owner stamp, published
+  // bytes, payload text) through a child's own mapping of the region.
+  PayloadPool* pool = make(64, 256, 2);
+  const std::uint64_t token = pool->loan(200);
+  ASSERT_NE(token, PayloadPool::kNoPayload);
+  ASSERT_TRUE(pool->write(token, std::string_view("seen across fork")));
+  const std::uint32_t parent_pid = robust_self_pid();
+
+  ChildProcess reader = ChildProcess::spawn([&] {
+    if (pool->read(token) != "seen across fork") return 1;
+    if (pool->slot_owner(pool->index_of_token(token)) != parent_pid) return 2;
+    if (!pool->owns_token(token)) return 3;
+    // Child releases — the parent must observe the slot back on the list.
+    pool->release(token);
+    return 0;
+  });
+  EXPECT_EQ(reader.join(), 0);
+  EXPECT_EQ(pool->free_count(), pool->capacity());
+  EXPECT_EQ(pool->slot_owner(pool->index_of_token(token)), 0u);
+}
+
+TEST_F(PayloadPoolTest, ManyLoanReleaseNoLeak) {
+  PayloadPool* pool = make(32, 32, 3);
   for (int round = 0; round < 5'000; ++round) {
-    const std::uint64_t a = pool->acquire();
-    const std::uint64_t b = pool->acquire();
+    const std::uint64_t a = pool->loan(32);
+    const std::uint64_t b = pool->loan(32);
     ASSERT_NE(a, PayloadPool::kNoPayload);
     ASSERT_NE(b, PayloadPool::kNoPayload);
     pool->release(b);

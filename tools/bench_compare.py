@@ -88,6 +88,29 @@ def micro_queue_ns(build_dir):
     }
 
 
+def payload_bytes_per_s(build_dir, messages):
+    """'mode@bytes' -> bytes/s from latency_percentiles --payload=sweep.
+
+    Returns {} when the binary predates --payload (it then prints the
+    normal protocol table with no "[payload]" lines), which makes the
+    section skip itself via compare()'s empty-side guard.
+    """
+    binary = os.path.join(build_dir, "bench", "latency_percentiles")
+    if not os.path.exists(binary):
+        return {}
+    rows = {}
+    for line in run([binary, f"--messages={messages}",
+                     "--payload=sweep"]).splitlines():
+        if not line.startswith("[payload] "):
+            continue
+        try:
+            rec = json.loads(line[len("[payload] "):])
+            rows[f'{rec["mode"]}@{rec["bytes"]}'] = float(rec["bytes_per_s"])
+        except (ValueError, KeyError, TypeError):
+            continue
+    return rows
+
+
 def latest_scenario_slos(traj_path):
     """Most recent scenario_slo map from the trajectory file.
 
@@ -189,6 +212,20 @@ def main():
     flagged += compare("micro_queue (ns/op, lower is better)",
                        micro_queue_ns(args.build_dir),
                        mq, args.tolerance)
+
+    # Payload plane: bytes/s, higher is better. Baselines recorded before
+    # the payload plane existed have no "payload_plane" key — compare()
+    # then skips the section instead of failing.
+    pp = base.get("payload_plane", [])
+    base_bps = {}
+    if isinstance(pp, list):
+        for rec in pp:
+            if isinstance(rec, dict) and "mode" in rec and "bytes" in rec \
+                    and isinstance(rec.get("bytes_per_s"), (int, float)):
+                base_bps[f'{rec["mode"]}@{rec["bytes"]}'] = rec["bytes_per_s"]
+    flagged += compare("payload plane (bytes/s, higher is better)",
+                       payload_bytes_per_s(args.build_dir, args.messages),
+                       base_bps, args.tolerance, worse_when_higher=False)
 
     slos, bad_lines = latest_scenario_slos(args.trajectory)
     if slos or bad_lines:

@@ -35,7 +35,29 @@ void usage(const char* argv0) {
       << "  --list            print the scenario names and exit\n"
       << "  --scenario=NAME   run only this scenario (default: all)\n"
       << "  --quick           shrink message counts (CI smoke runs)\n"
-      << "  --seed=N          jitter/pareto RNG seed (default 42)\n";
+      << "  --seed=N          jitter/pareto RNG seed (default 42)\n"
+      << "  --payload-dist=pareto:ALPHA,MIN,MAX\n"
+      << "                    attach a pareto(ALPHA)-sized payload of\n"
+      << "                    MIN..MAX bytes to every data request (loaned\n"
+      << "                    from the channel's zero-copy payload plane);\n"
+      << "                    bytes/s lands in the [scenario] json\n";
+}
+
+/// Parses "pareto:alpha,min,max" into the spec's payload fields.
+bool parse_payload_dist(const std::string& v, double* alpha,
+                        std::uint32_t* min_bytes, std::uint32_t* max_bytes) {
+  if (v.rfind("pareto:", 0) != 0) return false;
+  char* end = nullptr;
+  const char* s = v.c_str() + std::strlen("pareto:");
+  *alpha = std::strtod(s, &end);
+  if (end == s || *end != ',' || *alpha <= 0.0) return false;
+  s = end + 1;
+  *min_bytes = static_cast<std::uint32_t>(std::strtoul(s, &end, 10));
+  if (end == s || *end != ',') return false;
+  s = end + 1;
+  *max_bytes = static_cast<std::uint32_t>(std::strtoul(s, &end, 10));
+  return end != s && *end == '\0' && *min_bytes > 0 &&
+         *min_bytes <= *max_bytes;
 }
 
 }  // namespace
@@ -45,6 +67,9 @@ int main(int argc, char** argv) {
   bool list = false;
   std::uint64_t seed = 42;
   std::string only;
+  double payload_alpha = 0.0;
+  std::uint32_t payload_min = 0;
+  std::uint32_t payload_max = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,6 +81,14 @@ int main(int argc, char** argv) {
       only = arg.substr(std::strlen("--scenario="));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 10);
+    } else if (arg.rfind("--payload-dist=", 0) == 0) {
+      if (!parse_payload_dist(arg.substr(std::strlen("--payload-dist=")),
+                              &payload_alpha, &payload_min, &payload_max)) {
+        std::cerr << "bad --payload-dist (want pareto:ALPHA,MIN,MAX with "
+                     "0 < MIN <= MAX): "
+                  << arg << "\n";
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       usage(argv[0]);
       return 0;
@@ -66,7 +99,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<ScenarioSpec> specs = builtin_scenarios(quick, seed);
+  std::vector<ScenarioSpec> specs = builtin_scenarios(quick, seed);
+  if (payload_max > 0) {
+    for (ScenarioSpec& s : specs) {
+      s.payload_alpha = payload_alpha;
+      s.payload_min = payload_min;
+      s.payload_max = payload_max;
+    }
+  }
   if (list) {
     for (const ScenarioSpec& s : specs) {
       std::cout << s.name << "  (" << workload_name(s.workload) << ", "
@@ -97,10 +137,15 @@ int main(int argc, char** argv) {
                 << r.clients_killed << " client(s), orphan drain "
                 << static_cast<double>(r.orphan_drain_ns) / 1e6 << " ms";
     }
+    if (r.payload_bytes > 0) {
+      std::cout << "; " << r.payload_bytes << " payload bytes ("
+                << r.bytes_per_s / 1e6 << " MB/s)";
+    }
     std::cout << "\n   SLO " << (r.slo_pass() ? "PASS" : "FAIL")
               << " (no_lost_replies=" << r.slo_no_lost_replies
               << " orphan_drain=" << r.slo_orphan_drain
               << " nodes_conserved=" << r.slo_nodes_conserved
+              << " payloads_conserved=" << r.slo_payloads_conserved
               << " completed=" << r.completed << ")\n";
     std::cout << "[scenario] " << r.json() << "\n\n" << std::flush;
     all_pass &= r.slo_pass();

@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "obs/rate_tracker.hpp"
 #include "obs/trace_ring.hpp"
+#include "queue/payload_pool.hpp"
 #include "runtime/shm_channel.hpp"
 #include "shm/process.hpp"
 #include "shm/shm_allocator.hpp"
@@ -89,6 +90,7 @@ struct ChannelView {
   ShmRegion region;
   const ShmChannelHeader* channel = nullptr;
   const obs::ObsHeader* obs = nullptr;
+  const PayloadPool* payload = nullptr;  // null: channel has no plane
 
   /// Attaching to a LIVE region that its creator may tear down at any
   /// moment: every offset is bounds-checked against the mapped size before
@@ -165,6 +167,23 @@ struct ChannelView {
       throw std::runtime_error(name +
                                ": observability slot/ring layout exceeds "
                                "the mapping — corrupt header");
+    }
+    // Payload plane (optional; channels created with payload_max_bytes=0
+    // have none). All its stats accessors are plain racy loads, safe on a
+    // PROT_READ mapping.
+    if (v.channel->payload_plane_offset != 0) {
+      if (v.channel->payload_plane_offset + sizeof(PayloadPool) > size) {
+        throw std::runtime_error(name +
+                                 ": payload plane lies outside the mapping "
+                                 "— truncated or mid-teardown");
+      }
+      v.payload =
+          v.region.at<const PayloadPool>(v.channel->payload_plane_offset);
+      if (v.payload->class_count() > PayloadPool::kMaxClasses) {
+        throw std::runtime_error(name +
+                                 ": corrupt payload plane (class count out "
+                                 "of range)");
+      }
     }
     return v;
   }
@@ -245,6 +264,28 @@ void print_shards(const ChannelView& v) {
   }
 }
 
+// ---- payload plane (channels with a zero-copy payload plane) ----
+
+void print_payload(const ChannelView& v) {
+  const PayloadPool* p = v.payload;
+  if (p == nullptr) return;
+  std::printf("\npayload plane: %u classes, %u/%u slots free, %u loan(s) "
+              "outstanding\n",
+              p->class_count(), p->free_count(), p->capacity(),
+              p->loans_outstanding());
+  std::printf("%-5s %9s %6s %6s %6s %10s\n", "class", "slot-B", "slots",
+              "free", "inuse", "high-water");
+  for (std::uint32_t c = 0; c < p->class_count(); ++c) {
+    const std::uint32_t cap = p->class_capacity(c);
+    const std::uint32_t free = p->class_free(c);
+    // Racy reads: free can transiently read past cap mid-update; clamp
+    // rather than print a wrapped-around in-use count.
+    std::printf("%-5u %9u %6u %6u %6u %10u\n", c, p->class_slot_bytes(c),
+                cap, free, free <= cap ? cap - free : 0,
+                p->class_high_water(c));
+  }
+}
+
 // ---- table output ----
 
 /// `rates` non-null only in --watch mode: rates need two snapshots of the
@@ -287,13 +328,16 @@ void print_table(const ChannelView& v, obs::RateTracker* rates = nullptr,
     std::printf("\n");
   }
   std::printf(
-      "recovery: sweeps=%llu drained=%llu nodes=%llu   trace=%s "
-      "(ring %u x %u rec)\n",
+      "recovery: sweeps=%llu drained=%llu nodes=%llu payloads=%llu   "
+      "trace=%s (ring %u x %u rec)\n",
       static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
       static_cast<unsigned long long>(v.obs->recovery.drained_messages.load()),
       static_cast<unsigned long long>(v.obs->recovery.nodes_reclaimed.load()),
+      static_cast<unsigned long long>(
+          v.obs->recovery.payload_slots_reclaimed.load()),
       v.obs->trace_compiled ? "on" : "off", v.obs->ring_count(),
       v.obs->ring_capacity);
+  print_payload(v);
   print_shards(v);
 }
 
@@ -309,7 +353,8 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       "\"batch_enqueues\":%llu,\"batch_dequeues\":%llu,"
       "\"wakeups_coalesced\":%llu,\"adaptive_updates\":%llu,"
       "\"steals\":%llu,\"stolen_msgs\":%llu,\"migrated_msgs\":%llu,"
-      "\"retries\":%llu,\"sheds\":%llu}",
+      "\"retries\":%llu,\"sheds\":%llu,"
+      "\"loans\":%llu,\"loan_releases\":%llu}",
       static_cast<unsigned long long>(c.sends),
       static_cast<unsigned long long>(c.receives),
       static_cast<unsigned long long>(c.replies),
@@ -332,7 +377,9 @@ void json_counters(std::FILE* f, const ProtocolCounters& c) {
       static_cast<unsigned long long>(c.stolen_msgs),
       static_cast<unsigned long long>(c.migrated_msgs),
       static_cast<unsigned long long>(c.retries),
-      static_cast<unsigned long long>(c.sheds));
+      static_cast<unsigned long long>(c.sheds),
+      static_cast<unsigned long long>(c.loans),
+      static_cast<unsigned long long>(c.loan_releases));
 }
 
 void json_hist(std::FILE* f, const obs::HistogramSnapshot& h) {
@@ -348,14 +395,17 @@ void print_json(std::FILE* f, const ChannelView& v) {
   std::fprintf(f,
                "{\"slot_count\":%u,\"ring_capacity\":%u,\"trace_compiled\":%s,"
                "\"recovery\":{\"sweeps\":%llu,\"drained_messages\":%llu,"
-               "\"nodes_reclaimed\":%llu},\"slots\":[",
+               "\"nodes_reclaimed\":%llu,\"payload_slots_reclaimed\":%llu},"
+               "\"slots\":[",
                v.obs->slot_count, v.obs->ring_capacity,
                v.obs->trace_compiled ? "true" : "false",
                static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
                static_cast<unsigned long long>(
                    v.obs->recovery.drained_messages.load()),
                static_cast<unsigned long long>(
-                   v.obs->recovery.nodes_reclaimed.load()));
+                   v.obs->recovery.nodes_reclaimed.load()),
+               static_cast<unsigned long long>(
+                   v.obs->recovery.payload_slots_reclaimed.load()));
   bool first = true;
   for (std::uint32_t i = 0; i < v.obs->slot_count; ++i) {
     obs::SlotSnapshot s;
@@ -403,6 +453,23 @@ void print_json(std::FILE* f, const ChannelView& v) {
               sh.migrated_msgs.load(std::memory_order_relaxed)));
     }
     std::fprintf(f, "]");
+  }
+  if (v.payload != nullptr) {
+    const PayloadPool* p = v.payload;
+    std::fprintf(f,
+                 ",\"payload\":{\"classes\":%u,\"slots\":%u,\"free\":%u,"
+                 "\"loans_outstanding\":%u,\"class_stats\":[",
+                 p->class_count(), p->capacity(), p->free_count(),
+                 p->loans_outstanding());
+    for (std::uint32_t c = 0; c < p->class_count(); ++c) {
+      std::fprintf(f,
+                   "%s{\"slot_bytes\":%u,\"slots\":%u,\"free\":%u,"
+                   "\"high_water\":%u}",
+                   c == 0 ? "" : ",", p->class_slot_bytes(c),
+                   p->class_capacity(c), p->class_free(c),
+                   p->class_high_water(c));
+    }
+    std::fprintf(f, "]}");
   }
   std::fprintf(f, "}\n");
 }
