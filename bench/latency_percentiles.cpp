@@ -15,7 +15,11 @@
 // Wake-up accounting (wk/msg, coal/msg) is read from the channel's shared
 // metrics registry after the children exit — the same numbers `ulipc-stat`
 // shows on a live run. --registry-dump additionally prints one
-// "[registry] {...}" JSON line per protocol for record_bench.sh.
+// "[registry] {...}" JSON line per protocol for record_bench.sh; the line
+// carries the span plane's per-phase percentiles (queue residency, wake in
+// flight, service, reply path — sampled 1-in-2^ULIPC_SPAN_SHIFT) so the
+// perf trajectory tracks WHERE round-trip time goes, not just how much.
+// --phases additionally prints those phases as a human-readable table.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -190,12 +194,25 @@ void dump_registry_line(ProtocolKind kind, std::uint64_t messages,
   const auto& cc = r.client_slot.counters;
   const auto& rt = r.client_slot.h(obs::HistKind::kRoundTripNs);
   const auto& slp = r.server_slot.h(obs::HistKind::kSleepNs);
+  // Span-plane phase histograms: the serving side records queue residency,
+  // service time, and the request-leg wake in flight; the client side
+  // records the reply path and the reply-leg wake in flight.
+  const auto& qres = r.server_slot.h(obs::HistKind::kQueueResidencyNs);
+  const auto& svc = r.server_slot.h(obs::HistKind::kServiceNs);
+  const auto& wreq = r.server_slot.h(obs::HistKind::kWakeInFlightNs);
+  const auto& rply = r.client_slot.h(obs::HistKind::kReplyPathNs);
+  const auto& wrep = r.client_slot.h(obs::HistKind::kWakeInFlightNs);
   std::printf(
       "[registry] {\"protocol\":\"%s\",\"messages\":%llu,\"window\":%u,"
       "\"wakeups\":%llu,\"wakeups_coalesced\":%llu,\"server_blocks\":%llu,"
       "\"client_blocks\":%llu,\"spin_fallthroughs\":%llu,"
       "\"rt_count\":%llu,\"rt_p50_ns\":%.0f,\"rt_p99_ns\":%.0f,"
-      "\"sleep_p50_ns\":%.0f}\n",
+      "\"sleep_p50_ns\":%.0f,"
+      "\"span_samples\":%llu,\"span_qres_p50_ns\":%.0f,"
+      "\"span_qres_p99_ns\":%.0f,\"span_service_p50_ns\":%.0f,"
+      "\"span_service_p99_ns\":%.0f,\"span_reply_p50_ns\":%.0f,"
+      "\"span_reply_p99_ns\":%.0f,\"span_wake_req_p50_ns\":%.0f,"
+      "\"span_wake_rep_p50_ns\":%.0f}\n",
       protocol_name(kind), static_cast<unsigned long long>(messages), window,
       static_cast<unsigned long long>(sc.wakeups + cc.wakeups),
       static_cast<unsigned long long>(sc.wakeups_coalesced +
@@ -205,7 +222,31 @@ void dump_registry_line(ProtocolKind kind, std::uint64_t messages,
       static_cast<unsigned long long>(sc.spin_fallthroughs +
                                       cc.spin_fallthroughs),
       static_cast<unsigned long long>(rt.count), rt.percentile(50),
-      rt.percentile(99), slp.percentile(50));
+      rt.percentile(99), slp.percentile(50),
+      static_cast<unsigned long long>(qres.count), qres.percentile(50),
+      qres.percentile(99), svc.percentile(50), svc.percentile(99),
+      rply.percentile(50), rply.percentile(99), wreq.percentile(50),
+      wrep.percentile(50));
+}
+
+/// --phases: the span plane's per-phase latency breakdown as a table row
+/// set per protocol — where each protocol's round trip spends its time
+/// (sampled spans, 1-in-2^ULIPC_SPAN_SHIFT of sends). SYSV never binds
+/// obs slots, so its rows would be all-zero and are skipped.
+void add_phase_rows(TextTable& table, ProtocolKind kind,
+                    const LatencyReport& r) {
+  const auto row = [&](const char* phase, const auto& h) {
+    table.add_row({protocol_name(kind), phase,
+                   std::to_string(static_cast<unsigned long long>(h.count)),
+                   TextTable::num(h.percentile(50) / 1e3, 2),
+                   TextTable::num(h.percentile(95) / 1e3, 2),
+                   TextTable::num(h.percentile(99) / 1e3, 2)});
+  };
+  row("queue-residency", r.server_slot.h(obs::HistKind::kQueueResidencyNs));
+  row("wake-in-flight(req)", r.server_slot.h(obs::HistKind::kWakeInFlightNs));
+  row("service", r.server_slot.h(obs::HistKind::kServiceNs));
+  row("wake-in-flight(rep)", r.client_slot.h(obs::HistKind::kWakeInFlightNs));
+  row("reply-path", r.client_slot.h(obs::HistKind::kReplyPathNs));
 }
 
 // ---- --payload: bytes/s over the zero-copy payload plane ----
@@ -405,6 +446,7 @@ int main(int argc, char** argv) {
   const bool pin = args.has_flag("pinned");
   const bool batched = args.has_flag("batched");
   const bool registry_dump = args.has_flag("registry-dump");
+  const bool phases = args.has_flag("phases");
   // --payload=N|sweep selects the payload-plane bytes/s axis instead of
   // the per-protocol latency table.
   if (const auto payload = args.value("payload"); payload.has_value()) {
@@ -423,6 +465,8 @@ int main(int argc, char** argv) {
 
   TextTable table(
       {"protocol", "p50", "p95", "p99", "max", "wk/msg", "coal/msg"});
+  TextTable phase_table(
+      {"protocol", "phase", "samples", "p50 us", "p95 us", "p99 us"});
   int failed = 0;
   double bss_p50 = 0.0;
   double bsw_p50 = 0.0;
@@ -444,8 +488,14 @@ int main(int argc, char** argv) {
                    TextTable::num(r.wakeups_per_msg, 3),
                    TextTable::num(r.coalesced_per_msg, 3)});
     if (registry_dump) dump_registry_line(kind, messages, window, r);
+    if (phases && kind != ProtocolKind::kSysv) add_phase_rows(phase_table, kind, r);
   }
   table.render(std::cout);
+  if (phases) {
+    std::cout << "\nSpan phase breakdown (sampled spans, "
+                 "1-in-2^ULIPC_SPAN_SHIFT of sends)\n\n";
+    phase_table.render(std::cout);
+  }
 
   const bool ordering = bss_p50 > 0.0 && bss_p50 <= bsw_p50 * 1.5;
   std::cout << (ordering ? "[shape OK]       " : "[shape MISMATCH] ")

@@ -33,6 +33,14 @@ enum class HistKind : std::uint32_t {
   kSpinIters,        // BSLS bounded-spin iterations per entry
   kBatchSize,        // messages moved per batch enqueue flush
   kLoanHoldNs,       // payload plane: loan -> release hold time
+  // Span-plane phase histograms (obs/span.hpp). Fed only by sampled spans
+  // (1-in-2^ULIPC_SPAN_SHIFT sends), recorded with weight 1: uniform
+  // sampling preserves the distribution shape, so the percentiles are
+  // unbiased even though the counts undercount total traffic.
+  kQueueResidencyNs,  // server: send-enqueue stamp -> dequeue
+  kWakeInFlightNs,    // either side: wake issued -> sleeper's return
+  kServiceNs,         // server: dequeue -> reply-enqueue
+  kReplyPathNs,       // client: reply-enqueue stamp -> reply dequeued
   kHistKinds,
 };
 inline constexpr std::uint32_t kHistKinds =
@@ -46,6 +54,10 @@ constexpr const char* hist_kind_name(HistKind k) noexcept {
     case HistKind::kSpinIters: return "spin_iters";
     case HistKind::kBatchSize: return "batch_size";
     case HistKind::kLoanHoldNs: return "loan_hold_ns";
+    case HistKind::kQueueResidencyNs: return "queue_residency_ns";
+    case HistKind::kWakeInFlightNs: return "wake_in_flight_ns";
+    case HistKind::kServiceNs: return "service_ns";
+    case HistKind::kReplyPathNs: return "reply_path_ns";
     case HistKind::kHistKinds: break;
   }
   return "?";
@@ -188,7 +200,9 @@ struct alignas(kCacheLineSize) ObsHeader {
   // v2: LiveCounters grew loans/loan_releases, histograms grew kLoanHoldNs,
   // RecoveryCounters grew payload_slots_reclaimed — all layout changes, so
   // pre-payload-plane readers must refuse to attach.
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: histograms grew the four span-plane phase kinds (kQueueResidencyNs,
+  // kWakeInFlightNs, kServiceNs, kReplyPathNs) — MetricSlot layout change.
+  static constexpr std::uint32_t kVersion = 3;
 
   std::uint64_t magic = 0;
   std::uint32_t version = 0;

@@ -39,6 +39,21 @@ enum class TraceEvent : std::uint16_t {
   kSpinExhausted,  // arg_a = endpoint id, arg_b = iterations spun
   kBatchFlush,     // arg_a = endpoint id, arg_b = messages in the chunk
   kRecovery,       // arg_a = client seat, arg_b = nodes + messages reclaimed
+
+  // Span plane (obs/span.hpp): causal phase edges of one traced request.
+  // For all of these arg_a = endpoint id and arg_b = the 64-bit span id;
+  // the record's own tsc IS the phase stamp. A full scalar round trip
+  // emits, in causal order: kSpanSend (client) -> kSpanWakeIssue (client)
+  // -> kSpanWakeDeliver (server) -> kSpanDequeue (server) ->
+  // kSpanReplyEnqueue (server) -> kSpanWakeIssue (server, the reply wake)
+  // -> kSpanWakeDeliver (client) -> kSpanReplyRecv (client). The wake pair
+  // can be absent on either leg when the receiver never slept.
+  kSpanSend,          // send-enqueue of a fresh traced request
+  kSpanWakeIssue,     // wake paid (sem V) for the traced message just sent
+  kSpanWakeDeliver,   // sleeper's sem_p returned for that wake
+  kSpanDequeue,       // server dequeued the traced request
+  kSpanReplyEnqueue,  // service done; reply enqueued for the same span
+  kSpanReplyRecv,     // client dequeued the traced reply (span terminal)
 };
 
 constexpr const char* trace_event_name(TraceEvent e) noexcept {
@@ -52,6 +67,12 @@ constexpr const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kSpinExhausted: return "spin-exhausted";
     case TraceEvent::kBatchFlush: return "batch-flush";
     case TraceEvent::kRecovery: return "recovery";
+    case TraceEvent::kSpanSend: return "span-send";
+    case TraceEvent::kSpanWakeIssue: return "span-wake-issue";
+    case TraceEvent::kSpanWakeDeliver: return "span-wake-deliver";
+    case TraceEvent::kSpanDequeue: return "span-dequeue";
+    case TraceEvent::kSpanReplyEnqueue: return "span-reply-enqueue";
+    case TraceEvent::kSpanReplyRecv: return "span-reply-recv";
   }
   return "?";
 }
@@ -123,6 +144,15 @@ struct alignas(64) TraceRing {
     r.arg_b.store(b, std::memory_order_relaxed);
     r.seqno.store(i + 1, std::memory_order_release);
     head.store(i + 1, std::memory_order_release);
+  }
+
+  /// How many records this ring has overwritten (lost to wrap) so far.
+  /// Derived, not stored: `head` counts every record ever emitted and the
+  /// ring only retains the last `capacity` of them, so anything beyond
+  /// capacity has been silently replaced by a later lap.
+  [[nodiscard]] std::uint64_t records_dropped() const noexcept {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    return h > capacity ? h - capacity : 0;
   }
 
   /// Reader side: copies every still-valid record, oldest first. A record

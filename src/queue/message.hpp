@@ -39,4 +39,22 @@ static_assert(sizeof(Message) == 24, "paper specifies 24-byte messages");
 static_assert(std::is_trivially_copyable_v<Message>,
               "messages are memcpy'd through queues");
 
+/// Causal-trace stamp that rides NEXT TO a message through the queues —
+/// never inside the 24-byte wire format above, which stays exactly the
+/// paper's layout. `id` is the span id minted at send (0 = untraced), and
+/// `tick` is the sender's TSC at the stamping enqueue, so the receiver can
+/// compute queue-residency without a second clock read on the send side.
+/// Queues must (re)write the stamp on every enqueue, zeroed when untraced,
+/// so a recycled node or lapped ring slot never leaks a stale span id.
+struct SpanStamp {
+  std::uint64_t id = 0;
+  std::int64_t tick = 0;
+
+  [[nodiscard]] bool traced() const noexcept { return id != 0; }
+};
+
+static_assert(sizeof(SpanStamp) == 16);
+static_assert(std::is_trivially_copyable_v<SpanStamp>,
+              "stamps are memcpy'd through queues alongside messages");
+
 }  // namespace ulipc

@@ -88,8 +88,11 @@ class TwoLockQueue {
   TwoLockQueue& operator=(const TwoLockQueue&) = delete;
 
   /// Appends a message. Returns false (queue full) if the capacity bound is
-  /// reached or the node pool is exhausted.
-  bool enqueue(const Message& msg) noexcept {
+  /// reached or the node pool is exhausted. `stamp` rides in the node next
+  /// to the message (default: untraced); it is written before the link
+  /// publication, so the dequeuer's acquire read of the next link orders it
+  /// exactly like the msg bytes.
+  bool enqueue(const Message& msg, SpanStamp stamp = {}) noexcept {
     // Reserve capacity first so we never strand an allocated node.
     std::uint32_t sz = size_.load(std::memory_order_relaxed);
     do {
@@ -106,6 +109,7 @@ class TwoLockQueue {
     }
     MsgNode& node = pool.node(node_idx);
     node.msg = msg;
+    node.span = stamp;
     node.next = kNullIndex;
     explore::point(explore::Point::kQEnqueueNodeReady);
     {
@@ -125,8 +129,11 @@ class TwoLockQueue {
   /// then splices it in with the same two ordered writes as a scalar
   /// enqueue (so the crash invariant is unchanged — tail can only lag the
   /// last linked node). Returns how many were appended; fewer than `n`
-  /// (possibly 0) when the capacity bound or the node pool runs out.
-  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n) noexcept {
+  /// (possibly 0) when the capacity bound or the node pool runs out. The
+  /// batch carries at most one stamp, on its first node — span fidelity
+  /// degrades to one-sample-per-batch on batched paths.
+  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n,
+                              SpanStamp stamp = {}) noexcept {
     if (n == 0) return 0;
     std::uint32_t sz = size_.load(std::memory_order_relaxed);
     std::uint32_t want;
@@ -146,6 +153,7 @@ class TwoLockQueue {
       if (idx == kNullIndex) break;  // pool exhausted: splice what we have
       MsgNode& node = pool.node(idx);
       node.msg = msgs[got];
+      node.span = got == 0 ? stamp : SpanStamp{};
       node.next = kNullIndex;
       if (first == kNullIndex) {
         first = idx;
@@ -169,8 +177,10 @@ class TwoLockQueue {
     return got;
   }
 
-  /// Removes the oldest message into *out. Returns false if empty.
-  bool dequeue(Message* out) noexcept {
+  /// Removes the oldest message into *out. Returns false if empty. When
+  /// `stamp` is non-null it receives the node's span stamp (id 0 =
+  /// untraced).
+  bool dequeue(Message* out, SpanStamp* stamp = nullptr) noexcept {
     NodePool& pool = *pool_;
     ShmIndex old_head;
     {
@@ -183,6 +193,7 @@ class TwoLockQueue {
           next_ref(pool.node(old_head)).load(std::memory_order_acquire);
       if (next == kNullIndex) return false;  // only the dummy remains
       *out = pool.node(next).msg;  // new dummy keeps its (copied-out) msg
+      if (stamp != nullptr) *stamp = pool.node(next).span;
       // Take ownership of the dummy BEFORE detaching it: once head_
       // advances it is unreachable, and the recovery sweep only reclaims
       // unreachable nodes with a provably-dead owner. The initial dummy's
@@ -204,7 +215,10 @@ class TwoLockQueue {
   /// messages out), so the crash invariant matches scalar dequeue. The
   /// detached nodes — unreachable once head_ advances — are released after
   /// the lock is dropped. Returns how many were removed (0 when empty).
-  std::uint32_t dequeue_batch(Message* out, std::uint32_t max) noexcept {
+  /// When `stamp` is non-null it receives the LAST traced stamp in the
+  /// batch (id 0 if none was traced).
+  std::uint32_t dequeue_batch(Message* out, std::uint32_t max,
+                              SpanStamp* stamp = nullptr) noexcept {
     if (max == 0) return 0;
     NodePool& pool = *pool_;
     ShmIndex chain;  // old dummy; start of the detached run
@@ -220,11 +234,15 @@ class TwoLockQueue {
       // releases below must leave the run reclaimable by the sweep.
       const std::uint32_t me = robust_self_pid();
       pool.node(head).owner_pid = me;
+      if (stamp != nullptr) *stamp = SpanStamp{};
       while (got < max) {
         const ShmIndex next =
             next_ref(pool.node(head)).load(std::memory_order_acquire);
         if (next == kNullIndex) break;
         out[got++] = pool.node(next).msg;
+        if (stamp != nullptr && pool.node(next).span.traced()) {
+          *stamp = pool.node(next).span;
+        }
         head = next;
         pool.node(head).owner_pid = me;
       }
@@ -337,6 +355,7 @@ class TwoLockQueue {
     if (node_idx == kNullIndex) return kNullIndex;
     MsgNode& node = pool.node(node_idx);
     node.msg = msg;
+    node.span = SpanStamp{};
     node.next = kNullIndex;
     (void)tail_lock_.value.lock();
     next_ref(pool.node(tail_.value))

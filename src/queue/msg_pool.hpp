@@ -30,11 +30,14 @@
 namespace ulipc {
 
 /// One queue node: an intrusive link, the allocator's pid (0 while the
-/// node sits on the free list), and the message payload.
+/// node sits on the free list), the message payload, and the causal-trace
+/// stamp riding next to it (see SpanStamp in queue/message.hpp — the stamp
+/// is per-node metadata precisely so the wire Message stays 24 bytes).
 struct MsgNode {
   ShmIndex next = kNullIndex;
   std::uint32_t owner_pid = 0;
   Message msg;
+  SpanStamp span;
 };
 
 class NodePool {

@@ -113,6 +113,7 @@ class PayloadPool {
         hdr->used_bytes = 0;
         hdr->generation = 0;
         hdr->size_class = n;
+        hdr->span_id = 0;
       }
       sc.free_head = 0;
       sc.free_count = cfg.slots_per_class;
@@ -154,6 +155,7 @@ class PayloadPool {
         hdr->next_free = kNullIndex;
         hdr->owner_pid = robust_self_pid();
         hdr->used_bytes = 0;
+        hdr->span_id = 0;
         ++hdr->generation;
         --sc.free_count;
         const std::uint32_t loaned = sc.slot_count - sc.free_count;
@@ -204,6 +206,19 @@ class PayloadPool {
   /// holder's life, not the (possibly already dead) sender's.
   void adopt(std::uint64_t token) noexcept {
     header_of(token)->owner_pid = robust_self_pid();
+  }
+
+  /// Mirrors a causal span id (obs/span.hpp) into the slot header, tying
+  /// the loaned payload to the request's trace. Diagnostic metadata only:
+  /// the loaner calls this while it logically holds/tracks the loan, and
+  /// nothing on the protocol paths ever reads it back.
+  void set_span(std::uint64_t token, std::uint64_t span_id) noexcept {
+    header_of(token)->span_id = span_id;
+  }
+
+  /// The mirrored span id (0 = untraced, or the slot was re-loaned since).
+  [[nodiscard]] std::uint64_t span_of(std::uint64_t token) const noexcept {
+    return header_of(token)->span_id;
   }
 
   // ---- in-place access ----
@@ -362,6 +377,9 @@ class PayloadPool {
     std::uint32_t generation;   // bumped on every loan (token uniqueness)
     std::uint32_t size_class;   // index into classes_
     std::uint32_t pad_;         // keep header 8-byte multiple
+    std::uint64_t span_id;      // causal span mirror (0 = untraced); see
+                                // set_span() — diagnostic only, never read
+                                // by the protocol paths
   };
   static_assert(sizeof(SlotHeader) % 8 == 0, "slot data must stay aligned");
 

@@ -29,13 +29,22 @@ namespace ulipc {
 
 class SpscRing {
  public:
+  /// One ring slot: the wire message plus its causal-trace stamp (see
+  /// SpanStamp in queue/message.hpp). The stamp is written on every
+  /// enqueue — zeroed when untraced — so a lapped slot never replays a
+  /// stale span id.
+  struct Slot {
+    Message msg;
+    SpanStamp span;
+  };
+
   /// Builds a ring with `capacity` slots (rounded up to a power of two) in
   /// `arena`.
   static SpscRing* create(ShmArena& arena, std::uint32_t capacity) {
     std::uint32_t cap = 1;
     while (cap < capacity) cap <<= 1;
     auto* ring = arena.construct<SpscRing>();
-    auto* slots = arena.construct_array<Message>(cap);
+    auto* slots = arena.construct_array<Slot>(cap);
     ring->slots_.set(slots);
     ring->mask_ = cap - 1;
     return ring;
@@ -45,15 +54,16 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer side. Returns false when full.
-  bool enqueue(const Message& msg) noexcept {
+  /// Producer side. Returns false when full. `stamp` is stored next to the
+  /// message (default: untraced).
+  bool enqueue(const Message& msg, SpanStamp stamp = {}) noexcept {
     const std::uint32_t head = head_.load(std::memory_order_relaxed);
     const std::uint32_t tail = tail_cache_;
     if (head - tail > mask_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head - tail_cache_ > mask_) return false;
     }
-    slots_.get()[head & mask_] = msg;
+    slots_.get()[head & mask_] = Slot{msg, stamp};
     explore::point(explore::Point::kRingEnqueueSlot);
     head_.store(head + 1, std::memory_order_release);
     explore::point(explore::Point::kRingEnqueuePublished);
@@ -61,8 +71,12 @@ class SpscRing {
   }
 
   /// Producer side, batched: appends up to `n` messages with ONE index
-  /// publication. Returns how many fit (0 when full).
-  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n) noexcept {
+  /// publication. Returns how many fit (0 when full). A batch carries at
+  /// most one stamp, on its first message — span fidelity degrades to
+  /// one-sample-per-batch on batched paths, which the span assembler
+  /// tolerates as partial spans.
+  std::uint32_t enqueue_batch(const Message* msgs, std::uint32_t n,
+                              SpanStamp stamp = {}) noexcept {
     if (n == 0) return 0;
     const std::uint32_t head = head_.load(std::memory_order_relaxed);
     std::uint32_t free = mask_ + 1 - (head - tail_cache_);
@@ -72,9 +86,9 @@ class SpscRing {
       if (free == 0) return 0;
     }
     const std::uint32_t k = std::min(n, free);
-    Message* slots = slots_.get();
+    Slot* slots = slots_.get();
     for (std::uint32_t i = 0; i < k; ++i) {
-      slots[(head + i) & mask_] = msgs[i];
+      slots[(head + i) & mask_] = Slot{msgs[i], i == 0 ? stamp : SpanStamp{}};
     }
     explore::point(explore::Point::kRingEnqueueSlot);
     head_.store(head + k, std::memory_order_release);
@@ -82,14 +96,17 @@ class SpscRing {
     return k;
   }
 
-  /// Consumer side. Returns false when empty.
-  bool dequeue(Message* out) noexcept {
+  /// Consumer side. Returns false when empty. When `stamp` is non-null it
+  /// receives the slot's span stamp (id 0 = untraced).
+  bool dequeue(Message* out, SpanStamp* stamp = nullptr) noexcept {
     const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_cache_) {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail == head_cache_) return false;
     }
-    *out = slots_.get()[tail & mask_];
+    const Slot& s = slots_.get()[tail & mask_];
+    *out = s.msg;
+    if (stamp != nullptr) *stamp = s.span;
     explore::point(explore::Point::kRingDequeueCopy);
     tail_.store(tail + 1, std::memory_order_release);
     explore::point(explore::Point::kRingDequeuePublished);
@@ -100,8 +117,10 @@ class SpscRing {
   /// publication. Returns how many were taken (0 when empty). May return
   /// fewer than are queued: the producer index is re-read only when the
   /// cached copy says empty, so a stale cache bounds the batch — callers
-  /// wanting more simply call again.
-  std::uint32_t dequeue_batch(Message* out, std::uint32_t max) noexcept {
+  /// wanting more simply call again. When `stamp` is non-null it receives
+  /// the LAST traced stamp in the batch (id 0 if none was traced).
+  std::uint32_t dequeue_batch(Message* out, std::uint32_t max,
+                              SpanStamp* stamp = nullptr) noexcept {
     if (max == 0) return 0;
     const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
     std::uint32_t avail = head_cache_ - tail;
@@ -111,9 +130,12 @@ class SpscRing {
       if (avail == 0) return 0;
     }
     const std::uint32_t k = std::min(max, avail);
-    const Message* slots = slots_.get();
+    const Slot* slots = slots_.get();
+    if (stamp != nullptr) *stamp = SpanStamp{};
     for (std::uint32_t i = 0; i < k; ++i) {
-      out[i] = slots[(tail + i) & mask_];
+      const Slot& s = slots[(tail + i) & mask_];
+      out[i] = s.msg;
+      if (stamp != nullptr && s.span.traced()) *stamp = s.span;
     }
     explore::point(explore::Point::kRingDequeueCopy);
     tail_.store(tail + k, std::memory_order_release);
@@ -167,7 +189,7 @@ class SpscRing {
   std::uint32_t head_cache_ = 0;
 
   alignas(kCacheLineSize) std::uint32_t mask_ = 0;
-  OffsetPtr<Message> slots_;
+  OffsetPtr<Slot> slots_;
 };
 
 }  // namespace ulipc

@@ -15,15 +15,18 @@
 
 #include <sched.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 
 #include "common/clock.hpp"
 #include "common/retry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_ring.hpp"
 #include "protocols/platform.hpp"
 #include "queue/ms_two_lock_queue.hpp"
@@ -67,6 +70,15 @@ struct NativeEndpoint {
   // TSC makes ticks comparable across processes; each reader converts with
   // its own cached calibration). Messages stay 24 bytes.
   std::atomic<std::int64_t> last_wake_tick{0};
+  // Span-plane wake attribution (obs/span.hpp): when the V() below pays a
+  // wake for a freshly enqueued TRACED message, the producer stamps the
+  // span id and issue tick here; the sleeper consumes (and clears) the pair
+  // on sem_p return to emit the wake-delivered edge and the
+  // kWakeInFlightNs sample. Same relaxed, consume-on-every-exit discipline
+  // as last_wake_tick — a stamp that outlives its wake must not be
+  // attributed to a later one.
+  std::atomic<std::uint64_t> last_wake_span{0};
+  std::atomic<std::int64_t> last_wake_span_tick{0};
 };
 
 class NativePlatform {
@@ -99,6 +111,14 @@ class NativePlatform {
       ring_ = nullptr;
       slot_id_ = 0;
       tsc_ns_per_tick_ = o.tsc_ns_per_tick_;
+      // Span state follows the obs binding, not the counter values: a
+      // fresh unbound platform minting under default decimation.
+      span_adopt_ = false;
+      span_shift_ = kSpanSampleShift;
+      span_pid_bits_ = 0;
+      span_last_sent_ = 0;
+      last_span_id_ = 0;
+      span_adopted_ = SpanStamp{};
       counters().restore(o.slot_->counters.snapshot());
     }
     return *this;
@@ -115,16 +135,36 @@ class NativePlatform {
   // been copied out by the consumer, so a fresh ring enqueue cannot
   // overtake anything.
 
+  // Every enqueue peeks a span stamp first (a mint, the adopted inbound
+  // span for a reply, or untraced — see span_next_stamp) and COMMITS it via
+  // span_note_sent only once the message actually landed: a failed enqueue
+  // must neither consume the adopted span nor emit phase records.
+
   bool enqueue(Endpoint& ep, const Message& msg) noexcept {
+    const SpanStamp st = span_next_stamp();
     if (SpscRing* r = ep.ring.get();
-        r && ep.queue->empty() && r->enqueue(msg)) {
+        r && ep.queue->empty() && r->enqueue(msg, st)) {
+      span_note_sent(ep, st);
       return true;
     }
-    return ep.queue->enqueue(msg);
+    if (ep.queue->enqueue(msg, st)) {
+      span_note_sent(ep, st);
+      return true;
+    }
+    return false;
   }
   bool dequeue(Endpoint& ep, Message* out) noexcept {
-    if (SpscRing* r = ep.ring.get(); r && r->dequeue(out)) return true;
-    return ep.queue->dequeue(out);
+    SpanStamp st{};
+    SpanStamp* sp = obs::kTraceCompiledIn ? &st : nullptr;
+    if (SpscRing* r = ep.ring.get(); r && r->dequeue(out, sp)) {
+      span_note_received(ep, st);
+      return true;
+    }
+    if (ep.queue->dequeue(out, sp)) {
+      span_note_received(ep, st);
+      return true;
+    }
+    return false;
   }
   bool queue_empty(Endpoint& ep) noexcept {
     SpscRing* r = ep.ring.get();
@@ -133,21 +173,41 @@ class NativePlatform {
 
   std::uint32_t enqueue_batch(Endpoint& ep, const Message* msgs,
                               std::uint32_t n) noexcept {
+    // One stamp per batch, on the first message that lands (fidelity
+    // degrades to one sampled span per flush on batched paths).
+    const SpanStamp st = span_next_stamp();
     std::uint32_t done = 0;
     if (SpscRing* r = ep.ring.get(); r && ep.queue->empty()) {
-      done = r->enqueue_batch(msgs, n);
-      if (done == n) return done;
+      done = r->enqueue_batch(msgs, n, st);
+      if (done == n) {
+        if (done != 0) span_note_sent(ep, st);
+        return done;
+      }
     }
-    return done + ep.queue->enqueue_batch(msgs + done, n - done);
+    done += ep.queue->enqueue_batch(msgs + done, n - done,
+                                    done == 0 ? st : SpanStamp{});
+    if (done != 0) span_note_sent(ep, st);
+    return done;
   }
   std::uint32_t dequeue_batch(Endpoint& ep, Message* out,
                               std::uint32_t max) noexcept {
+    SpanStamp ring_st{};
+    SpanStamp q_st{};
+    SpanStamp* rsp = obs::kTraceCompiledIn ? &ring_st : nullptr;
     std::uint32_t got = 0;
     if (SpscRing* r = ep.ring.get()) {
-      got = r->dequeue_batch(out, max);
-      if (got == max) return got;
+      got = r->dequeue_batch(out, max, rsp);
+      if (got == max) {
+        span_note_received(ep, ring_st);
+        return got;
+      }
     }
-    return got + ep.queue->dequeue_batch(out + got, max - got);
+    SpanStamp* qsp = obs::kTraceCompiledIn ? &q_st : nullptr;
+    got += ep.queue->dequeue_batch(out + got, max - got, qsp);
+    // Overflow-queue messages are always newer than the ring's (the FIFO
+    // routing rule), so the queue's stamp is the batch's last traced one.
+    span_note_received(ep, q_st.traced() ? q_st : ring_st);
+    return got;
   }
 
   // ---- awake flag ----
@@ -247,14 +307,46 @@ class NativePlatform {
   // slot: the registry cells are single-writer.
 
   void bind_obs(obs::MetricSlot* slot, obs::TraceRing* ring,
-                std::uint16_t slot_id) noexcept {
+                std::uint16_t slot_id,
+                obs::SlotRole role = obs::SlotRole::kUnbound) noexcept {
     slot_ = slot != nullptr ? slot : local_.get();
     ring_ = ring;
     slot_id_ = slot_id;
+    // Span plane: serving roles ADOPT inbound spans (their next send is the
+    // reply closing the request leg); originating roles mint fresh ids and
+    // treat inbound stamps as span terminals. The unbound default keeps a
+    // bare platform minting like a client, which is what the protocol unit
+    // tests exercise.
+    span_adopt_ = role == obs::SlotRole::kServer ||
+                  role == obs::SlotRole::kDuplexThread ||
+                  role == obs::SlotRole::kPoolWorker;
+    span_pid_bits_ = 0;  // re-derive: bind may follow a fork / slot change
+    span_adopted_ = SpanStamp{};
+    span_last_sent_ = 0;
+    if (const char* env = std::getenv("ULIPC_SPAN_SHIFT")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v >= 0) {
+        set_span_sample_shift(static_cast<std::uint32_t>(v));
+      }
+    }
     // Warm the process-wide TSC calibration here, outside any timed loop:
     // obs_rt_end() converts ticks to ns and must never pay the one-shot
     // ~2 ms measurement inside the first round trip it instruments.
     tsc_ns_per_tick_ = TscClock::cached().ns_per_tick;
+  }
+
+  /// Span mint rate = 1 in 2^shift sends (0 traces every send — tests and
+  /// the smoke jobs use that via ULIPC_SPAN_SHIFT=0).
+  void set_span_sample_shift(std::uint32_t shift) noexcept {
+    span_shift_ = std::min(shift, 20u);
+  }
+
+  /// Span id of this platform's most recent traced send (0 when the last
+  /// send was unsampled). The resilience layer mirrors it into the payload
+  /// slot header of loaned requests right after the send.
+  [[nodiscard]] std::uint64_t obs_last_span_id() const noexcept {
+    return last_span_id_;
   }
 
   [[nodiscard]] obs::MetricSlot& metrics() noexcept { return *slot_; }
@@ -295,6 +387,20 @@ class NativePlatform {
       ep.last_wake_tick.store(static_cast<std::int64_t>(TscClock::now()),
                               std::memory_order_relaxed);
     }
+    if constexpr (obs::kTraceCompiledIn) {
+      // Wake-issued edge: attribute this V() to the traced message we JUST
+      // enqueued (span_note_sent armed span_last_sent_; every send rewrites
+      // it, so a wake paid for a later untraced message never lands on a
+      // stale span). Tick stored before id: a consumer that sees the id
+      // sees a tick no older than its wake.
+      if (span_last_sent_ != 0) {
+        ep.last_wake_span_tick.store(static_cast<std::int64_t>(TscClock::now()),
+                                     std::memory_order_relaxed);
+        ep.last_wake_span.store(span_last_sent_, std::memory_order_relaxed);
+        obs_trace(obs::TraceEvent::kSpanWakeIssue, ep.id, span_last_sent_);
+        span_last_sent_ = 0;
+      }
+    }
     obs_trace(obs::TraceEvent::kWakeupSent, ep.id);
   }
   /// Returns the sleep-entry tick, or -1 when this sleep is not sampled.
@@ -310,6 +416,26 @@ class NativePlatform {
     const std::int64_t stamp =
         ep.last_wake_tick.load(std::memory_order_relaxed);
     if (stamp != 0) ep.last_wake_tick.store(0, std::memory_order_relaxed);
+    if constexpr (obs::kTraceCompiledIn) {
+      // Wake-delivered edge: consume the span wake stamp under the same
+      // every-exit discipline. A timed-out exit still clears it (the wake
+      // it names was absorbed or raced away) but emits nothing.
+      const std::uint64_t wspan =
+          ep.last_wake_span.load(std::memory_order_relaxed);
+      if (wspan != 0) {
+        ep.last_wake_span.store(0, std::memory_order_relaxed);
+        if (!timed_out) {
+          const std::int64_t wtick =
+              ep.last_wake_span_tick.load(std::memory_order_relaxed);
+          const auto wnow = static_cast<std::int64_t>(TscClock::now());
+          if (wnow > wtick) {
+            slot_->hist(obs::HistKind::kWakeInFlightNs)
+                .record(obs_ticks_to_ns(wnow - wtick));
+          }
+          obs_trace(obs::TraceEvent::kSpanWakeDeliver, ep.id, wspan);
+        }
+      }
+    }
     if (t0 >= 0) {
       const auto now = static_cast<std::int64_t>(TscClock::now());
       slot_->hist(obs::HistKind::kSleepNs)
@@ -376,7 +502,94 @@ class NativePlatform {
                    count << kRtSampleShift);
   }
 
+  // Decimated span minting: a fresh span is traced for 1 in 2^span_shift_
+  // sends (default 1 in 32; ULIPC_SPAN_SHIFT / set_span_sample_shift
+  // override). Adopting roles never mint — they either carry the adopted
+  // inbound span into their reply or send untraced.
+  static constexpr std::uint32_t kSpanSampleShift = 5;
+
  private:
+  // ---- span plane (obs/span.hpp) ----
+
+  /// Peeks the stamp the NEXT enqueue should carry. Pure peek: the adopted
+  /// span and the decimation counter state are only committed by
+  /// span_note_sent after a successful enqueue (a mint that never lands
+  /// just wastes one 24-bit sequence number).
+  [[nodiscard]] SpanStamp span_next_stamp() noexcept {
+    if constexpr (obs::kTraceCompiledIn) {
+      if (span_adopt_) {
+        if (!span_adopted_.traced()) return SpanStamp{};
+        return SpanStamp{span_adopted_.id,
+                         static_cast<std::int64_t>(TscClock::now())};
+      }
+      if ((span_decim_++ & ((1u << span_shift_) - 1)) != 0) return SpanStamp{};
+      return SpanStamp{span_mint_id(),
+                       static_cast<std::int64_t>(TscClock::now())};
+    } else {
+      return SpanStamp{};
+    }
+  }
+
+  /// Commits a successful send of a message stamped `st`. An adopting role
+  /// sending its adopted span emits the service-done/reply-enqueue edge and
+  /// releases the span; anyone else emits the send-enqueue edge of a fresh
+  /// span. Also arms the wake-issued attribution for obs_wakeup_sent —
+  /// rewritten on EVERY send (0 when untraced) so only the wake paid for
+  /// this exact message can be attributed to the span.
+  void span_note_sent(Endpoint& ep, const SpanStamp& st) noexcept {
+    if constexpr (obs::kTraceCompiledIn) {
+      span_last_sent_ = st.id;
+      last_span_id_ = st.id;  // 0 too: "last send untraced" is meaningful
+      if (!st.traced()) return;
+      if (span_adopt_ && st.id == span_adopted_.id) {
+        slot_->hist(obs::HistKind::kServiceNs)
+            .record(obs_ticks_to_ns(st.tick - span_adopt_tick_));
+        obs_trace(obs::TraceEvent::kSpanReplyEnqueue, ep.id, st.id);
+        span_adopted_ = SpanStamp{};
+      } else {
+        obs_trace(obs::TraceEvent::kSpanSend, ep.id, st.id);
+      }
+    } else {
+      (void)ep;
+      (void)st;
+    }
+  }
+
+  /// Commits a dequeue that surfaced a traced stamp. An adopting role
+  /// records queue residency (sender's enqueue tick -> now, cross-process
+  /// via invariant TSC) and holds the span until its reply send; a
+  /// terminal role records the reply path and closes the span.
+  void span_note_received(Endpoint& ep, const SpanStamp& st) noexcept {
+    if constexpr (obs::kTraceCompiledIn) {
+      if (!st.traced()) return;
+      const auto now = static_cast<std::int64_t>(TscClock::now());
+      if (span_adopt_) {
+        slot_->hist(obs::HistKind::kQueueResidencyNs)
+            .record(obs_ticks_to_ns(now - st.tick));
+        obs_trace(obs::TraceEvent::kSpanDequeue, ep.id, st.id);
+        span_adopted_ = st;
+        span_adopt_tick_ = now;
+      } else {
+        slot_->hist(obs::HistKind::kReplyPathNs)
+            .record(obs_ticks_to_ns(now - st.tick));
+        obs_trace(obs::TraceEvent::kSpanReplyRecv, ep.id, st.id);
+      }
+    } else {
+      (void)ep;
+      (void)st;
+    }
+  }
+
+  /// Mints the next span id: | pid | slot | seq | (see obs::make_span_id).
+  /// The pid half is derived lazily so forked children stamp their own.
+  [[nodiscard]] std::uint64_t span_mint_id() noexcept {
+    if (span_pid_bits_ == 0) {
+      span_pid_bits_ = obs::make_span_id(
+          static_cast<std::uint32_t>(::getpid()), slot_id_, 0);
+    }
+    return span_pid_bits_ | (++span_seq_ & 0xffffffu);
+  }
+
   /// Tick delta -> ns via the process calibration (fetched lazily so
   /// never-bound platforms only pay the one-shot measurement if they
   /// actually record; bind_obs() pre-warms it). Negative deltas clamp to 0.
@@ -401,6 +614,18 @@ class NativePlatform {
   std::uint32_t batch_decim_ = 0;
   std::uint32_t spin_decim_ = 0;
   std::uint32_t loan_decim_ = 0;
+
+  // Span-plane state (single-writer, like the decimation counters above:
+  // one platform instance per thread).
+  bool span_adopt_ = false;  // role adopts inbound spans (serving side)
+  std::uint32_t span_shift_ = kSpanSampleShift;
+  std::uint32_t span_decim_ = 0;
+  std::uint32_t span_seq_ = 0;        // 24-bit mint sequence
+  std::uint64_t span_pid_bits_ = 0;   // cached pid|slot id half (0 = unset)
+  std::uint64_t span_last_sent_ = 0;  // arms wake-issued attribution
+  std::uint64_t last_span_id_ = 0;    // payload-mirror accessor backing
+  SpanStamp span_adopted_{};          // inbound span being serviced
+  std::int64_t span_adopt_tick_ = 0;  // local dequeue tick of the adoption
 };
 
 static_assert(Platform<NativePlatform>);

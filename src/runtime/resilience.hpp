@@ -164,6 +164,16 @@ class ResilientPoolClient {
         plane->release(token);
         obs::loan_released(p, loan_t0);
       }
+    } else if constexpr (requires { p.obs_last_span_id(); }) {
+      // Span mirror: tie the loan to the request's causal span (the span
+      // id of this platform's last send — the request we just completed;
+      // 0 when that send was unsampled). Written only on kOk, while the
+      // loan is unambiguously the caller's again, so a re-loaned slot can
+      // never be scribbled on.
+      PayloadPool* plane = channel_.payload_plane();
+      if (plane != nullptr && plane->owns_token(token)) {
+        plane->set_span(token, p.obs_last_span_id());
+      }
     }
     return o;
   }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -246,8 +247,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   cfg.queue_capacity = spec.queue_capacity;
   cfg.shards = spec.workers;
   if (spec.payloads()) cfg.payload_max_bytes = spec.payload_max;
+  // ULIPC_SCENARIO_SHM names the channel's region so external tools
+  // (ulipc-stat --watch/--spans) can attach to the live run; default stays
+  // anonymous. With --quick each scenario reuses the name serially (the
+  // region is unlinked between runs).
+  const char* shm_name = std::getenv("ULIPC_SCENARIO_SHM");
   ShmRegion region =
-      ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+      shm_name != nullptr
+          ? ShmRegion::create_named(shm_name, ShmChannel::required_bytes(cfg))
+          : ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
   ShmChannel channel = ShmChannel::create(region, cfg);
 
   ShmRegion shared_region =
@@ -425,6 +433,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       !channel.has_payload_plane() ||
       channel.payload_plane()->free_count() == pfree0;
   res.completed = completed;
+  // ULIPC_SCENARIO_LINGER_MS holds the (named) region mapped after the run
+  // so a post-hoc `ulipc-stat --spans` can still assemble the rings.
+  if (const char* linger = std::getenv("ULIPC_SCENARIO_LINGER_MS")) {
+    char* end = nullptr;
+    const long ms = std::strtol(linger, &end, 10);
+    if (end != linger && ms > 0) {
+      std::printf("[scenario] lingering %ld ms — inspect with: ulipc-stat %s\n",
+                  ms, shm_name != nullptr ? shm_name : "<anonymous>");
+      std::fflush(stdout);
+      sleep_ns_eintr(ms * 1'000'000);
+    }
+  }
   return res;
 }
 

@@ -61,7 +61,8 @@ std::size_t ShmChannel::required_bytes(const Config& cfg) {
   // queue capacity rounded up to a power of two).
   std::size_t ring_slots = 1;
   while (ring_slots < cfg.queue_capacity) ring_slots <<= 1;
-  bytes += (queues - 1) * (sizeof(SpscRing) + ring_slots * sizeof(Message));
+  bytes +=
+      (queues - 1) * (sizeof(SpscRing) + ring_slots * sizeof(SpscRing::Slot));
   bytes += (2 * queues + 8) * 2 * kCacheLineSize;  // alignment slack
   bytes += obs_block_bytes(cfg);                   // metrics + trace rings
   if (cfg.payload_max_bytes > 0) {

@@ -381,7 +381,7 @@ class ShmChannel {
     oh.slot(slot_index).bind(role, robust_self_pid());
     p.bind_obs(&oh.slot(slot_index),
                static_cast<obs::TraceRing*>(oh.ring_blob(slot_index)),
-               static_cast<std::uint16_t>(slot_index));
+               static_cast<std::uint16_t>(slot_index), role);
   }
 
   static void seat(PeerSlot& slot, std::uint32_t pid) noexcept {

@@ -1,0 +1,171 @@
+// Span stamps under a pinned Figure-4 schedule: replay the paper's
+// Interleaving 1 (producer slips its whole enqueue+wake between the
+// consumer's C.3 recheck and its C.4 sleep) with tracing at shift 0 and
+// assert the emitted phase records reconstruct that exact interleaving —
+// send-enqueue < wake-issued < wake-delivered < dequeue in stamp order,
+// with a non-zero wake-in-flight phase because the consumer genuinely
+// slept. This ties the observability plane to ground truth: the schedule
+// is known, so the stamps must tell that story and no other.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/controller.hpp"
+#include "explore/hooks.hpp"
+#include "obs/span.hpp"
+#include "protocols/detail.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc {
+namespace {
+
+using explore::Controller;
+using explore::Options;
+using explore::Point;
+using explore::Policy;
+using explore::TraceEntry;
+
+constexpr std::uint32_t kConsumer = 0;  // spawn order fixes the tids
+constexpr std::uint32_t kProducer = 1;
+
+std::ptrdiff_t find_entry(const std::vector<TraceEntry>& trace,
+                          std::uint32_t tid, Point p) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].tid == tid && trace[i].point == p) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<std::uint32_t> switch_schedule(std::size_t zeros) {
+  std::vector<std::uint32_t> s(zeros, 0);
+  s.insert(s.end(), 24, 1);
+  return s;
+}
+
+Options replay_options(std::vector<std::uint32_t> schedule) {
+  Options o;
+  o.policy = Policy::kReplay;
+  o.replay = std::move(schedule);
+  o.step_timeout = std::chrono::milliseconds(2000);
+  return o;
+}
+
+struct SpanReplayRun {
+  bool ran_ok = false;
+  bool matched = false;  // schedule landed in the C.3->C.4 window
+  std::string schedule;
+  std::string trace;
+  double value = 0.0;
+  std::vector<obs::Span> spans;
+};
+
+SpanReplayRun run_traced_interleaving1(
+    const std::vector<std::uint32_t>& sched) {
+  ShmChannel::Config cfg;
+  cfg.max_clients = 4;
+  cfg.queue_capacity = 16;
+  ShmRegion region =
+      ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+  ShmChannel channel = ShmChannel::create(region, cfg);
+  NativeEndpoint& ep = channel.server_endpoint();
+
+  NativePlatform cons_plat, prod_plat;
+  channel.bind_server_obs(cons_plat);    // adopting role: stamps dequeue
+  channel.bind_client_obs(prod_plat, 0); // minting role: stamps the send
+  prod_plat.set_span_sample_shift(0);    // trace the one send deterministically
+
+  Message m{};
+  SpanReplayRun r;
+  {
+    Controller c(replay_options(sched));
+    c.spawn("consumer", [&] {
+      detail::dequeue_or_sleep(cons_plat, ep, &m, /*pre_busy_wait=*/false);
+    });
+    c.spawn("producer", [&] {
+      detail::enqueue_and_wake(prod_plat, ep, Message(Op::kEcho, 0, 42.0));
+    });
+    r.ran_ok = c.run();
+    r.trace = c.trace_string();
+    r.schedule = c.schedule_string();
+
+    const auto& t = c.trace();
+    const std::ptrdiff_t recheck =
+        find_entry(t, kConsumer, Point::kProtRecheckEmpty);
+    const std::ptrdiff_t wake = find_entry(t, kProducer, Point::kProtPreWake);
+    const std::ptrdiff_t sleep = find_entry(t, kConsumer, Point::kProtSleep);
+    r.matched = recheck >= 0 && wake >= 0 && sleep >= 0 && recheck < wake &&
+                wake < sleep;
+  }
+  r.value = m.value;
+
+  const obs::ObsHeader& oh = channel.obs();
+  std::vector<obs::TraceRecordView> records =
+      static_cast<const obs::TraceRing*>(oh.ring_blob(0))->read_all();
+  const auto client_recs =
+      static_cast<const obs::TraceRing*>(oh.ring_blob(1))->read_all();
+  records.insert(records.end(), client_recs.begin(), client_recs.end());
+  r.spans = obs::assemble_spans(std::move(records));
+  return r;
+}
+
+TEST(SpanPhaseReplay, PinnedInterleaving1StampsReconstructTheSchedule) {
+  std::optional<SpanReplayRun> found;
+  for (std::size_t zeros = 1; zeros <= 20 && !found; ++zeros) {
+    SpanReplayRun r = run_traced_interleaving1(switch_schedule(zeros));
+    if (r.ran_ok && r.matched) found = std::move(r);
+  }
+  ASSERT_TRUE(found.has_value())
+      << "switch-point scan never produced Interleaving 1";
+
+  // Replay the pinned schedule so the asserted run is deterministic.
+  const std::vector<std::uint32_t> pinned =
+      explore::parse_schedule(found->schedule);
+  const SpanReplayRun r = run_traced_interleaving1(pinned);
+  ASSERT_TRUE(r.ran_ok);
+  ASSERT_TRUE(r.matched) << "pinned schedule lost the interleaving\n"
+                         << r.trace;
+  EXPECT_DOUBLE_EQ(r.value, 42.0);
+
+  if (!obs::kTraceCompiledIn) {
+    EXPECT_TRUE(r.spans.empty()) << "no span records when ULIPC_TRACE=OFF";
+    return;
+  }
+
+  // Exactly one span: the producer's single shift-0 send. The consumer
+  // never replies in this scenario, so the span is request-leg only.
+  ASSERT_EQ(r.spans.size(), 1u);
+  const obs::Span& s = r.spans[0];
+  ASSERT_NE(s.send, 0u) << "producer must stamp send-enqueue";
+  ASSERT_NE(s.wake_issue_req, 0u)
+      << "Interleaving 1 pays exactly one V: wake-issued must be stamped";
+  ASSERT_NE(s.wake_deliver_req, 0u)
+      << "the consumer slept on the banked token: wake-delivered must be "
+         "stamped";
+  ASSERT_NE(s.dequeue, 0u) << "consumer must stamp the dequeue";
+  EXPECT_EQ(s.reply_enqueue, 0u) << "no reply leg in this scenario";
+  EXPECT_EQ(s.reply_recv, 0u);
+  EXPECT_FALSE(s.complete()) << "request-leg-only spans stay partial";
+
+  // The reconstructed order IS the pinned schedule: enqueue, then the V,
+  // then the consumer's sem P return, then the dequeue.
+  EXPECT_LT(s.send, s.wake_issue_req);
+  EXPECT_LT(s.wake_issue_req, s.wake_deliver_req);
+  EXPECT_LT(s.wake_deliver_req, s.dequeue);
+  EXPECT_GT(s.wake_in_flight_req(), 0u)
+      << "a consumer that really slept has a non-zero wake-in-flight phase";
+  EXPECT_EQ(s.queue_residency(), s.dequeue - s.send);
+
+  // Provenance: minted on the client slot, adopted on the server slot.
+  EXPECT_EQ(s.client_slot, 1u);
+  EXPECT_EQ(s.server_slot, 0u);
+}
+
+}  // namespace
+}  // namespace ulipc

@@ -1,0 +1,223 @@
+// Span-plane assembly suite. The fork-based half runs one traced echo
+// round trip across a real process boundary (server child, client parent)
+// and asserts the assembler stitches the two rings' records into exactly
+// one complete span with monotonic phase stamps. The synthetic half feeds
+// the assembler hand-built and ring-wrapped record sets to prove the
+// documented tolerance: torn tails and wrapped-away edges degrade a span
+// to partial (complete() == false) without corrupting its neighbours.
+#include "obs/span.hpp"
+
+#include <unistd.h>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "protocols/bsls.hpp"
+#include "runtime/shm_channel.hpp"
+#include "shm/process.hpp"
+#include "shm/shm_region.hpp"
+
+namespace ulipc::obs {
+namespace {
+
+std::vector<TraceRecordView> ring_records(const ObsHeader& oh,
+                                          std::uint32_t slot) {
+  const auto* ring = static_cast<const TraceRing*>(oh.ring_blob(slot));
+  return ring->read_all();
+}
+
+// One traced echo exchange between a forked server and the client in the
+// parent. Shift 0 traces the echo send; the shift is raised before the
+// disconnect so exactly one span is minted — the assembler must stitch it
+// complete from the two processes' rings.
+TEST(SpanAssembly, ForkedEchoStitchesExactlyOneCompleteSpan) {
+  ShmChannel::Config cfg;
+  cfg.max_clients = 1;
+  cfg.queue_capacity = 16;
+  ShmRegion region =
+      ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
+  ShmChannel channel = ShmChannel::create(region, cfg);
+  ASSERT_TRUE(channel.has_obs());
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    NativePlatform plat;
+    channel.bind_server_obs(plat);
+    Bsls<NativePlatform> proto(20);
+    auto reply_ep = [&](std::uint32_t id) -> NativeEndpoint& {
+      return channel.client_endpoint(id);
+    };
+    const ServerResult r =
+        run_echo_server(plat, proto, channel.server_endpoint(), reply_ep, 1);
+    return r.echo_messages == 1 ? 0 : 1;
+  });
+
+  NativePlatform plat;
+  channel.bind_client_obs(plat, 0);
+  plat.set_span_sample_shift(0);  // trace the echo send unconditionally
+  Bsls<NativePlatform> proto(20);
+  NativeEndpoint& srv = channel.server_endpoint();
+  NativeEndpoint& mine = channel.client_endpoint(0);
+  Message ans;
+  proto.send(plat, srv, mine, Message(Op::kEcho, 0, 42.0), &ans);
+  ASSERT_EQ(ans.opcode, Op::kEcho);
+  ASSERT_EQ(ans.value, 42.0);
+  // Decimation counter is at 1 after the echo: any non-zero shift skips the
+  // disconnect send, so the echo stays the run's only minted span.
+  plat.set_span_sample_shift(20);
+  proto.send(plat, srv, mine, Message(Op::kDisconnect, 0, 0.0), &ans);
+  ASSERT_EQ(ans.opcode, Op::kDisconnect);
+  ASSERT_EQ(server.join(), 0);
+
+  const ObsHeader& oh = channel.obs();
+  std::vector<TraceRecordView> records = ring_records(oh, 0);
+  const std::vector<TraceRecordView> client_recs = ring_records(oh, 1);
+  records.insert(records.end(), client_recs.begin(), client_recs.end());
+
+  const std::vector<Span> spans = assemble_spans(std::move(records));
+  if (!kTraceCompiledIn) {
+    EXPECT_TRUE(spans.empty()) << "no span records when ULIPC_TRACE=OFF";
+    return;
+  }
+
+  ASSERT_EQ(spans.size(), 1u) << "one traced send -> one span";
+  const Span& s = spans[0];
+  EXPECT_TRUE(s.complete());
+  // Backbone edges strictly present and monotonic across both processes
+  // (invariant TSC makes the comparison meaningful).
+  ASSERT_NE(s.send, 0u);
+  ASSERT_NE(s.dequeue, 0u);
+  ASSERT_NE(s.reply_enqueue, 0u);
+  ASSERT_NE(s.reply_recv, 0u);
+  EXPECT_LE(s.send, s.dequeue);
+  EXPECT_LE(s.dequeue, s.reply_enqueue);
+  EXPECT_LE(s.reply_enqueue, s.reply_recv);
+  // Provenance: minted by the client (this process, obs slot 1), adopted by
+  // the server child's ring (slot 0) — i.e. genuinely cross-process.
+  EXPECT_EQ(span_pid(s.id), static_cast<std::uint32_t>(::getpid()));
+  EXPECT_EQ(s.client_slot, 1u);
+  EXPECT_EQ(s.server_slot, 0u);
+  EXPECT_EQ(s.total(), s.reply_recv - s.send);
+}
+
+// ---- synthetic tolerance cases (independent of ULIPC_TRACE: these drive
+// the assembler directly on hand-built records) ----
+
+TraceRecordView rec(TraceEvent e, std::uint64_t tsc, std::uint64_t span,
+                    std::uint16_t slot = 0) {
+  TraceRecordView v;
+  v.event = e;
+  v.tsc = tsc;
+  v.arg_b = span;
+  v.slot = slot;
+  return v;
+}
+
+TEST(SpanAssembly, WrappedAwayEdgeLeavesPartialSpanWithoutPoisoningOthers) {
+  const std::uint64_t torn = make_span_id(100, 1, 1);
+  const std::uint64_t whole = make_span_id(100, 1, 2);
+  std::vector<TraceRecordView> records = {
+      // Span `torn` lost its kSpanSend to a ring wrap: only the server-side
+      // edges and the terminal survive.
+      rec(TraceEvent::kSpanDequeue, 20, torn, /*slot=*/0),
+      rec(TraceEvent::kSpanReplyEnqueue, 30, torn, 0),
+      rec(TraceEvent::kSpanReplyRecv, 40, torn, 1),
+      // Span `whole` has its full backbone.
+      rec(TraceEvent::kSpanSend, 50, whole, 1),
+      rec(TraceEvent::kSpanDequeue, 60, whole, 0),
+      rec(TraceEvent::kSpanReplyEnqueue, 70, whole, 0),
+      rec(TraceEvent::kSpanReplyRecv, 80, whole, 1),
+  };
+  const std::vector<Span> spans = assemble_spans(std::move(records));
+  ASSERT_EQ(spans.size(), 2u);
+  // Output is ordered by send tick; the torn span (send == 0) sorts first.
+  EXPECT_EQ(spans[0].id, torn);
+  EXPECT_FALSE(spans[0].complete());
+  EXPECT_EQ(spans[0].dequeue, 20u) << "surviving edges stay intact";
+  EXPECT_EQ(spans[0].service(), 10u);
+  EXPECT_EQ(spans[1].id, whole);
+  EXPECT_TRUE(spans[1].complete());
+  EXPECT_EQ(spans[1].total(), 30u);
+}
+
+TEST(SpanAssembly, DuplicateAndLateRecordsNeverOverwriteAnEdge) {
+  const std::uint64_t id = make_span_id(7, 2, 9);
+  std::vector<TraceRecordView> records = {
+      rec(TraceEvent::kSpanSend, 10, id, 1),
+      rec(TraceEvent::kSpanDequeue, 20, id, 0),
+      // A replayed tail re-delivers the send with a later tsc: the first
+      // record in tsc order must win.
+      rec(TraceEvent::kSpanSend, 99, id, 3),
+      rec(TraceEvent::kSpanReplyEnqueue, 30, id, 0),
+      rec(TraceEvent::kSpanReplyRecv, 40, id, 1),
+  };
+  const std::vector<Span> spans = assemble_spans(std::move(records));
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].complete());
+  EXPECT_EQ(spans[0].send, 10u);
+  EXPECT_EQ(spans[0].client_slot, 1u) << "slot follows the winning record";
+}
+
+TEST(SpanAssembly, WakeRecordsClassifyByLegAcrossTheDequeueEdge) {
+  const std::uint64_t id = make_span_id(3, 1, 4);
+  std::vector<TraceRecordView> records = {
+      rec(TraceEvent::kSpanSend, 10, id, 1),
+      rec(TraceEvent::kSpanWakeIssue, 12, id, 1),    // request-leg V()
+      rec(TraceEvent::kSpanWakeDeliver, 15, id, 0),  // server sem_p return
+      rec(TraceEvent::kSpanDequeue, 20, id, 0),
+      rec(TraceEvent::kSpanReplyEnqueue, 30, id, 0),
+      rec(TraceEvent::kSpanWakeIssue, 32, id, 0),    // reply-leg V()
+      rec(TraceEvent::kSpanWakeDeliver, 35, id, 1),  // client sem_p return
+      rec(TraceEvent::kSpanReplyRecv, 40, id, 1),
+  };
+  const std::vector<Span> spans = assemble_spans(std::move(records));
+  ASSERT_EQ(spans.size(), 1u);
+  const Span& s = spans[0];
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.wake_issue_req, 12u);
+  EXPECT_EQ(s.wake_deliver_req, 15u);
+  EXPECT_EQ(s.wake_issue_rep, 32u);
+  EXPECT_EQ(s.wake_deliver_rep, 35u);
+  EXPECT_EQ(s.wake_in_flight_req(), 3u);
+  EXPECT_EQ(s.wake_in_flight_rep(), 3u);
+}
+
+// A real TraceRing wrapped past capacity: the assembler over the surviving
+// lap must still produce complete spans for the newest requests and at most
+// partial ones for the wrapped-away oldest — never a mis-stitched span.
+TEST(SpanAssembly, RingWrapDegradesOldestSpansToPartialOnly) {
+  std::vector<char> blob(TraceRing::bytes_for(8));
+  TraceRing* ring = TraceRing::format(blob.data(), 8);
+  // Four spans x four backbone edges = 16 records into an 8-slot ring: the
+  // two oldest spans wrap away entirely, the third may be torn.
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    const std::uint64_t id = make_span_id(50, 0, i);
+    ring->emit(TraceEvent::kSpanSend, 0, 0, id);
+    ring->emit(TraceEvent::kSpanDequeue, 0, 0, id);
+    ring->emit(TraceEvent::kSpanReplyEnqueue, 0, 0, id);
+    ring->emit(TraceEvent::kSpanReplyRecv, 0, 0, id);
+  }
+  EXPECT_EQ(ring->records_dropped(), 8u);
+  const std::vector<Span> spans = assemble_spans(ring->read_all());
+  ASSERT_FALSE(spans.empty());
+  std::uint32_t complete = 0;
+  for (const Span& s : spans) {
+    if (s.complete()) ++complete;
+    // Whatever survived, every present backbone edge must be ordered.
+    if (s.send && s.dequeue) {
+      EXPECT_LE(s.send, s.dequeue);
+    }
+    if (s.dequeue && s.reply_enqueue) {
+      EXPECT_LE(s.dequeue, s.reply_enqueue);
+    }
+    if (s.reply_enqueue && s.reply_recv) {
+      EXPECT_LE(s.reply_enqueue, s.reply_recv);
+    }
+  }
+  // The newest two spans fit entirely in the surviving lap.
+  EXPECT_GE(complete, 2u);
+  EXPECT_LE(spans.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ulipc::obs

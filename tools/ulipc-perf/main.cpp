@@ -40,7 +40,13 @@ void usage(const char* argv0) {
       << "                    attach a pareto(ALPHA)-sized payload of\n"
       << "                    MIN..MAX bytes to every data request (loaned\n"
       << "                    from the channel's zero-copy payload plane);\n"
-      << "                    bytes/s lands in the [scenario] json\n";
+      << "                    bytes/s lands in the [scenario] json\n"
+      << "environment:\n"
+      << "  ULIPC_SCENARIO_SHM=/name    name the channel's shm region so\n"
+      << "                              ulipc-stat can attach to the run\n"
+      << "  ULIPC_SCENARIO_LINGER_MS=N  keep the region mapped N ms after\n"
+      << "                              each scenario (post-hoc --spans)\n"
+      << "  ULIPC_SPAN_SHIFT=N          trace 1 in 2^N sends (default 5)\n";
 }
 
 /// Parses "pareto:alpha,min,max" into the spec's payload fields.

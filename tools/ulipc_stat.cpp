@@ -25,6 +25,7 @@
 #include "common/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rate_tracker.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_ring.hpp"
 #include "queue/payload_pool.hpp"
 #include "runtime/shm_channel.hpp"
@@ -40,6 +41,7 @@ struct Options {
   std::string shm_name;
   bool json = false;
   bool watch = false;
+  bool spans = false;
   int interval_ms = 1000;
   std::string trace_export;  // empty = no export
 };
@@ -52,6 +54,9 @@ int usage(const char* argv0) {
                "metrics registry.\n"
                "\n"
                "  --json               one JSON document instead of the table\n"
+               "  --spans              assemble cross-process spans from the\n"
+               "                       trace rings and print a per-phase\n"
+               "                       critical-path breakdown\n"
                "  --watch              redraw every interval until the server\n"
                "                       exits (or ^C)\n"
                "  --interval-ms=N      watch refresh period (default 1000)\n"
@@ -67,6 +72,8 @@ bool parse_args(int argc, char** argv, Options* out) {
     const std::string a = argv[i];
     if (a == "--json") {
       out->json = true;
+    } else if (a == "--spans") {
+      out->spans = true;
     } else if (a == "--watch") {
       out->watch = true;
     } else if (a.rfind("--interval-ms=", 0) == 0) {
@@ -224,6 +231,17 @@ std::uint64_t slot_messages(const ProtocolCounters& c) {
   return std::max(c.sends, c.receives);
 }
 
+/// Total trace records lost to ring wrap across every ring. First-class
+/// because span assembly silently degrades when records are overwritten —
+/// a nonzero count tells the reader how much to trust the stitching.
+std::uint64_t total_records_dropped(const ChannelView& v) {
+  std::uint64_t dropped = 0;
+  for (std::uint32_t r = 0; r < v.obs->ring_count(); ++r) {
+    dropped += v.ring(r)->records_dropped();
+  }
+  return dropped;
+}
+
 double ratio(std::uint64_t num, std::uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
 }
@@ -329,14 +347,15 @@ void print_table(const ChannelView& v, obs::RateTracker* rates = nullptr,
   }
   std::printf(
       "recovery: sweeps=%llu drained=%llu nodes=%llu payloads=%llu   "
-      "trace=%s (ring %u x %u rec)\n",
+      "trace=%s (ring %u x %u rec, records_dropped=%llu)\n",
       static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
       static_cast<unsigned long long>(v.obs->recovery.drained_messages.load()),
       static_cast<unsigned long long>(v.obs->recovery.nodes_reclaimed.load()),
       static_cast<unsigned long long>(
           v.obs->recovery.payload_slots_reclaimed.load()),
       v.obs->trace_compiled ? "on" : "off", v.obs->ring_count(),
-      v.obs->ring_capacity);
+      v.obs->ring_capacity,
+      static_cast<unsigned long long>(total_records_dropped(v)));
   print_payload(v);
   print_shards(v);
 }
@@ -394,11 +413,13 @@ void json_hist(std::FILE* f, const obs::HistogramSnapshot& h) {
 void print_json(std::FILE* f, const ChannelView& v) {
   std::fprintf(f,
                "{\"slot_count\":%u,\"ring_capacity\":%u,\"trace_compiled\":%s,"
+               "\"records_dropped\":%llu,"
                "\"recovery\":{\"sweeps\":%llu,\"drained_messages\":%llu,"
                "\"nodes_reclaimed\":%llu,\"payload_slots_reclaimed\":%llu},"
                "\"slots\":[",
                v.obs->slot_count, v.obs->ring_capacity,
                v.obs->trace_compiled ? "true" : "false",
+               static_cast<unsigned long long>(total_records_dropped(v)),
                static_cast<unsigned long long>(v.obs->recovery.sweeps.load()),
                static_cast<unsigned long long>(
                    v.obs->recovery.drained_messages.load()),
@@ -474,6 +495,84 @@ void print_json(std::FILE* f, const ChannelView& v) {
   std::fprintf(f, "}\n");
 }
 
+// ---- span assembly (--spans) ----
+
+/// Stitches every ring's span records into cross-process spans and prints
+/// the critical-path phase breakdown. Phase durations come from COMPLETE
+/// spans (all four backbone edges present and monotonic); the wake phases
+/// additionally require both halves of their issue/deliver pair, which are
+/// legitimately absent when the receiver never slept — their lower counts
+/// are signal (that many wakes actually hit a sleeper), not loss.
+int print_spans(const ChannelView& v) {
+  if (!v.obs->trace_compiled) {
+    std::fprintf(stderr,
+                 "ulipc-stat: warning: trace rings compiled out in the "
+                 "channel creator (ULIPC_TRACE=OFF) — no span records to "
+                 "assemble\n");
+  }
+  std::vector<obs::TraceRecordView> records;
+  std::vector<char> ring_has_spans(v.obs->ring_count(), 0);
+  for (std::uint32_t r = 0; r < v.obs->ring_count(); ++r) {
+    for (const obs::TraceRecordView& rec : v.ring(r)->read_all()) {
+      if (!obs::is_span_event(rec.event)) continue;
+      records.push_back(rec);
+      ring_has_spans[r] = 1;
+    }
+  }
+  const std::uint32_t rings_contributing = static_cast<std::uint32_t>(
+      std::count(ring_has_spans.begin(), ring_has_spans.end(), 1));
+  const std::vector<obs::Span> spans = obs::assemble_spans(std::move(records));
+
+  std::uint64_t complete = 0;
+  std::vector<std::uint64_t> queue_res, wake_req, service, wake_rep,
+      reply_path, total;
+  const double ns_per_tick = v.calibration().ns_per_tick;
+  auto ns = [&](std::uint64_t ticks) {
+    return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                      ns_per_tick);
+  };
+  for (const obs::Span& s : spans) {
+    if (!s.complete()) continue;
+    ++complete;
+    queue_res.push_back(ns(s.queue_residency()));
+    service.push_back(ns(s.service()));
+    reply_path.push_back(ns(s.reply_path()));
+    total.push_back(ns(s.total()));
+    if (s.wake_in_flight_req() != 0) wake_req.push_back(ns(s.wake_in_flight_req()));
+    if (s.wake_in_flight_rep() != 0) wake_rep.push_back(ns(s.wake_in_flight_rep()));
+  }
+
+  std::printf(
+      "spans: %zu assembled (%llu complete, %llu partial) from %u ring(s); "
+      "records_dropped=%llu\n",
+      spans.size(), static_cast<unsigned long long>(complete),
+      static_cast<unsigned long long>(spans.size() - complete),
+      rings_contributing,
+      static_cast<unsigned long long>(total_records_dropped(v)));
+  if (complete == 0) {
+    std::printf("(no complete spans — is the channel idle, or spans fully "
+                "decimated? try ULIPC_SPAN_SHIFT=0 on the participants)\n");
+    return v.obs->trace_compiled ? 0 : 1;
+  }
+  std::printf("%-18s %9s %10s %10s %10s\n", "phase", "count", "p50-us",
+              "p95-us", "p99-us");
+  auto row = [](const char* name, std::vector<std::uint64_t>& samples) {
+    const std::size_t n = samples.size();
+    const double p50 = static_cast<double>(obs::percentile_of(samples, 50));
+    const double p95 = static_cast<double>(obs::percentile_of(samples, 95));
+    const double p99 = static_cast<double>(obs::percentile_of(samples, 99));
+    std::printf("%-18s %9zu %10.2f %10.2f %10.2f\n", name, n, p50 / 1e3,
+                p95 / 1e3, p99 / 1e3);
+  };
+  row("queue-residency", queue_res);
+  row("wake-in-flight", wake_req);
+  row("service", service);
+  row("reply-wake", wake_rep);
+  row("reply-path", reply_path);
+  row("total", total);
+  return 0;
+}
+
 // ---- Chrome trace export ----
 
 struct MergedRecord {
@@ -518,7 +617,7 @@ int export_trace(const ChannelView& v, const std::string& path) {
   std::vector<double> sleep_begin_us(v.obs->slot_count + 1, -1.0);
   bool first = true;
   char buf[256];
-  std::uint64_t spans = 0, instants = 0;
+  std::uint64_t spans = 0, instants = 0, flows = 0;
   for (const MergedRecord& m : all) {
     const obs::TraceRecordView& rec = m.rec;
     const std::uint16_t slot = rec.slot;
@@ -552,13 +651,36 @@ int export_trace(const ChannelView& v, const std::string& path) {
     out << buf;
     first = false;
     ++instants;
+    // Span records additionally become Chrome FLOW events keyed by the
+    // span id, so one request draws as a connected arrow across the
+    // participating processes' tracks: "s" opens the flow at send, "t"
+    // steps it through every intermediate phase edge, and "f" (binding to
+    // the enclosing slice) closes it at reply receipt.
+    if (obs::is_span_event(rec.event)) {
+      const char* ph = rec.event == obs::TraceEvent::kSpanSend ? "s"
+                       : rec.event == obs::TraceEvent::kSpanReplyRecv ? "f"
+                                                                      : "t";
+      std::snprintf(buf, sizeof buf,
+                    ",{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"%s\","
+                    "%s\"id\":\"0x%llx\",\"ts\":%.3f,\"pid\":%u,\"tid\":%u}",
+                    ph,
+                    rec.event == obs::TraceEvent::kSpanReplyRecv
+                        ? "\"bp\":\"e\","
+                        : "",
+                    static_cast<unsigned long long>(rec.arg_b), t,
+                    slot_pid(slot), slot);
+      out << buf;
+      ++flows;
+    }
   }
   out << "]}\n";
   out.close();
   std::fprintf(stderr,
-               "ulipc-stat: exported %llu sleep spans + %llu instants -> %s\n",
+               "ulipc-stat: exported %llu sleep spans + %llu instants + "
+               "%llu flow events -> %s\n",
                static_cast<unsigned long long>(spans),
-               static_cast<unsigned long long>(instants), path.c_str());
+               static_cast<unsigned long long>(instants),
+               static_cast<unsigned long long>(flows), path.c_str());
   return 0;
 }
 
@@ -580,6 +702,9 @@ int main(int argc, char** argv) {
     if (!opt.trace_export.empty()) {
       return export_trace(view, opt.trace_export);
     }
+    if (opt.spans) {
+      return print_spans(view);
+    }
     if (opt.watch) {
       obs::RateTracker rates;
       for (;;) {
@@ -596,6 +721,11 @@ int main(int argc, char** argv) {
         std::printf("\033[H\033[2J");  // clear + home
         std::printf("ulipc-stat %s  (refresh %d ms; ^C to quit)\n\n",
                     opt.shm_name.c_str(), opt.interval_ms);
+        if (!view.obs->trace_compiled) {
+          std::printf("warning: trace rings compiled out in the channel "
+                      "creator (ULIPC_TRACE=OFF) — trace-derived data stays "
+                      "empty\n\n");
+        }
         const std::int64_t now_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now().time_since_epoch())
