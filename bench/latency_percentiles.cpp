@@ -21,6 +21,7 @@
 // perf trajectory tracks WHERE round-trip time goes, not just how much.
 // --phases additionally prints those phases as a human-readable table.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -38,6 +39,7 @@
 #include "queue/payload_pool.hpp"
 #include "runtime/shm_channel.hpp"
 #include "runtime/sysv_transport.hpp"
+#include "runtime/waitset.hpp"
 #include "shm/process.hpp"
 #include "shm/shm_region.hpp"
 
@@ -438,6 +440,171 @@ int run_payload_bench(const std::string& payload_arg, std::uint64_t messages,
   return failed;
 }
 
+// ---- --fanin: one waitset worker serving N single-client channels ----
+//
+// The readiness-plane axis: 1 worker process parks one WaitSet
+// (runtime/waitset.hpp) across N channels; N client processes each drive a
+// synchronous echo loop on their own channel. Client 0 is the latency
+// probe (per-round-trip samples); the rest are pure load. The [fanin] JSON
+// line carries aggregate throughput (msgs/ms and message-header bytes/s),
+// the wake-syscall rate, and the waitset's own counters (doorbell arms,
+// spurious ungates) read from the shared metrics registry.
+
+int run_fanin_bench(std::uint32_t channels, std::uint64_t messages,
+                    bool pin) {
+  if (channels == 0) {
+    std::cerr << "--fanin needs at least one channel\n";
+    return 1;
+  }
+  ShmChannel::Config cc;
+  cc.max_clients = 1;
+  cc.queue_capacity = 256;
+  cc.payload_max_bytes = 0;
+  std::vector<ShmRegion> regions;
+  std::vector<ShmChannel> chans;
+  regions.reserve(channels);
+  chans.reserve(channels);
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    regions.push_back(
+        ShmRegion::create_anonymous(ShmChannel::required_bytes(cc)));
+    chans.push_back(ShmChannel::create(regions.back(), cc));
+  }
+
+  struct SharedOut {
+    double p50 = 0;
+    double p99 = 0;
+    double max = 0;
+    double elapsed_ms = 0;
+    std::atomic<std::uint64_t> verified{0};
+    bool probe_ok = false;
+  };
+  static_assert(sizeof(SharedOut) <= 4096);
+  ShmRegion out_region = ShmRegion::create_anonymous(4096);
+  auto* out = new (out_region.base()) SharedOut{};
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    if (pin) pin_to_cpu(0);
+    NativePlatform plat;
+    chans[0].bind_server_obs(plat);  // waitset counters -> channel 0's slot
+    std::vector<ShmChannel*> ptrs;
+    ptrs.reserve(channels);
+    for (ShmChannel& ch : chans) ptrs.push_back(&ch);
+    FaninOptions fo;
+    fo.liveness_timeout_ns = 20'000'000'000;
+    const FaninResult fr = run_waitset_fanin_server(plat, ptrs, channels, fo);
+    return fr.gave_up || fr.disconnected != channels ? 1 : 0;
+  });
+
+  std::vector<ChildProcess> clients;
+  clients.reserve(channels);
+  Stopwatch total;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    clients.push_back(ChildProcess::spawn([&, c] {
+      if (pin) pin_to_cpu(0);
+      NativePlatform plat;
+      chans[c].bind_client_obs(plat, 0);
+      Bsw<NativePlatform> proto;
+      NativeEndpoint& srv = chans[c].server_endpoint();
+      NativeEndpoint& mine = chans[c].client_endpoint(0);
+      client_connect(plat, proto, srv, mine, 0);
+      std::uint64_t v = 0;
+      if (c == 0) {
+        // The probe client: per-round-trip latency samples.
+        SampleSet samples(messages);
+        Stopwatch run;
+        for (std::uint64_t i = 0; i < messages; ++i) {
+          Message ans;
+          Stopwatch sw;
+          proto.send(plat, srv, mine,
+                     Message(Op::kEcho, 0, static_cast<double>(i)), &ans);
+          const std::int64_t ns = sw.elapsed_ns();
+          samples.add(static_cast<double>(ns) / 1e3);
+          plat.obs_round_trip(ns, 1);
+          if (ans.value == static_cast<double>(i)) ++v;
+        }
+        out->elapsed_ms = static_cast<double>(run.elapsed_ns()) / 1e6;
+        out->p50 = samples.percentile(50);
+        out->p99 = samples.percentile(99);
+        out->max = samples.stats().max();
+        out->probe_ok = samples.size() == messages;
+      } else {
+        v = client_echo_loop(plat, proto, srv, mine, 0, messages);
+      }
+      out->verified.fetch_add(v, std::memory_order_relaxed);
+      client_disconnect(plat, proto, srv, mine, 0);
+      return v == messages ? 0 : 1;
+    }));
+  }
+
+  bool children_ok = true;
+  for (ChildProcess& c : clients) children_ok &= c.join() == 0;
+  const double elapsed_ms = static_cast<double>(total.elapsed_ns()) / 1e6;
+  children_ok &= server.join() == 0;
+
+  // Aggregate wake accounting across every channel's registry, plus the
+  // waitset's own counters from channel 0's server slot.
+  std::uint64_t wakeups = 0;
+  obs::SlotSnapshot snap;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    for (const std::uint32_t slot : {0u, 1u}) {
+      if (chans[c].obs().slot(slot).read_snapshot(&snap)) {
+        wakeups += snap.counters.wakeups;
+      }
+    }
+  }
+  obs::SlotSnapshot server_slot;
+  const bool have_server_slot =
+      chans[0].obs().slot(0).read_snapshot(&server_slot);
+  const std::uint64_t arms =
+      have_server_slot ? server_slot.counters.doorbell_arms : 0;
+  const std::uint64_t spurious =
+      have_server_slot ? server_slot.counters.spurious_ungates : 0;
+
+  const std::uint64_t verified =
+      out->verified.load(std::memory_order_acquire);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(channels) * messages;
+  const double m = static_cast<double>(expected);
+  const double wk_per_msg = static_cast<double>(wakeups) / m;
+  // Header bytes only (no payload plane): request + reply per round trip.
+  const double bytes =
+      static_cast<double>(verified) * 2.0 * sizeof(Message);
+  const double msgs_per_ms =
+      elapsed_ms > 0 ? static_cast<double>(verified) / elapsed_ms : 0.0;
+  const double bytes_per_s =
+      elapsed_ms > 0 ? bytes / (elapsed_ms / 1e3) : 0.0;
+
+  const WaitSetBackend backend =
+      WaitSet::resolve_backend(WaitSetBackend::kAuto);
+  std::cout << "Fan-in over the readiness plane: 1 waitset worker ("
+            << waitset_backend_name(backend) << "), " << channels
+            << " channels x " << messages << " msgs"
+            << (pin ? ", pinned" : "") << "\n\n";
+  TextTable table({"channels", "msgs", "p50 us", "p99 us", "wk/msg",
+                   "msgs/ms", "MB/s"});
+  table.add_row({std::to_string(channels), std::to_string(expected),
+                 TextTable::num(out->p50, 2), TextTable::num(out->p99, 2),
+                 TextTable::num(wk_per_msg, 3),
+                 TextTable::num(msgs_per_ms, 1),
+                 TextTable::num(bytes_per_s / 1e6, 2)});
+  table.render(std::cout);
+  std::printf(
+      "[fanin] {\"channels\":%u,\"messages\":%llu,\"verified\":%llu,"
+      "\"backend\":\"%s\",\"elapsed_ms\":%.3f,\"msgs_per_ms\":%.2f,"
+      "\"bytes_per_s\":%.0f,\"wk_per_msg\":%.3f,\"doorbell_arms\":%llu,"
+      "\"spurious_ungates\":%llu,\"p50_us\":%.3f,\"p99_us\":%.3f}\n",
+      channels, static_cast<unsigned long long>(expected),
+      static_cast<unsigned long long>(verified),
+      waitset_backend_name(backend), elapsed_ms, msgs_per_ms, bytes_per_s,
+      wk_per_msg, static_cast<unsigned long long>(arms),
+      static_cast<unsigned long long>(spurious), out->p50, out->p99);
+
+  const bool ok = children_ok && out->probe_ok && verified == expected;
+  std::cout << (ok ? "[shape OK]       " : "[shape MISMATCH] ")
+            << "all " << expected << " fan-in round trips verified\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -451,6 +618,16 @@ int main(int argc, char** argv) {
   // the per-protocol latency table.
   if (const auto payload = args.value("payload"); payload.has_value()) {
     return run_payload_bench(*payload, messages, pin);
+  }
+  // --fanin=N selects the readiness-plane axis: one waitset worker, N
+  // channels. Messages default lower than the scalar mode — the volume is
+  // per client and N clients multiply it.
+  if (const auto fanin = args.value("fanin"); fanin.has_value()) {
+    return run_fanin_bench(
+        static_cast<std::uint32_t>(std::stoul(*fanin)),
+        static_cast<std::uint64_t>(args.value_or("messages",
+                                                 std::int64_t{200})),
+        pin);
   }
   const std::uint32_t window =
       batched

@@ -53,6 +53,13 @@ trap 'rm -rf "$TMP"' EXIT
 # --payload exit with "unknown"-free output containing no "[payload]" lines.
 "$BENCH_DIR/latency_percentiles" "--messages=$MESSAGES" --payload=sweep \
   > "$TMP/payload.txt" 2>&1 || true
+# Fan-in over the readiness plane ("[fanin]" JSON line): one waitset
+# worker serving 64 channels. Messages are per client (64x multiplier), so
+# the count is bounded separately from MESSAGES. Binaries from before
+# --fanin contribute no "[fanin]" line.
+FANIN_MESSAGES="${ULIPC_BENCH_FANIN_MESSAGES:-200}"
+"$BENCH_DIR/latency_percentiles" --fanin=64 "--messages=$FANIN_MESSAGES" \
+  > "$TMP/fanin.txt" 2>&1 || true
 # Pool scale-out points ("[pool]" JSON lines), if the binary exists (trees
 # built before fig11b simply contribute no pool section).
 if [ -x "$BENCH_DIR/fig11b_server_pool" ]; then
@@ -152,6 +159,34 @@ def pool_lines(path):
                 continue
     return rows
 
+def fanin_lines(path):
+    # "[fanin] {...}" JSON lines from latency_percentiles --fanin=N: the
+    # readiness-plane point (1 waitset worker, N channels). The run may
+    # have crashed mid-bench, so each line is validated (parses AND has the
+    # keys the trajectory folds) before it contributes; malformed lines are
+    # counted and dropped.
+    rows, dropped = [], 0
+    if not os.path.exists(path):
+        return rows, dropped
+    with open(path, errors="replace") as f:
+        for line in f:
+            if not line.startswith("[fanin] "):
+                continue
+            try:
+                rec = json.loads(line[len("[fanin] "):])
+                if not isinstance(rec["channels"], int):
+                    raise KeyError("channels")
+                for key in ("bytes_per_s", "wk_per_msg", "msgs_per_ms"):
+                    if not isinstance(rec[key], (int, float)):
+                        raise KeyError(key)
+                rows.append(rec)
+            except (ValueError, KeyError, TypeError):
+                dropped += 1
+    if dropped:
+        print(f"warning: dropped {dropped} malformed [fanin] line(s)",
+              file=sys.stderr)
+    return rows, dropped
+
 def scenario_lines(path):
     # "[scenario] {...}" JSON lines from ulipc-perf: one per scenario run,
     # with nested SLO verdicts. The run may have crashed mid-scenario, so
@@ -215,6 +250,9 @@ if payload:
 pool = pool_lines(os.path.join(tmp, "pool.txt"))
 if pool:
     doc["server_pool"] = pool
+fanin, _ = fanin_lines(os.path.join(tmp, "fanin.txt"))
+if fanin:
+    doc["fanin"] = fanin
 scenarios, _ = scenario_lines(os.path.join(tmp, "scenarios.txt"))
 if scenarios:
     doc["scenarios"] = scenarios
@@ -250,6 +288,13 @@ if pool:
     point["pool_msgs_per_ms"] = {
         str(p["workers"]): p["msgs_per_ms"] for p in pool
         if "workers" in p and "msgs_per_ms" in p}
+if fanin:
+    point["fanin_bytes_per_s"] = {
+        str(p["channels"]): p["bytes_per_s"] for p in fanin}
+    point["fanin_wk_per_msg"] = {
+        str(p["channels"]): p["wk_per_msg"] for p in fanin}
+    point["fanin_msgs_per_ms"] = {
+        str(p["channels"]): p["msgs_per_ms"] for p in fanin}
 if scenarios:
     point["scenario_slo"] = {
         name: bool(rec["slo"]["pass"]) for name, rec in scenarios.items()}

@@ -80,6 +80,19 @@ enum class Point : std::int32_t {
   kPayloadReleasing,      // class lock held, slot not yet on free list
   kPayloadReleaseLinked,  // free_head committed, owner stamp not yet cleared
   kPayloadReleased,       // class lock released
+  // Readiness plane (runtime/doorbell.hpp ring + runtime/waitset.cpp
+  // aggregate C.1-C.5). The ring markers fire only when the doorbell is
+  // armed, so suites that never build a WaitSet see unchanged traces.
+  kWsRung,          // doorbell generation bumped, armed waiter not yet woken
+  kWsRingWakeDone,  // futex wake on the doorbell delivered
+  kWsArm,           // member doorbell armed + awake cleared (aggregate C.2)
+  kWsRecheckEmpty,  // post-arm recheck found no ready member (aggregate C.3)
+  kWsRecheckHit,    // post-arm recheck surfaced a ready member
+  kWsAbsorb,        // claiming a ready member: absorbing the banked token
+  kWsBlock,         // about to block in the aggregate wait (C.4 analog)
+  kWsUngate,        // aggregate wait returned via a doorbell
+  kWsTimedOut,      // aggregate wait returned via deadline expiry
+  kWsSpurious,      // ungated but no member ready (stale doorbell)
   kCount,
 };
 
@@ -122,6 +135,16 @@ constexpr const char* point_name(Point p) noexcept {
     case Point::kPayloadReleasing: return "payload_releasing";
     case Point::kPayloadReleaseLinked: return "payload_release_linked";
     case Point::kPayloadReleased: return "payload_released";
+    case Point::kWsRung: return "ws_rung";
+    case Point::kWsRingWakeDone: return "ws_ring_wake_done";
+    case Point::kWsArm: return "ws_arm";
+    case Point::kWsRecheckEmpty: return "ws_recheck_empty";
+    case Point::kWsRecheckHit: return "ws_recheck_hit";
+    case Point::kWsAbsorb: return "ws_absorb";
+    case Point::kWsBlock: return "ws_block";
+    case Point::kWsUngate: return "ws_ungate";
+    case Point::kWsTimedOut: return "ws_timed_out";
+    case Point::kWsSpurious: return "ws_spurious";
     case Point::kCount: return "count";
   }
   return "?";

@@ -78,6 +78,8 @@ struct LiveCounters {
   RelaxedU64 sheds;
   RelaxedU64 loans;
   RelaxedU64 loan_releases;
+  RelaxedU64 doorbell_arms;
+  RelaxedU64 spurious_ungates;
 
   /// Copies the live cells into the plain value type (relaxed reads; pair
   /// with MetricSlot's seqlock for a consistent multi-field view).
@@ -108,6 +110,8 @@ struct LiveCounters {
     c.sheds = sheds.load();
     c.loans = loans.load();
     c.loan_releases = loan_releases.load();
+    c.doorbell_arms = doorbell_arms.load();
+    c.spurious_ungates = spurious_ungates.load();
     return c;
   }
 
@@ -138,12 +142,14 @@ struct LiveCounters {
     sheds = c.sheds;
     loans = c.loans;
     loan_releases = c.loan_releases;
+    doorbell_arms = c.doorbell_arms;
+    spurious_ungates = c.spurious_ungates;
   }
 
   void reset() noexcept { restore(ProtocolCounters{}); }
 };
 
-static_assert(sizeof(LiveCounters) == 25 * sizeof(std::uint64_t),
+static_assert(sizeof(LiveCounters) == 27 * sizeof(std::uint64_t),
               "LiveCounters must stay layout-compatible across binaries");
 
 }  // namespace ulipc::obs

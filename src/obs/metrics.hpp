@@ -41,6 +41,7 @@ enum class HistKind : std::uint32_t {
   kWakeInFlightNs,    // either side: wake issued -> sleeper's return
   kServiceNs,         // server: dequeue -> reply-enqueue
   kReplyPathNs,       // client: reply-enqueue stamp -> reply dequeued
+  kMembersReady,      // waitset: members claimed ready per wait() return
   kHistKinds,
 };
 inline constexpr std::uint32_t kHistKinds =
@@ -58,6 +59,7 @@ constexpr const char* hist_kind_name(HistKind k) noexcept {
     case HistKind::kWakeInFlightNs: return "wake_in_flight_ns";
     case HistKind::kServiceNs: return "service_ns";
     case HistKind::kReplyPathNs: return "reply_path_ns";
+    case HistKind::kMembersReady: return "members_ready";
     case HistKind::kHistKinds: break;
   }
   return "?";
@@ -202,7 +204,9 @@ struct alignas(kCacheLineSize) ObsHeader {
   // pre-payload-plane readers must refuse to attach.
   // v3: histograms grew the four span-plane phase kinds (kQueueResidencyNs,
   // kWakeInFlightNs, kServiceNs, kReplyPathNs) — MetricSlot layout change.
-  static constexpr std::uint32_t kVersion = 3;
+  // v4: LiveCounters grew doorbell_arms/spurious_ungates and histograms
+  // grew kMembersReady (the waitset readiness plane) — layout changes.
+  static constexpr std::uint32_t kVersion = 4;
 
   std::uint64_t magic = 0;
   std::uint32_t version = 0;

@@ -114,11 +114,15 @@ Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
         if (p.dequeue(q, out)) {
           if (p.tas_awake(q)) {
             // Our tas found awake==1: the producer's tas ran first, saw
-            // our cleared flag, and V'd — its token is banked. Absorb it;
-            // the V already happened, so this P can never block.
+            // our cleared flag, and committed to V — its token is banked
+            // or in flight (the producer may sit between its tas and its
+            // V), so this P returns promptly but MAY momentarily block.
+            // The about_to_block bracket keeps the explore controller's
+            // floor free across that window.
             ++p.counters().sem_absorbs;
-            explore::point(explore::Point::kProtAbsorb);
+            explore::about_to_block(explore::Point::kProtAbsorb);
             p.sem_p(q);
+            explore::resumed();
           }
           obs::dequeued(p, q);
           return Status::kOk;
@@ -138,11 +142,14 @@ Status dequeue_or_sleep_until(P& p, typename P::Endpoint& q, Message* out,
     } else {
       explore::point(explore::Point::kProtRecheckHit);
       // Recheck succeeded. If a producer raced us (saw our cleared flag and
-      // V'd), absorb the extra count so it cannot accumulate.
+      // committed to V), absorb the extra count so it cannot accumulate.
+      // The token may still be in flight (producer between tas and V), so
+      // bracket the P for the explore controller exactly as above.
       if (p.tas_awake(q)) {
         ++p.counters().sem_absorbs;
-        explore::point(explore::Point::kProtAbsorb);
+        explore::about_to_block(explore::Point::kProtAbsorb);
         p.sem_p(q);
+        explore::resumed();
       }
       obs::dequeued(p, q);
       return Status::kOk;

@@ -64,6 +64,10 @@ struct ProtocolCounters {
                                     // admission (shard depth over watermark)
   std::uint64_t loans = 0;          // payload plane: buffers loaned
   std::uint64_t loan_releases = 0;  // payload plane: loans returned
+  std::uint64_t doorbell_arms = 0;  // waitset: member doorbells armed
+                                    // (runtime/waitset.hpp aggregate C.2)
+  std::uint64_t spurious_ungates = 0;  // waitset: aggregate wait returned
+                                       // but no member was ready
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) noexcept {
     sends += o.sends;
@@ -91,6 +95,8 @@ struct ProtocolCounters {
     sheds += o.sheds;
     loans += o.loans;
     loan_releases += o.loan_releases;
+    doorbell_arms += o.doorbell_arms;
+    spurious_ungates += o.spurious_ungates;
     return *this;
   }
 };

@@ -1,0 +1,68 @@
+// Per-endpoint doorbell word: the shared-memory half of the readiness
+// plane (runtime/waitset.hpp).
+//
+// Layout of the 32-bit word (lives next to the endpoint's awake flag in
+// the channel arena):
+//
+//   bit 0      armed   — some waiter may be blocked on an aggregate wait
+//                        that includes this endpoint
+//   bits 1..31 ring generation — bumped by 2 on every V(), so a bump can
+//                        never flip the armed bit
+//
+// Producer side: doorbell_ring() rides the existing V() path
+// (NativePlatform::sem_v). The generation bump is one uncontended RMW on a
+// path that already pays a wake syscall, and the futex wake is issued ONLY
+// when the armed bit was set — endpoints never placed in a waitset keep
+// the paper's exact syscall profile.
+//
+// Waiter side: doorbell_arm() is an idempotent fetch_or of the armed bit
+// that returns the post-arm word value. The waiter records that value as
+// its `expected` snapshot and hands it to futex_waitv (or the eventfd
+// bridge scan): any ring between arm and block bumps the generation, the
+// kernel compare fails (EAGAIN == wake), and the arm -> recheck -> block
+// window is closed — the same shape as the C.3 recheck closing the
+// clear-awake -> P() window, one level up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "explore/hooks.hpp"
+#include "shm/futex.hpp"
+
+namespace ulipc {
+
+inline constexpr std::uint32_t kDoorbellArmedBit = 1u;
+inline constexpr std::uint32_t kDoorbellGenStep = 2u;
+
+/// Arms the doorbell (idempotent) and returns the word value the waiter
+/// should expect unchanged while it blocks.
+inline std::uint32_t doorbell_arm(std::atomic<std::uint32_t>& w) noexcept {
+  return w.fetch_or(kDoorbellArmedBit, std::memory_order_seq_cst) |
+         kDoorbellArmedBit;
+}
+
+/// Clears the armed bit (member claimed or detached from the waitset).
+inline void doorbell_disarm(std::atomic<std::uint32_t>& w) noexcept {
+  w.fetch_and(~kDoorbellArmedBit, std::memory_order_seq_cst);
+}
+
+[[nodiscard]] inline bool doorbell_is_armed(
+    const std::atomic<std::uint32_t>& w) noexcept {
+  return (w.load(std::memory_order_seq_cst) & kDoorbellArmedBit) != 0;
+}
+
+/// Producer ring: bump the generation; wake the aggregate waiter iff one
+/// was armed. The explore markers fire only on the armed branch, so suites
+/// that never build a WaitSet see byte-identical marker traces.
+inline void doorbell_ring(std::atomic<std::uint32_t>& w) noexcept {
+  const std::uint32_t old =
+      w.fetch_add(kDoorbellGenStep, std::memory_order_seq_cst);
+  if ((old & kDoorbellArmedBit) != 0) {
+    explore::point(explore::Point::kWsRung);
+    futex_wake_all(&w);
+    explore::point(explore::Point::kWsRingWakeDone);
+  }
+}
+
+}  // namespace ulipc

@@ -31,6 +31,7 @@
 #include "protocols/platform.hpp"
 #include "queue/ms_two_lock_queue.hpp"
 #include "queue/spsc_ring.hpp"
+#include "runtime/doorbell.hpp"
 #include "shm/futex_semaphore.hpp"
 #include "shm/offset_ptr.hpp"
 #include "shm/sysv_semaphore.hpp"
@@ -79,6 +80,11 @@ struct NativeEndpoint {
   // attributed to a later one.
   std::atomic<std::uint64_t> last_wake_span{0};
   std::atomic<std::int64_t> last_wake_span_tick{0};
+  // Readiness-plane doorbell (runtime/doorbell.hpp): armed bit + ring
+  // generation. Rung by every V() below; armed only while a WaitSet holds
+  // this endpoint as a member, so non-multiplexed endpoints pay one
+  // uncontended RMW on an already-syscall-bearing path and nothing else.
+  std::atomic<std::uint32_t> doorbell{0};
 };
 
 class NativePlatform {
@@ -232,6 +238,10 @@ class NativePlatform {
     } else {
       SysvSemaphoreSet::post(ep.vsem);
     }
+    // Ring AFTER the token is banked: an aggregate waiter ungated by this
+    // ring claims the member with tas + sem_p, and the P must find (or be
+    // about to receive) the V just posted.
+    doorbell_ring(ep.doorbell);
   }
 
   /// Timed P against an absolute time_ns() (CLOCK_MONOTONIC) deadline.

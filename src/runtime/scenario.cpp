@@ -18,6 +18,7 @@
 #include "obs/hooks.hpp"
 #include "protocols/bsw.hpp"
 #include "runtime/server_pool.hpp"
+#include "runtime/waitset.hpp"
 #include "shm/process.hpp"
 #include "shm/shm_region.hpp"
 
@@ -445,6 +446,115 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       sleep_ns_eintr(ms * 1'000'000);
     }
   }
+  return res;
+}
+
+ScenarioResult run_fanin_scenario(const FaninScenarioSpec& spec) {
+  ULIPC_INVARIANT(spec.channels >= 1, "fanin scenario needs a channel");
+  ULIPC_INVARIANT(spec.messages >= 1, "fanin scenario needs traffic");
+
+  ScenarioResult res;
+  res.name = spec.name;
+  res.workload = Workload::kFanIn;
+
+  // One single-client channel per client process; the waitset is what lets
+  // one worker serve them all. Regions are anonymous and fork-inherited.
+  ShmChannel::Config cfg;
+  cfg.max_clients = 1;
+  cfg.queue_capacity = spec.queue_capacity;
+  cfg.payload_max_bytes = 0;  // echo-only: no payload plane per channel
+  std::vector<ShmRegion> regions;
+  std::vector<ShmChannel> chans;
+  regions.reserve(spec.channels);
+  chans.reserve(spec.channels);
+  for (std::uint32_t c = 0; c < spec.channels; ++c) {
+    regions.push_back(
+        ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg)));
+    chans.push_back(ShmChannel::create(regions.back(), cfg));
+  }
+  std::vector<std::uint32_t> free0(spec.channels);
+  for (std::uint32_t c = 0; c < spec.channels; ++c) {
+    free0[c] = chans[c].node_pool().free_count();
+  }
+
+  // Per-client progress cells (attempted/verified), SIGKILL-durable like
+  // the pool scenarios' ClientCell.
+  ShmRegion cells_region = ShmRegion::create_anonymous(
+      spec.channels * sizeof(std::atomic<std::uint64_t>) * 2);
+  auto* cells =
+      static_cast<std::atomic<std::uint64_t>*>(cells_region.base());
+  for (std::uint32_t c = 0; c < 2 * spec.channels; ++c) {
+    new (&cells[c]) std::atomic<std::uint64_t>(0);
+  }
+
+  NativePlatform::Config pcfg;
+  pcfg.multiprocessor = cpu_count() > 1;
+  NativePlatform parent_p(pcfg);
+
+  ChildProcess server = ChildProcess::spawn([&] {
+    NativePlatform p(pcfg);
+    chans[0].bind_server_obs(p);  // waitset counters land in channel 0's obs
+    std::vector<ShmChannel*> ptrs;
+    ptrs.reserve(spec.channels);
+    for (ShmChannel& ch : chans) ptrs.push_back(&ch);
+    FaninOptions fo;
+    fo.liveness_timeout_ns = spec.liveness_timeout_ns;
+    const FaninResult fr =
+        run_waitset_fanin_server(p, ptrs, spec.channels, fo);
+    return fr.gave_up || fr.disconnected != spec.channels ? 2 : 0;
+  });
+
+  const std::int64_t t0 = parent_p.time_ns();
+  std::vector<ChildProcess> clients;
+  clients.reserve(spec.channels);
+  for (std::uint32_t c = 0; c < spec.channels; ++c) {
+    clients.push_back(ChildProcess::spawn([&, c] {
+      NativePlatform p(pcfg);
+      chans[c].bind_client_obs(p, 0);
+      Bsw<NativePlatform> proto;
+      NativeEndpoint& srv = chans[c].server_endpoint();
+      NativeEndpoint& mine = chans[c].client_endpoint(0);
+      client_connect(p, proto, srv, mine, 0);
+      cells[2 * c].store(spec.messages, std::memory_order_release);
+      const std::uint64_t v =
+          client_echo_loop(p, proto, srv, mine, 0, spec.messages);
+      cells[2 * c + 1].store(v, std::memory_order_release);
+      client_disconnect(p, proto, srv, mine, 0);
+      chans[c].deregister_client(0);
+      return v == spec.messages ? 0 : 1;
+    }));
+    chans[c].register_client_pid(
+        0, static_cast<std::uint32_t>(clients.back().pid()));
+  }
+
+  bool completed = true;
+  for (ChildProcess& c : clients) completed &= c.join() == 0;
+  const std::int64_t t_end = parent_p.time_ns();
+  completed &= server.join() == 0;
+
+  bool none_lost = true;
+  for (std::uint32_t c = 0; c < spec.channels; ++c) {
+    const std::uint64_t att = cells[2 * c].load(std::memory_order_acquire);
+    const std::uint64_t ver =
+        cells[2 * c + 1].load(std::memory_order_acquire);
+    res.attempted += att;
+    res.verified += ver;
+    none_lost &= att == ver && att > 0;
+  }
+  res.slo_no_lost_replies = none_lost;
+  res.slo_orphan_drain = true;       // trivially: no chaos, nothing orphaned
+  res.slo_payloads_conserved = true; // trivially: no payload plane
+  bool conserved = true;
+  for (std::uint32_t c = 0; c < spec.channels; ++c) {
+    conserved &= chans[c].node_pool().free_count() == free0[c];
+  }
+  res.slo_nodes_conserved = conserved;
+  res.elapsed_ns = t_end - t0;
+  if (res.elapsed_ns > 0) {
+    res.msgs_per_ms = static_cast<double>(res.verified) /
+                      (static_cast<double>(res.elapsed_ns) / 1e6);
+  }
+  res.completed = completed;
   return res;
 }
 

@@ -147,6 +147,25 @@ struct ScenarioResult {
 /// audits the SLOs. Synchronous; bounded by the spec's deadlines.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
+/// Fan-in over the readiness plane (runtime/waitset.hpp): ONE worker
+/// process parks a single WaitSet across `channels` independent
+/// single-client channels — a topology run_scenario cannot express, since
+/// its client count is bounded by kMaxClients on one channel. Each client
+/// process drives a synchronous echo loop on its own channel; the SLOs are
+/// the scenario engine's no-lost-replies and node-conservation checks,
+/// audited per channel. The result's json() line carries the scenario name
+/// "fanin-waitset" and folds into BENCH_trajectory.jsonl like any other.
+struct FaninScenarioSpec {
+  std::string name = "fanin-waitset";
+  std::uint32_t channels = 64;     // one client process per channel
+  std::uint64_t messages = 100;    // echo round trips per client
+  std::uint32_t queue_capacity = 64;
+  std::int64_t liveness_timeout_ns = 20'000'000'000;  // server idle bound
+  std::uint64_t seed = 42;
+};
+
+ScenarioResult run_fanin_scenario(const FaninScenarioSpec& spec);
+
 /// The named scenario set ulipc-perf exposes (ISSUE acceptance: >= 5 named
 /// scenarios plus the churn+chaos one). `quick` shrinks message counts for
 /// smoke runs; `seed` perturbs jitter and pareto draws.

@@ -1,0 +1,196 @@
+// WaitSet: the readiness plane — one worker blocks on MANY endpoints.
+//
+// The paper's protocols block each consumer on exactly one semaphore per
+// queue, so a process serving many channels needs a thread per channel.
+// The WaitSet aggregates per-endpoint doorbell words (runtime/doorbell.hpp,
+// one 32-bit word next to each endpoint's awake flag) into a single wait a
+// lone worker parks on; a V() on ANY member rings that member's doorbell
+// and ungates the set.
+//
+// The aggregate wait extends the C.1–C.5 race discipline one level up:
+//
+//   arm      for every member: arm the doorbell (record the word value as
+//            the blocking snapshot) and — on the unarmed->armed transition
+//            only — clear the member's awake flag (the aggregate C.2).
+//            Re-arming an already-armed member refreshes the snapshot but
+//            MUST NOT re-clear awake: a producer that already set the flag
+//            and banked its V would otherwise let a second producer V
+//            again, accumulating tokens.
+//   fence    order the arms before the recheck (same SB pattern as C.2/C.3).
+//   recheck  every member queue (the aggregate C.3): any non-empty member
+//            is CLAIMED — tas(awake) restores the flag, and tas==1 means a
+//            producer's tas ran after our clear, so exactly one V is banked
+//            or in flight and is absorbed (the aggregate Interleaving-3
+//            fix). At most one token exists per arm cycle because only the
+//            first producer to see awake==0 pays the V.
+//   block    only if no member was ready (the aggregate C.4): hand the
+//            doorbell snapshots to the backend. A ring between arm and
+//            block bumped a generation, the snapshot compare fails, and
+//            the block returns immediately — the lost-wakeup window is
+//            closed by the kernel-side compare, not by timing.
+//
+// Backends (probed at runtime, ULIPC_FORCE_EVENTFD_BRIDGE forces the
+// second; see WaitSet::resolve_backend):
+//   * kFutexWaitv — one futex_waitv(2) call over all member doorbells
+//     (chunk-rotated above FUTEX_WAITV_MAX members);
+//   * kEventfdBridge — a helper thread scans the published snapshot and
+//     signals an eventfd, so the wait degrades to poll(2) on one fd AND
+//     the fd (poll_fd()) can join an ordinary epoll loop. The bridge uses
+//     only plain FUTEX_WAIT slices, so it is the full fallback path for
+//     kernels without futex_waitv.
+//
+// Threading contract: wait() is single-waiter (one fan-in worker per
+// WaitSet); add()/remove()/kick() may be called concurrently from other
+// threads and ungate an in-flight wait via the control doorbell. Member
+// endpoints' regions must stay mapped until the WaitSet is destroyed or a
+// later wait()/remove() has completed — a blocked waiter (and the bridge
+// thread) still reads the doorbell words of just-removed members.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "protocols/channel.hpp"
+#include "protocols/platform.hpp"
+#include "runtime/doorbell.hpp"
+#include "runtime/native_platform.hpp"
+
+namespace ulipc {
+
+class ShmChannel;
+
+enum class WaitSetBackend : std::uint8_t {
+  kAuto = 0,       // futex_waitv if the kernel has it, else the bridge
+  kFutexWaitv,     // one multi-word futex wait (Linux >= 5.16)
+  kEventfdBridge,  // helper thread + eventfd; epoll-compatible
+};
+
+constexpr const char* waitset_backend_name(WaitSetBackend b) noexcept {
+  switch (b) {
+    case WaitSetBackend::kAuto: return "auto";
+    case WaitSetBackend::kFutexWaitv: return "futex_waitv";
+    case WaitSetBackend::kEventfdBridge: return "eventfd_bridge";
+  }
+  return "?";
+}
+
+struct WaitSetOptions {
+  WaitSetBackend backend = WaitSetBackend::kAuto;
+};
+
+class WaitSet {
+ public:
+  explicit WaitSet(NativePlatform& plat, const WaitSetOptions& opts = {});
+  ~WaitSet();
+  WaitSet(const WaitSet&) = delete;
+  WaitSet& operator=(const WaitSet&) = delete;
+
+  /// Adds an endpoint with a caller-chosen tag (reported by wait()).
+  /// Returns false on a duplicate endpoint. Ungates an in-flight wait so
+  /// the new member is armed promptly.
+  bool add(NativeEndpoint* ep, std::uint64_t tag);
+
+  /// Detaches an endpoint, restoring it to the resting single-consumer
+  /// state (awake set, no banked token): if the member was armed and a
+  /// producer committed a V since, that token is absorbed here. Safe while
+  /// a waiter is blocked — it is ungated and rebuilds its snapshot.
+  bool remove(NativeEndpoint* ep);
+
+  /// Blocks until at least one member has queued messages or `deadline_ns`
+  /// (absolute, platform time_ns(); kNoDeadline blocks forever) passes.
+  /// On kOk, `ready` (may be null) holds the tags of every CLAIMED member —
+  /// each claimed member's awake flag is restored and its wake token (if
+  /// any) absorbed, so the caller just drains the queues. A deadline in the
+  /// past degenerates to a non-blocking poll (arm + recheck, no block).
+  /// Members stay armed across a kTimeout return; the next wait() resumes
+  /// the cycle.
+  Status wait(std::int64_t deadline_ns, std::vector<std::uint64_t>* ready);
+
+  /// Rings the control doorbell: an in-flight wait() returns from its
+  /// block and rechecks (a shutdown flag checked by the caller's loop, a
+  /// membership change it hasn't seen). Cheap, any thread.
+  void kick() noexcept { doorbell_ring(ctrl_); }
+
+  [[nodiscard]] WaitSetBackend backend() const noexcept { return backend_; }
+
+  /// Bridge backend only: an eventfd that becomes readable when some
+  /// member MAY be ready, for use in an external epoll/poll loop. After it
+  /// fires, call wait() with a past deadline to claim-and-drain, then
+  /// wait() (or another past-deadline poll) to re-arm and republish. -1 on
+  /// the futex_waitv backend.
+  [[nodiscard]] int poll_fd() const noexcept;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Resolves kAuto (and an unavailable kFutexWaitv request) to a concrete
+  /// backend: ULIPC_FORCE_EVENTFD_BRIDGE (any value but "0"/"OFF") forces
+  /// the bridge, otherwise futex_waitv when the kernel has it.
+  static WaitSetBackend resolve_backend(WaitSetBackend requested) noexcept;
+
+ private:
+  struct Member {
+    NativeEndpoint* ep = nullptr;
+    std::uint64_t tag = 0;
+    std::uint32_t expected = 0;  // doorbell snapshot for the next block
+    bool armed = false;          // we cleared awake and not yet claimed
+  };
+  struct Bridge;
+
+  void claim_locked(Member& m);
+  void detach_locked(Member& m);
+  bool block(std::int64_t deadline_ns);  // true == timed out
+  bool block_waitv(std::int64_t deadline_ns);
+  bool block_bridge(std::int64_t deadline_ns);
+  void publish_bridge();
+
+  NativePlatform* plat_;
+  WaitSetBackend backend_;
+  mutable std::mutex mu_;
+  std::vector<Member> members_;
+  // Control doorbell: process-local word always included in the blocking
+  // snapshot, rung by add/remove/kick to ungate a stale-snapshot waiter.
+  // Its armed bit is set once and never cleared (ring-always is harmless
+  // and saves re-arming every round).
+  std::atomic<std::uint32_t> ctrl_{kDoorbellArmedBit};
+  // Blocking snapshot, rebuilt under mu_ each round and read outside it —
+  // single-waiter contract (only the wait() thread touches these).
+  std::vector<std::atomic<std::uint32_t>*> blk_words_;
+  std::vector<std::uint32_t> blk_expected_;
+  std::unique_ptr<Bridge> bridge_;
+};
+
+// ---- single-worker fan-in server ----
+
+struct FaninOptions {
+  /// Per-wait liveness bound: a wait() that times out invokes on_idle (or
+  /// gives up when none is set).
+  std::int64_t liveness_timeout_ns = 2'000'000'000;
+  WaitSetBackend backend = WaitSetBackend::kAuto;
+  /// Idle probe: reclaim crashed clients etc.; returns how many clients to
+  /// count as departed. Unset => the server gives up on an idle timeout.
+  std::function<std::uint32_t()> on_idle;
+};
+
+struct FaninResult {
+  ServerResult server;
+  std::uint64_t waits = 0;          // wait() returns (incl. timeouts)
+  std::uint64_t ready_members = 0;  // claimed members across all waits
+  std::uint32_t disconnected = 0;
+  bool gave_up = false;  // idle timeout with no on_idle probe
+};
+
+/// One worker, one WaitSet, N channels: serves every channel's MPSC server
+/// endpoint through a single aggregate wait, replying on the per-client
+/// reply endpoints, until `expected_disconnects` clients have left. This is
+/// the fan-in architecture the ROADMAP's readiness-plane item asks for —
+/// channel count is bounded by the waitset, not by threads.
+FaninResult run_waitset_fanin_server(NativePlatform& plat,
+                                     const std::vector<ShmChannel*>& channels,
+                                     std::uint32_t expected_disconnects,
+                                     const FaninOptions& opts = {});
+
+}  // namespace ulipc

@@ -1,0 +1,102 @@
+// Thin wrapper over the futex_waitv(2) syscall (Linux >= 5.16): block on up
+// to FUTEX_WAITV_MAX 32-bit words at once, waking when ANY of them changes
+// from its expected value or is futex_wake()d.
+//
+// This is the preferred WaitSet backend (runtime/waitset.hpp): one syscall
+// parks the fan-in worker on every member doorbell simultaneously, the exact
+// multi-word analogue of the single-word FUTEX_WAIT the C.4 sleep uses. On
+// kernels without the syscall — or with ULIPC_FORCE_EVENTFD_BRIDGE set — the
+// waitset falls back to the eventfd bridge, so nothing here may be a hard
+// build requirement: everything is gated on SYS_futex_waitv and probed at
+// runtime.
+//
+// Error contract mirrors shm/futex.hpp: EAGAIN (some word already differed —
+// a wake raced the call) and EINTR (signal; caller retries against its
+// absolute deadline) are normal outcomes, not failures.
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <ctime>
+
+namespace ulipc {
+
+#ifdef SYS_futex_waitv
+
+inline constexpr bool kFutexWaitvCompiledIn = true;
+inline constexpr std::uint32_t kFutexWaitvMax = FUTEX_WAITV_MAX;  // 128
+
+/// One entry of the wait vector: a shared 32-bit word and the value the
+/// caller believes it holds (the syscall returns EAGAIN if any differs).
+using FutexWaitvEntry = ::futex_waitv;
+
+inline void futex_waitv_set(FutexWaitvEntry& e,
+                            std::atomic<std::uint32_t>* addr,
+                            std::uint32_t expected) noexcept {
+  e.val = expected;
+  e.uaddr = reinterpret_cast<std::uintptr_t>(addr);
+  e.flags = FUTEX_32;
+  e.__reserved = 0;
+}
+
+/// Blocks until any entry's word changes, a wake arrives, or the absolute
+/// CLOCK_MONOTONIC deadline passes. `deadline_ns < 0` means no deadline.
+/// Returns the index of the woken entry (>= 0), or -1 with errno EAGAIN
+/// (some word already changed — treat as wake), EINTR (retry), or
+/// ETIMEDOUT.
+inline long futex_waitv_block(FutexWaitvEntry* entries, std::uint32_t n,
+                              std::int64_t deadline_ns) {
+  timespec ts{};
+  timespec* tsp = nullptr;
+  if (deadline_ns >= 0) {
+    ts.tv_sec = deadline_ns / 1'000'000'000LL;
+    ts.tv_nsec = deadline_ns % 1'000'000'000LL;
+    tsp = &ts;
+  }
+  return syscall(SYS_futex_waitv, entries, n, 0, tsp, CLOCK_MONOTONIC);
+}
+
+/// Runtime probe: does this kernel implement futex_waitv? A zero-entry call
+/// never blocks; ENOSYS means the syscall is missing, anything else (the
+/// kernel rejects nr_futexes == 0 with EINVAL) means it is there. Probed
+/// once per process.
+inline bool futex_waitv_available() noexcept {
+  static const bool available = [] {
+    const long rc = syscall(SYS_futex_waitv, nullptr, 0u, 0, nullptr,
+                            CLOCK_MONOTONIC);
+    return rc == 0 || errno != ENOSYS;
+  }();
+  return available;
+}
+
+#else  // !SYS_futex_waitv — old kernel headers; the bridge backend carries
+
+inline constexpr bool kFutexWaitvCompiledIn = false;
+inline constexpr std::uint32_t kFutexWaitvMax = 128;
+
+struct FutexWaitvEntry {
+  std::uint64_t val = 0;
+  std::uint64_t uaddr = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t reserved = 0;
+};
+
+inline void futex_waitv_set(FutexWaitvEntry&, std::atomic<std::uint32_t>*,
+                            std::uint32_t) noexcept {}
+
+inline long futex_waitv_block(FutexWaitvEntry*, std::uint32_t,
+                              std::int64_t) {
+  errno = ENOSYS;
+  return -1;
+}
+
+inline bool futex_waitv_available() noexcept { return false; }
+
+#endif  // SYS_futex_waitv
+
+}  // namespace ulipc

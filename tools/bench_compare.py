@@ -111,6 +111,32 @@ def payload_bytes_per_s(build_dir, messages):
     return rows
 
 
+def fanin_msgs_per_ms(build_dir, messages):
+    """'channels' -> msgs/ms from latency_percentiles --fanin=64.
+
+    The readiness-plane point: one waitset worker serving 64 channels.
+    Returns {} when the binary predates --fanin (it then reports an unknown
+    option and prints no "[fanin]" line), which makes the section skip
+    itself via compare()'s empty-side guard. Messages are per client, so
+    the count is kept small regardless of --messages.
+    """
+    binary = os.path.join(build_dir, "bench", "latency_percentiles")
+    if not os.path.exists(binary):
+        return {}
+    per_client = min(messages, 200)
+    rows = {}
+    for line in run([binary, "--fanin=64",
+                     f"--messages={per_client}"]).splitlines():
+        if not line.startswith("[fanin] "):
+            continue
+        try:
+            rec = json.loads(line[len("[fanin] "):])
+            rows[str(rec["channels"])] = float(rec["msgs_per_ms"])
+        except (ValueError, KeyError, TypeError):
+            continue
+    return rows
+
+
 def latest_scenario_slos(traj_path):
     """Most recent scenario_slo map from the trajectory file.
 
@@ -226,6 +252,20 @@ def main():
     flagged += compare("payload plane (bytes/s, higher is better)",
                        payload_bytes_per_s(args.build_dir, args.messages),
                        base_bps, args.tolerance, worse_when_higher=False)
+
+    # Fan-in over the readiness plane: msgs/ms, higher is better. Baselines
+    # recorded before the waitset existed have no "fanin" key — compare()
+    # then skips the section instead of failing.
+    fi = base.get("fanin", [])
+    base_fanin = {}
+    if isinstance(fi, list):
+        for rec in fi:
+            if isinstance(rec, dict) and "channels" in rec \
+                    and isinstance(rec.get("msgs_per_ms"), (int, float)):
+                base_fanin[str(rec["channels"])] = rec["msgs_per_ms"]
+    flagged += compare("fan-in waitset (msgs/ms, higher is better)",
+                       fanin_msgs_per_ms(args.build_dir, args.messages),
+                       base_fanin, args.tolerance, worse_when_higher=False)
 
     slos, bad_lines = latest_scenario_slos(args.trajectory)
     if slos or bad_lines:

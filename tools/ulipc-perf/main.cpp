@@ -24,6 +24,7 @@
 
 #include "common/affinity.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/waitset.hpp"
 
 using namespace ulipc;
 
@@ -113,12 +114,20 @@ int main(int argc, char** argv) {
       s.payload_max = payload_max;
     }
   }
+  // The fan-in waitset scenario rides alongside the pool scenarios: one
+  // worker, one WaitSet, N single-client channels (runtime/waitset.hpp).
+  FaninScenarioSpec fanin;
+  fanin.messages = quick ? 25 : 150;
+  fanin.seed = seed;
+
   if (list) {
     for (const ScenarioSpec& s : specs) {
       std::cout << s.name << "  (" << workload_name(s.workload) << ", "
                 << s.workers << " workers, " << s.clients << " clients"
                 << (s.chaos.enabled() ? ", chaos" : "") << ")\n";
     }
+    std::cout << fanin.name << "  (fan-in over a waitset, 1 worker, "
+              << fanin.channels << " channels)\n";
     return 0;
   }
 
@@ -152,6 +161,24 @@ int main(int argc, char** argv) {
               << " orphan_drain=" << r.slo_orphan_drain
               << " nodes_conserved=" << r.slo_nodes_conserved
               << " payloads_conserved=" << r.slo_payloads_conserved
+              << " completed=" << r.completed << ")\n";
+    std::cout << "[scenario] " << r.json() << "\n\n" << std::flush;
+    all_pass &= r.slo_pass();
+  }
+
+  if (only.empty() || only == fanin.name) {
+    matched = true;
+    std::cout << "== " << fanin.name << " ==\n" << std::flush;
+    const ScenarioResult r = run_fanin_scenario(fanin);
+    std::cout << "   verified " << r.verified << "/" << r.attempted
+              << " requests across " << fanin.channels
+              << " channels, 1 waitset worker ("
+              << waitset_backend_name(
+                     WaitSet::resolve_backend(WaitSetBackend::kAuto))
+              << " backend)\n";
+    std::cout << "   SLO " << (r.slo_pass() ? "PASS" : "FAIL")
+              << " (no_lost_replies=" << r.slo_no_lost_replies
+              << " nodes_conserved=" << r.slo_nodes_conserved
               << " completed=" << r.completed << ")\n";
     std::cout << "[scenario] " << r.json() << "\n\n" << std::flush;
     all_pass &= r.slo_pass();
