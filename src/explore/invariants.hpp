@@ -28,8 +28,8 @@
 #include <string>
 #include <vector>
 
-#include "queue/ms_two_lock_queue.hpp"
 #include "queue/msg_pool.hpp"
+#include "queue/msg_queue.hpp"
 #include "queue/payload_pool.hpp"
 #include "runtime/native_platform.hpp"
 
@@ -60,7 +60,7 @@ struct InvariantReport {
 /// configuration banks tokens in the kernel where only the owner process
 /// can see them, so SysV scenarios should pass no endpoints.
 inline InvariantReport check_invariants(
-    NodePool& pool, const std::vector<TwoLockQueue*>& queues,
+    NodePool& pool, const std::vector<MsgQueue*>& queues,
     PayloadPool* payloads = nullptr,
     const std::vector<NativeEndpoint*>& endpoints = {}) {
   InvariantReport r;
@@ -68,7 +68,7 @@ inline InvariantReport check_invariants(
   std::vector<char> free_mark(pool.capacity(), 0);
   pool.mark_free(free_mark);
   std::vector<char> reach_mark(pool.capacity(), 0);
-  for (TwoLockQueue* q : queues) r.queued_nodes += q->mark_reachable(reach_mark);
+  for (MsgQueue* q : queues) r.queued_nodes += q->mark_reachable(reach_mark);
 
   for (std::uint32_t i = 0; i < pool.capacity(); ++i) {
     const bool is_free = free_mark[i] != 0;

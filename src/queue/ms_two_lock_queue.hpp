@@ -71,21 +71,27 @@ class TwoLockQueue {
   static TwoLockQueue* create(ShmArena& arena, NodePool* pool,
                               std::uint32_t capacity = 0) {
     auto* q = arena.construct<TwoLockQueue>();
-    q->pool_.set(pool);
-    q->capacity_ = capacity == 0 ? std::numeric_limits<std::uint32_t>::max()
-                                 : capacity;
-    const ShmIndex dummy = pool->allocate();
-    ULIPC_INVARIANT(dummy != kNullIndex, "pool exhausted creating queue");
-    pool->node(dummy).next = kNullIndex;
-    pool->node(dummy).owner_pid = 0;  // the dummy belongs to the queue
-    q->head_.value = dummy;
-    q->tail_.value = dummy;
+    q->init(pool, capacity);
     return q;
   }
 
   TwoLockQueue() = default;
   TwoLockQueue(const TwoLockQueue&) = delete;
   TwoLockQueue& operator=(const TwoLockQueue&) = delete;
+
+  /// Second-phase constructor (the MsgQueue facade placement-news the
+  /// engine of its choice and then inits it).
+  void init(NodePool* pool, std::uint32_t capacity) {
+    pool_.set(pool);
+    capacity_ = capacity == 0 ? std::numeric_limits<std::uint32_t>::max()
+                              : capacity;
+    const ShmIndex dummy = pool->allocate();
+    ULIPC_INVARIANT(dummy != kNullIndex, "pool exhausted creating queue");
+    pool->node(dummy).next = kNullIndex;
+    pool->node(dummy).owner_pid = 0;  // the dummy belongs to the queue
+    head_.value = dummy;
+    tail_.value = dummy;
+  }
 
   /// Appends a message. Returns false (queue full) if the capacity bound is
   /// reached or the node pool is exhausted. `stamp` rides in the node next
@@ -108,8 +114,11 @@ class TwoLockQueue {
       return false;
     }
     MsgNode& node = pool.node(node_idx);
-    node.msg = msg;
-    node.span = stamp;
+    // Word stores, not plain assignment: in a mixed-engine pool a slow
+    // lock-free dequeuer may still be (atomically) reading this recycled
+    // node's bytes — see lf_copy_words in queue/msg_pool.hpp.
+    lf_copy_words(&node.msg, &msg, sizeof(Message));
+    lf_copy_words(&node.span, &stamp, sizeof(SpanStamp));
     node.next = kNullIndex;
     explore::point(explore::Point::kQEnqueueNodeReady);
     {
@@ -152,8 +161,9 @@ class TwoLockQueue {
       const ShmIndex idx = pool.allocate();
       if (idx == kNullIndex) break;  // pool exhausted: splice what we have
       MsgNode& node = pool.node(idx);
-      node.msg = msgs[got];
-      node.span = got == 0 ? stamp : SpanStamp{};
+      lf_copy_words(&node.msg, &msgs[got], sizeof(Message));
+      const SpanStamp sp = got == 0 ? stamp : SpanStamp{};
+      lf_copy_words(&node.span, &sp, sizeof(SpanStamp));
       node.next = kNullIndex;
       if (first == kNullIndex) {
         first = idx;
@@ -354,8 +364,9 @@ class TwoLockQueue {
     const ShmIndex node_idx = pool.allocate();
     if (node_idx == kNullIndex) return kNullIndex;
     MsgNode& node = pool.node(node_idx);
-    node.msg = msg;
-    node.span = SpanStamp{};
+    const SpanStamp sp{};
+    lf_copy_words(&node.msg, &msg, sizeof(Message));
+    lf_copy_words(&node.span, &sp, sizeof(SpanStamp));
     node.next = kNullIndex;
     (void)tail_lock_.value.lock();
     next_ref(pool.node(tail_.value))

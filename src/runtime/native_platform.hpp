@@ -29,7 +29,7 @@
 #include "obs/span.hpp"
 #include "obs/trace_ring.hpp"
 #include "protocols/platform.hpp"
-#include "queue/ms_two_lock_queue.hpp"
+#include "queue/msg_queue.hpp"
 #include "queue/spsc_ring.hpp"
 #include "runtime/doorbell.hpp"
 #include "shm/futex_semaphore.hpp"
@@ -55,11 +55,12 @@ enum class SemKind : std::uint8_t {
 /// carry a lock-free SpscRing as the fast path; `ring` stays unset on the
 /// MPSC server receive endpoint. Routing (see enqueue/dequeue below) keeps
 /// FIFO order across the two structures: the producer uses the ring only
-/// while the overflow two-lock queue is empty, and the consumer always
-/// drains the ring before the overflow queue, so a message in the overflow
+/// while the overflow queue (a MsgQueue of either engine) is empty, and
+/// the consumer always drains the ring before the overflow queue, so a
+/// message in the overflow
 /// queue is always newer than everything in the ring.
 struct NativeEndpoint {
-  OffsetPtr<TwoLockQueue> queue;
+  OffsetPtr<MsgQueue> queue;
   OffsetPtr<SpscRing> ring;  // null on MPSC endpoints
   AwakeFlag awake;
   FutexSemaphore fsem;
@@ -241,7 +242,9 @@ class NativePlatform {
     // Ring AFTER the token is banked: an aggregate waiter ungated by this
     // ring claims the member with tas + sem_p, and the P must find (or be
     // about to receive) the V just posted.
+#ifndef ULIPC_AB_NO_DOORBELL  // A/B escape hatch, never defined in builds
     doorbell_ring(ep.doorbell);
+#endif
   }
 
   /// Timed P against an absolute time_ns() (CLOCK_MONOTONIC) deadline.
@@ -526,6 +529,9 @@ class NativePlatform {
   /// span_note_sent after a successful enqueue (a mint that never lands
   /// just wastes one 24-bit sequence number).
   [[nodiscard]] SpanStamp span_next_stamp() noexcept {
+#ifdef ULIPC_AB_NO_SPANMINT  // A/B escape hatch, never defined in builds
+    return SpanStamp{};
+#endif
     if constexpr (obs::kTraceCompiledIn) {
       if (span_adopt_) {
         if (!span_adopted_.traced()) return SpanStamp{};

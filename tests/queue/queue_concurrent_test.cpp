@@ -1,4 +1,5 @@
-// Concurrency properties of the Michael & Scott two-lock queue:
+// Concurrency properties every queue engine must share (TEST_P over the
+// MsgQueue engines — M&S two-lock and M&S lock-free):
 //  * no message lost or duplicated under MPMC stress;
 //  * FIFO preserved per producer (the queue is globally FIFO, so each
 //    producer's messages must come out in its send order);
@@ -8,14 +9,22 @@
 
 #include <atomic>
 #include <thread>
+#include <tuple>
 #include <vector>
 
-#include "queue/ms_two_lock_queue.hpp"
+#include "queue/msg_queue.hpp"
 #include "shm/process.hpp"
 #include "shm/shm_region.hpp"
 
 namespace ulipc {
 namespace {
+
+const QueueEngine kEngines[] = {QueueEngine::kTwoLock,
+                                QueueEngine::kLockFree};
+
+std::string engine_suffix(QueueEngine e) {
+  return e == QueueEngine::kTwoLock ? "TwoLock" : "LockFree";
+}
 
 struct MpmcParam {
   int producers;
@@ -23,15 +32,17 @@ struct MpmcParam {
   int messages_per_producer;
 };
 
-class MpmcStressTest : public ::testing::TestWithParam<MpmcParam> {};
+class MpmcStressTest
+    : public ::testing::TestWithParam<std::tuple<QueueEngine, MpmcParam>> {};
 
 TEST_P(MpmcStressTest, NoLossNoDupFifoPerProducer) {
-  const MpmcParam param = GetParam();
+  const QueueEngine engine = std::get<0>(GetParam());
+  const MpmcParam param = std::get<1>(GetParam());
   ShmRegion region = ShmRegion::create_anonymous(8 * 1024 * 1024);
   ShmArena arena = ShmArena::format(region);
   NodePool* pool = NodePool::create(
       arena, static_cast<std::uint32_t>(param.producers * 64 + 8));
-  TwoLockQueue* q = TwoLockQueue::create(arena, pool);
+  MsgQueue* q = MsgQueue::create(arena, pool, 0, engine);
 
   const int total = param.producers * param.messages_per_producer;
   std::atomic<int> consumed{0};
@@ -94,19 +105,25 @@ TEST_P(MpmcStressTest, NoLossNoDupFifoPerProducer) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, MpmcStressTest,
-    ::testing::Values(MpmcParam{1, 1, 20'000}, MpmcParam{2, 1, 10'000},
-                      MpmcParam{4, 1, 5'000}, MpmcParam{1, 2, 20'000},
-                      MpmcParam{2, 2, 10'000}, MpmcParam{4, 4, 5'000}),
-    [](const ::testing::TestParamInfo<MpmcParam>& pinfo) {
-      return std::to_string(pinfo.param.producers) + "p" +
-             std::to_string(pinfo.param.consumers) + "c";
+    ::testing::Combine(
+        ::testing::ValuesIn(kEngines),
+        ::testing::Values(MpmcParam{1, 1, 20'000}, MpmcParam{2, 1, 10'000},
+                          MpmcParam{4, 1, 5'000}, MpmcParam{1, 2, 20'000},
+                          MpmcParam{2, 2, 10'000}, MpmcParam{4, 4, 5'000})),
+    [](const ::testing::TestParamInfo<std::tuple<QueueEngine, MpmcParam>>&
+           pinfo) {
+      return engine_suffix(std::get<0>(pinfo.param)) +
+             std::to_string(std::get<1>(pinfo.param).producers) + "p" +
+             std::to_string(std::get<1>(pinfo.param).consumers) + "c";
     });
 
-TEST(QueueCrossProcess, ProducerChildConsumerParent) {
+class QueueCrossProcess : public ::testing::TestWithParam<QueueEngine> {};
+
+TEST_P(QueueCrossProcess, ProducerChildConsumerParent) {
   ShmRegion region = ShmRegion::create_anonymous(4 * 1024 * 1024);
   ShmArena arena = ShmArena::format(region);
   NodePool* pool = NodePool::create(arena, 128);
-  TwoLockQueue* q = TwoLockQueue::create(arena, pool, 64);
+  MsgQueue* q = MsgQueue::create(arena, pool, 64, GetParam());
   constexpr int kMessages = 50'000;
 
   ChildProcess producer = ChildProcess::spawn([&] {
@@ -131,12 +148,12 @@ TEST(QueueCrossProcess, ProducerChildConsumerParent) {
   EXPECT_TRUE(q->empty());
 }
 
-TEST(QueueCrossProcess, BidirectionalPingPong) {
+TEST_P(QueueCrossProcess, BidirectionalPingPong) {
   ShmRegion region = ShmRegion::create_anonymous(4 * 1024 * 1024);
   ShmArena arena = ShmArena::format(region);
   NodePool* pool = NodePool::create(arena, 64);
-  TwoLockQueue* request = TwoLockQueue::create(arena, pool, 16);
-  TwoLockQueue* reply = TwoLockQueue::create(arena, pool, 16);
+  MsgQueue* request = MsgQueue::create(arena, pool, 16, GetParam());
+  MsgQueue* reply = MsgQueue::create(arena, pool, 16, GetParam());
   constexpr int kRounds = 20'000;
 
   ChildProcess server = ChildProcess::spawn([&] {
@@ -159,6 +176,12 @@ TEST(QueueCrossProcess, BidirectionalPingPong) {
   }
   EXPECT_EQ(server.join(), 0);
 }
+
+INSTANTIATE_TEST_SUITE_P(Engines, QueueCrossProcess,
+                         ::testing::ValuesIn(kEngines),
+                         [](const ::testing::TestParamInfo<QueueEngine>& i) {
+                           return engine_suffix(i.param);
+                         });
 
 }  // namespace
 }  // namespace ulipc

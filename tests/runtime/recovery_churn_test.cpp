@@ -24,7 +24,9 @@
 namespace ulipc {
 namespace {
 
-TEST(RecoveryChurnTest, SweepRacingLiveChurnReclaimsNothingAndLosesNothing) {
+class RecoveryChurnTest : public ::testing::TestWithParam<QueueEngine> {};
+
+TEST_P(RecoveryChurnTest, SweepRacingLiveChurnReclaimsNothingAndLosesNothing) {
   constexpr std::uint32_t kWorkers = 2;
   constexpr std::uint32_t kClients = 4;
   constexpr std::uint32_t kCycles = 4;
@@ -34,6 +36,7 @@ TEST(RecoveryChurnTest, SweepRacingLiveChurnReclaimsNothingAndLosesNothing) {
   cfg.max_clients = kClients;
   cfg.queue_capacity = 64;
   cfg.shards = kWorkers;
+  cfg.engines.server = cfg.engines.reply = cfg.engines.shard = GetParam();
   ShmRegion region =
       ShmRegion::create_anonymous(ShmChannel::required_bytes(cfg));
   ShmChannel channel = ShmChannel::create(region, cfg);
@@ -105,6 +108,15 @@ TEST(RecoveryChurnTest, SweepRacingLiveChurnReclaimsNothingAndLosesNothing) {
   EXPECT_EQ(channel.node_pool().free_count(), free0)
       << "node pool did not balance after churn + concurrent sweeps";
 }
+
+INSTANTIATE_TEST_SUITE_P(Engines, RecoveryChurnTest,
+                         ::testing::Values(QueueEngine::kTwoLock,
+                                           QueueEngine::kLockFree),
+                         [](const ::testing::TestParamInfo<QueueEngine>& i) {
+                           return i.param == QueueEngine::kTwoLock
+                                      ? "TwoLock"
+                                      : "LockFree";
+                         });
 
 }  // namespace
 }  // namespace ulipc

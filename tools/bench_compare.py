@@ -227,9 +227,30 @@ def main():
         lat = {}
     base_p50 = {k: v.get("p50_us", 0.0)
                 for k, v in lat.items() if isinstance(v, dict)}
+    cur_p50 = latency_medians(args.build_dir, args.messages)
     flagged += compare("round-trip p50 (us, lower is better)",
-                       latency_medians(args.build_dir, args.messages),
-                       base_p50, args.tolerance)
+                       cur_p50, base_p50, args.tolerance)
+
+    # Scalar round-trip throughput, the headline trajectory number
+    # (rt_msgs_per_ms in BENCH_trajectory.jsonl; 1000/p50, same derivation
+    # record_bench.sh uses). The coarse p50 section above tolerates 30%
+    # because single-run medians on shared runners are weather — but the
+    # trajectory has shown slow multi-PR drift (~10% over three points)
+    # that such a tolerance never flags. This section compares the same
+    # protocols at a tight, ALWAYS report-only threshold so creeping
+    # scalar-path cost shows up in the PR report even when every other
+    # section is quiet. It never gates (not even under --strict): at 8% a
+    # noisy runner would cry wolf; the flag is a prompt to A/B on a quiet
+    # machine, not a verdict.
+    base_rt = {k: v.get("rt_throughput_msgs_per_ms", 0.0)
+               for k, v in lat.items() if isinstance(v, dict)}
+    cur_rt = {k: 1000.0 / p50 for k, p50 in cur_p50.items() if p50 > 0}
+    drift = compare("scalar rt throughput (msgs/ms, higher is better; "
+                    "drift watch, never a gate)",
+                    cur_rt, base_rt, 8.0, worse_when_higher=False)
+    if drift:
+        print(f"\n_{drift} scalar-throughput row(s) drifted beyond 8% — "
+              "informational; A/B on a quiet machine before acting._")
     mq = base.get("micro_queue_ns", {})
     if not isinstance(mq, dict):
         print("bench_compare: baseline micro_queue_ns is malformed; "
